@@ -1,0 +1,246 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation section, plus ablation studies and Bechamel
+   microbenchmarks of the core primitives.
+
+   Usage:
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- table2 fig8  # a subset
+     dune exec bench/main.exe -- --fast ...   # shorter whole runs
+     dune exec bench/main.exe -- micro        # microbenchmarks only *)
+
+open Specrepro
+
+let all_experiments =
+  [
+    "table1";
+    "table2";
+    "table2x";
+    "table3";
+    "fig3a";
+    "fig3b";
+    "fig4";
+    "fig5";
+    "fig6";
+    "fig7";
+    "fig8";
+    "fig9";
+    "fig10";
+    "fig12";
+    "ablation-bic";
+    "ablation-proj";
+    "ablation-warmup";
+    "ablation-prefetch";
+    "ablation-roi";
+    "sampling";
+    "smarts";
+    "vli";
+    "subset";
+    "statcache";
+    "cpistack";
+    "timevary";
+    "models";
+    "rate";
+    "headlines";
+    "micro";
+  ]
+
+let usage () =
+  Printf.printf "usage: main.exe [--fast] [--quiet] [--csv DIR] [experiment...]\n";
+  Printf.printf "experiments: %s\n" (String.concat " " all_experiments);
+  exit 0
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks *)
+
+let micro () =
+  let open Bechamel in
+  let open Toolkit in
+  (* fixtures *)
+  let spec = Sp_workloads.Suite.find "620.omnetpp_s" in
+  let built = Sp_workloads.Benchspec.build ~slices_scale:0.02 spec in
+  let prog = built.Sp_workloads.Benchspec.program in
+  let rng = Sp_util.Rng.create 7 in
+  let points =
+    Array.init 2000 (fun _ ->
+        Array.init 15 (fun _ -> Sp_util.Rng.float rng 1.0))
+  in
+  let cache = Sp_cache.Cache.create Sp_cache.Config.allcache_table1.l1d in
+  let addr = ref 0 in
+  let tests =
+    [
+      Test.make ~name:"interp-10k-insns"
+        (Staged.stage (fun () ->
+             let m = Sp_vm.Interp.create ~entry:prog.Sp_vm.Program.entry () in
+             ignore (Sp_vm.Interp.run ~fuel:10_000 prog m)));
+      Test.make ~name:"interp-10k-insns+allcache"
+        (Staged.stage
+           (let tool = Sp_pin.Allcache_tool.create prog in
+            let hooks = Sp_pin.Allcache_tool.hooks tool in
+            fun () ->
+              let m = Sp_vm.Interp.create ~entry:prog.Sp_vm.Program.entry () in
+              ignore (Sp_vm.Interp.run ~hooks ~fuel:10_000 prog m)));
+      Test.make ~name:"kmeans-k20-2000x15"
+        (Staged.stage (fun () ->
+             ignore (Sp_simpoint.Kmeans.fit ~max_iters:10 ~k:20 points)));
+      Test.make ~name:"cache-access"
+        (Staged.stage (fun () ->
+             addr := (!addr + 4096) land 0xFFFFF;
+             ignore (Sp_cache.Cache.access cache !addr)));
+      Test.make ~name:"projection-2000-slices"
+        (Staged.stage
+           (let slices =
+              Array.init 2000 (fun i ->
+                  {
+                    Sp_pin.Bbv_tool.index = i;
+                    start_icount = i * 100;
+                    length = 100;
+                    bbv = Array.init 20 (fun b -> (b * 3, 5));
+                  })
+            in
+            fun () -> ignore (Sp_simpoint.Projection.project ~seed:1 slices)));
+    ]
+  in
+  let benchmark test =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+    in
+    let raw = Benchmark.all cfg instances test in
+    Analyze.all ols Instance.monotonic_clock raw
+  in
+  print_endline "Microbenchmarks (Bechamel, monotonic clock):";
+  List.iter
+    (fun test ->
+      let results = benchmark (Test.make_grouped ~name:"g" [ test ]) in
+      Hashtbl.iter
+        (fun name ols ->
+          match Bechamel.Analyze.OLS.estimates ols with
+          | Some [ t ] -> Printf.printf "  %-28s %12.1f ns/run\n%!" name t
+          | _ -> Printf.printf "  %-28s (no estimate)\n%!" name)
+        results)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  if List.mem "--help" args then usage ();
+  let fast = List.mem "--fast" args in
+  let quiet = List.mem "--quiet" args in
+  let rec csv_dir = function
+    | "--csv" :: dir :: _ -> Some dir
+    | _ :: rest -> csv_dir rest
+    | [] -> None
+  in
+  let csv_dir = csv_dir args in
+  let wanted =
+    let rec strip = function
+      | "--csv" :: _ :: rest -> strip rest
+      | a :: rest when String.length a > 1 && a.[0] = '-' -> strip rest
+      | a :: rest -> a :: strip rest
+      | [] -> []
+    in
+    strip args
+  in
+  let wanted = if wanted = [] then all_experiments else wanted in
+  List.iter
+    (fun w ->
+      if not (List.mem w all_experiments) then begin
+        Printf.eprintf "unknown experiment %S\n" w;
+        exit 2
+      end)
+    wanted;
+  let options =
+    {
+      Pipeline.default_options with
+      slices_scale = (if fast then 0.25 else 1.0);
+      progress = not quiet;
+    }
+  in
+  let suite_results = lazy (Pipeline.run_suite ~options ()) in
+  let t0 = Unix.gettimeofday () in
+  (* print each table; optionally also write it as CSV under --csv DIR *)
+  let emit name tables =
+    List.iteri
+      (fun i table ->
+        Sp_util.Table.print table;
+        match csv_dir with
+        | None -> ()
+        | Some dir ->
+            if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+            let file =
+              if i = 0 then name ^ ".csv"
+              else Printf.sprintf "%s-%d.csv" name (i + 1)
+            in
+            let oc = open_out (Filename.concat dir file) in
+            output_string oc (Sp_util.Table.to_csv table);
+            close_out oc)
+      tables
+  in
+  List.iter
+    (fun name ->
+      print_newline ();
+      (match name with
+      | "table1" -> emit name [ Experiments.table1 () ]
+      | "table2" -> emit name [ Experiments.table2 (Lazy.force suite_results) ]
+      | "table2x" -> emit name [ Experiments.table2_extended ~options () ]
+      | "table3" -> print_endline (Experiments.table3 ())
+      | "fig3a" -> emit name [ Experiments.fig3a ~options () ]
+      | "fig3b" -> emit name [ Experiments.fig3b ~options () ]
+      | "fig4" ->
+          emit name [ Experiments.fig4 (Lazy.force suite_results) ];
+          print_endline (Experiments.fig4_chart (Lazy.force suite_results))
+      | "fig5" -> emit name [ Experiments.fig5 (Lazy.force suite_results) ]
+      | "fig6" -> emit name [ Experiments.fig6 (Lazy.force suite_results) ]
+      | "fig7" -> emit name [ Experiments.fig7 (Lazy.force suite_results) ]
+      | "fig8" -> emit name [ Experiments.fig8 (Lazy.force suite_results) ]
+      | "fig9" ->
+          emit name [ Experiments.fig9 (Lazy.force suite_results) ];
+          print_endline (Experiments.fig9_chart (Lazy.force suite_results))
+      | "fig10" -> emit name [ Experiments.fig10 (Lazy.force suite_results) ]
+      | "fig12" -> emit name [ Experiments.fig12 (Lazy.force suite_results) ]
+      | "ablation-bic" -> emit name [ Experiments.ablation_bic ~options () ]
+      | "ablation-proj" ->
+          emit name [ Experiments.ablation_projection ~options () ]
+      | "ablation-warmup" ->
+          emit name
+            [ Experiments.ablation_warmup ~options (Lazy.force suite_results) ]
+      | "ablation-prefetch" ->
+          emit name [ Experiments.ablation_prefetch ~options () ]
+      | "ablation-roi" -> emit name [ Experiments.ablation_roi ~options () ]
+      | "sampling" -> emit name [ Experiments.sampling ~options () ]
+      | "smarts" -> emit name [ Experiments.smarts ~options () ]
+      | "vli" -> emit name [ Experiments.vli ~options () ]
+      | "subset" ->
+          let vars, clusters = Experiments.subset (Lazy.force suite_results) in
+          emit name [ vars; clusters ]
+      | "statcache" -> emit name [ Experiments.statcache ~options () ]
+      | "cpistack" ->
+          emit name [ Experiments.cpistack (Lazy.force suite_results) ]
+      | "timevary" -> print_endline (Experiments.timevary ~options ())
+      | "models" -> emit name [ Experiments.models ~options () ]
+      | "rate" -> emit name [ Experiments.rate ~options () ]
+      | "headlines" ->
+          let t =
+            Sp_util.Table.create
+              ~title:"Headline claims: paper vs this reproduction"
+              [
+                ("Metric", Sp_util.Table.Left);
+                ("Paper", Sp_util.Table.Right);
+                ("Measured", Sp_util.Table.Right);
+              ]
+          in
+          List.iter
+            (fun (h : Experiments.headline) ->
+              Sp_util.Table.add_row t [ h.metric; h.paper; h.measured ])
+            (Experiments.headlines (Lazy.force suite_results));
+          emit name [ t ]
+      | "micro" -> micro ()
+      | _ -> assert false))
+    wanted;
+  if not quiet then
+    Printf.eprintf "\n[bench] total wall time %.1fs\n%!"
+      (Unix.gettimeofday () -. t0)

@@ -1,0 +1,455 @@
+(* The specrepro command-line interface.
+
+   Subcommands mirror the stages of the paper's methodology:
+     list        the synthetic SPEC CPU2017 suite
+     profile     whole-run profiling of one benchmark
+     simpoints   simulation-point selection (optionally saving pinballs)
+     replay      replay stored pinballs under pintools
+     run         the full pipeline for one benchmark
+     suite       the full pipeline for the whole suite (Table II + headlines)
+     experiment  regenerate one of the paper's tables/figures *)
+
+open Cmdliner
+open Specrepro
+
+(* ------------------------------------------------------------------ *)
+(* shared arguments *)
+
+let bench_arg =
+  let doc = "Benchmark name (e.g. 505.mcf_r or mcf_r)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK" ~doc)
+
+let scale_arg =
+  let doc =
+    "Scale factor for the whole-run length (1.0 = the calibrated paper-like \
+     length; tests and demos use less)."
+  in
+  Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"S" ~doc)
+
+let quiet_arg =
+  let doc = "Suppress progress output." in
+  Arg.(value & flag & info [ "quiet"; "q" ] ~doc)
+
+let options ~scale ~quiet =
+  { Pipeline.default_options with slices_scale = scale; progress = not quiet }
+
+let find_bench name =
+  match Sp_workloads.Suite.find name with
+  | spec -> Ok spec
+  | exception Not_found ->
+      Error
+        (Printf.sprintf "unknown benchmark %S; try `specrepro list'" name)
+
+(* ------------------------------------------------------------------ *)
+(* list *)
+
+let list_cmd =
+  let run () =
+    let t =
+      Sp_util.Table.create ~title:"Synthetic SPEC CPU2017 suite"
+        [
+          ("Benchmark", Sp_util.Table.Left);
+          ("Class", Sp_util.Table.Left);
+          ("Sim points (paper)", Sp_util.Table.Right);
+          ("90th-pct (paper)", Sp_util.Table.Right);
+          ("Kernels", Sp_util.Table.Left);
+        ]
+    in
+    List.iter
+      (fun (s : Sp_workloads.Benchspec.t) ->
+        Sp_util.Table.add_row t
+          [
+            s.Sp_workloads.Benchspec.name;
+            Sp_workloads.Benchspec.suite_class_name
+              s.Sp_workloads.Benchspec.suite_class;
+            string_of_int s.Sp_workloads.Benchspec.planted_phases;
+            string_of_int s.Sp_workloads.Benchspec.planted_n90;
+            String.concat ","
+              (List.map
+                 (fun (k : Sp_workloads.Kernel.t) -> k.Sp_workloads.Kernel.name)
+                 s.Sp_workloads.Benchspec.palette);
+          ])
+      Sp_workloads.Suite.all;
+    Sp_util.Table.print t
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List the synthetic SPEC CPU2017 benchmarks.")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* profile *)
+
+let profile_cmd =
+  let run bench scale quiet =
+    match find_bench bench with
+    | Error e -> prerr_endline e; exit 1
+    | Ok spec ->
+        let options = options ~scale ~quiet in
+        let profile = Pipeline.profile_for_sweep ~options spec in
+        let w = profile.Pipeline.sweep_whole_stats in
+        Printf.printf "%s: %.0f instructions, %d slices\n"
+          spec.Sp_workloads.Benchspec.name w.Runstats.insns
+          (Array.length profile.Pipeline.sweep_slices);
+        Printf.printf "instruction mix: %s\n"
+          (Format.asprintf "%a" Sp_pin.Mix.pp w.Runstats.mix);
+        Printf.printf
+          "cache miss rates (Table I hierarchy, capacity-scaled): L1D %.2f%% \
+           L2 %.2f%% L3 %.2f%%\n"
+          (w.Runstats.l1d_miss *. 100.0)
+          (w.Runstats.l2_miss *. 100.0)
+          (w.Runstats.l3_miss *. 100.0);
+        Printf.printf "timing model CPI: %.3f\n" w.Runstats.cpi
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Run one benchmark to completion under the profiling pintools.")
+    Term.(const run $ bench_arg $ scale_arg $ quiet_arg)
+
+(* ------------------------------------------------------------------ *)
+(* simpoints *)
+
+let simpoints_cmd =
+  let out_arg =
+    let doc = "Directory to save Whole and Regional Pinballs into." in
+    Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"DIR" ~doc)
+  in
+  let max_k_arg =
+    let doc = "Maximum number of clusters (the paper uses 35)." in
+    Arg.(value & opt int 35 & info [ "max-k" ] ~docv:"K" ~doc)
+  in
+  let run bench scale quiet max_k out =
+    match find_bench bench with
+    | Error e -> prerr_endline e; exit 1
+    | Ok spec ->
+        let options = options ~scale ~quiet in
+        let options =
+          {
+            options with
+            Pipeline.simpoint_config =
+              { options.Pipeline.simpoint_config with max_k };
+          }
+        in
+        let profile = Pipeline.profile_for_sweep ~options spec in
+        let sel =
+          Sp_simpoint.Simpoints.select ~config:options.Pipeline.simpoint_config
+            ~slice_len:options.Pipeline.slice_insns
+            profile.Pipeline.sweep_slices
+        in
+        Printf.printf "%s: %d simulation points over %d slices\n"
+          spec.Sp_workloads.Benchspec.name sel.Sp_simpoint.Simpoints.chosen_k
+          sel.Sp_simpoint.Simpoints.num_slices;
+        Array.iter
+          (fun p ->
+            Printf.printf "  %s\n"
+              (Format.asprintf "%a" Sp_simpoint.Simpoints.pp_point p))
+          sel.Sp_simpoint.Simpoints.points;
+        (match out with
+        | None -> ()
+        | Some dir ->
+            let saved = ref 1 in
+            ignore
+              (Sp_pinball.Store.save ~dir profile.Pipeline.sweep_whole.Sp_pinball.Logger.pinball);
+            Sp_pinball.Logger.scan_regions profile.Pipeline.sweep_whole
+              sel.Sp_simpoint.Simpoints.points (fun pb ->
+                ignore (Sp_pinball.Store.save ~dir pb);
+                incr saved);
+            Printf.printf "saved %d pinballs under %s\n" !saved dir)
+  in
+  Cmd.v
+    (Cmd.info "simpoints"
+       ~doc:"Select simulation points for a benchmark (optionally saving \
+             pinballs).")
+    Term.(const run $ bench_arg $ scale_arg $ quiet_arg $ max_k_arg $ out_arg)
+
+(* ------------------------------------------------------------------ *)
+(* replay *)
+
+let replay_cmd =
+  let files_arg =
+    let doc = "Pinball files (.pb) to replay." in
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"PINBALL" ~doc)
+  in
+  let run files =
+    List.iter
+      (fun path ->
+        let pb = Sp_pinball.Store.load path in
+        let prog = pb.Sp_pinball.Pinball.program in
+        let mixt = Sp_pin.Ldstmix.create () in
+        let cache =
+          Sp_pin.Allcache_tool.create ~config:Sp_cache.Config.allcache_sim prog
+        in
+        let core =
+          Sp_cpu.Interval_core.create ~config:Sp_cpu.Core_config.i7_3770_sim
+            prog
+        in
+        let r =
+          Sp_pinball.Replayer.replay
+            ~tools:
+              [
+                Sp_pin.Ldstmix.hooks mixt;
+                Sp_pin.Allcache_tool.hooks cache;
+                Sp_cpu.Interval_core.hooks core;
+              ]
+            pb
+        in
+        let stats = Sp_pin.Allcache_tool.stats cache in
+        Printf.printf "%s (%s): %d insns  %s  L3 miss %.2f%%  CPI %.3f\n" path
+          (Sp_pinball.Pinball.describe pb)
+          r.Sp_pinball.Replayer.retired
+          (Format.asprintf "%a" Sp_pin.Mix.pp (Sp_pin.Ldstmix.mix mixt))
+          (stats.Sp_cache.Hierarchy.l3.miss_rate *. 100.0)
+          (Sp_cpu.Interval_core.cpi core))
+      files
+  in
+  Cmd.v
+    (Cmd.info "replay" ~doc:"Replay stored pinballs under the pintools.")
+    Term.(const run $ files_arg)
+
+(* ------------------------------------------------------------------ *)
+(* exec *)
+
+let exec_cmd =
+  let file_arg =
+    let doc = "Program text file (one instruction per line; # comments)." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let fuel_arg =
+    let doc = "Maximum instructions to execute." in
+    Arg.(value & opt int 100_000_000 & info [ "fuel" ] ~docv:"N" ~doc)
+  in
+  let run file fuel =
+    match Sp_vm.Progtext.load file with
+    | Error e -> Printf.eprintf "%s: %s\n" file e; exit 1
+    | Ok prog ->
+        let mixt = Sp_pin.Ldstmix.create () in
+        let cache =
+          Sp_pin.Allcache_tool.create ~config:Sp_cache.Config.allcache_sim prog
+        in
+        let core =
+          Sp_cpu.Interval_core.create ~config:Sp_cpu.Core_config.i7_3770_sim
+            prog
+        in
+        let machine = Sp_vm.Interp.create ~entry:prog.Sp_vm.Program.entry () in
+        let r =
+          Sp_pin.Pin.run
+            ~tools:
+              [
+                Sp_pin.Ldstmix.hooks mixt;
+                Sp_pin.Allcache_tool.hooks cache;
+                Sp_cpu.Interval_core.hooks core;
+              ]
+            ~fuel prog machine
+        in
+        Printf.printf "%s: %s after %d instructions\n" file
+          (match r.Sp_pin.Pin.status with
+          | Sp_vm.Interp.Halted -> "halted"
+          | Sp_vm.Interp.Out_of_fuel -> "out of fuel")
+          r.Sp_pin.Pin.retired;
+        Printf.printf "registers: %s\n"
+          (String.concat " "
+             (List.mapi
+                (fun i v -> Printf.sprintf "r%d=%d" i v)
+                (Array.to_list machine.Sp_vm.Interp.regs)));
+        Printf.printf "mix: %s\n"
+          (Format.asprintf "%a" Sp_pin.Mix.pp (Sp_pin.Ldstmix.mix mixt));
+        let s = Sp_pin.Allcache_tool.stats cache in
+        Printf.printf "caches: L1D %.2f%%  L2 %.2f%%  L3 %.2f%% miss;  CPI %.3f\n"
+          (s.Sp_cache.Hierarchy.l1d.miss_rate *. 100.)
+          (s.Sp_cache.Hierarchy.l2.miss_rate *. 100.)
+          (s.Sp_cache.Hierarchy.l3.miss_rate *. 100.)
+          (Sp_cpu.Interval_core.cpi core)
+  in
+  Cmd.v
+    (Cmd.info "exec"
+       ~doc:"Execute a hand-written program text file under the pintools.")
+    Term.(const run $ file_arg $ fuel_arg)
+
+(* ------------------------------------------------------------------ *)
+(* disasm *)
+
+let disasm_cmd =
+  let run bench =
+    match find_bench bench with
+    | Error e -> prerr_endline e; exit 1
+    | Ok spec ->
+        let built = Sp_workloads.Benchspec.build ~slices_scale:0.01 spec in
+        Format.printf "%a@." Sp_vm.Program.pp_listing
+          built.Sp_workloads.Benchspec.program
+  in
+  Cmd.v
+    (Cmd.info "disasm"
+       ~doc:"Print a benchmark's full disassembly with basic-block              boundaries.")
+    Term.(const run $ bench_arg)
+
+(* ------------------------------------------------------------------ *)
+(* trace *)
+
+let trace_cmd =
+  let out_arg =
+    let doc = "Output trace file." in
+    Arg.(required & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+  in
+  let limit_arg =
+    let doc = "Maximum number of events to record." in
+    Arg.(value & opt int 1_000_000 & info [ "limit"; "n" ] ~docv:"N" ~doc)
+  in
+  let run bench scale quiet out limit =
+    match find_bench bench with
+    | Error e -> prerr_endline e; exit 1
+    | Ok spec ->
+        let options = options ~scale ~quiet in
+        let built =
+          Sp_workloads.Benchspec.build
+            ~slice_insns:options.Pipeline.slice_insns
+            ~slices_scale:options.Pipeline.slices_scale spec
+        in
+        let oc = open_out out in
+        let w = Sp_pin.Trace_io.Writer.create ~limit oc in
+        ignore
+          (Sp_pin.Pin.run_fresh
+             ~tools:[ Sp_pin.Trace_io.Writer.hooks w ]
+             built.Sp_workloads.Benchspec.program);
+        close_out oc;
+        Printf.printf "%s: wrote %d events to %s%s\n"
+          spec.Sp_workloads.Benchspec.name
+          (Sp_pin.Trace_io.Writer.events_written w)
+          out
+          (if Sp_pin.Trace_io.Writer.truncated w then " (truncated)" else "")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Export a benchmark's instrumented event stream as a text trace.")
+    Term.(const run $ bench_arg $ scale_arg $ quiet_arg $ out_arg $ limit_arg)
+
+(* ------------------------------------------------------------------ *)
+(* run *)
+
+let run_cmd =
+  let run bench scale quiet =
+    match find_bench bench with
+    | Error e -> prerr_endline e; exit 1
+    | Ok spec ->
+        let options = options ~scale ~quiet in
+        let r = Pipeline.run_benchmark ~options spec in
+        Printf.printf
+          "%s: %d points (paper %d), %d cover 90%% (paper %d)\n\n"
+          spec.Sp_workloads.Benchspec.name
+          (Array.length r.Pipeline.selection.points)
+          spec.Sp_workloads.Benchspec.planted_phases
+          (Pipeline.reduced_count r) spec.Sp_workloads.Benchspec.planted_n90;
+        let show (s : Runstats.run_stats) =
+          Printf.printf
+            "%-22s %12.0f insns  %s\n%-22s L1D %5.2f%%  L2 %5.2f%%  L3 %6.2f%%  CPI %.3f\n"
+            s.Runstats.label s.Runstats.insns
+            (Format.asprintf "%a" Sp_pin.Mix.pp s.Runstats.mix)
+            ""
+            (s.Runstats.l1d_miss *. 100.0)
+            (s.Runstats.l2_miss *. 100.0)
+            (s.Runstats.l3_miss *. 100.0)
+            s.Runstats.cpi
+        in
+        show r.Pipeline.whole;
+        show (Pipeline.regional r);
+        show (Pipeline.reduced r);
+        show (Pipeline.warmup_regional r);
+        Printf.printf "\nnative (perf) CPI: %.3f\n"
+          (Sp_perf.Perf_counters.cpi r.Pipeline.native)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run the full pipeline for one benchmark.")
+    Term.(const run $ bench_arg $ scale_arg $ quiet_arg)
+
+(* ------------------------------------------------------------------ *)
+(* suite *)
+
+let suite_cmd =
+  let extended_arg =
+    let doc = "Also run the 14 extended (non-Table II) workloads." in
+    Arg.(value & flag & info [ "extended" ] ~doc)
+  in
+  let run scale quiet extended =
+    let options = options ~scale ~quiet in
+    let specs =
+      if extended then Sp_workloads.Suite.full else Sp_workloads.Suite.all
+    in
+    let results = Pipeline.run_suite ~options ~specs () in
+    Sp_util.Table.print (Experiments.table2 results);
+    let t =
+      Sp_util.Table.create ~title:"Headline claims"
+        [
+          ("Metric", Sp_util.Table.Left);
+          ("Paper", Sp_util.Table.Right);
+          ("Measured", Sp_util.Table.Right);
+        ]
+    in
+    List.iter
+      (fun (h : Experiments.headline) ->
+        Sp_util.Table.add_row t [ h.metric; h.paper; h.measured ])
+      (Experiments.headlines results);
+    Sp_util.Table.print t
+  in
+  Cmd.v
+    (Cmd.info "suite"
+       ~doc:"Run the pipeline over all 29 benchmarks and print Table II plus \
+             the headline comparisons.")
+    Term.(const run $ scale_arg $ quiet_arg $ extended_arg)
+
+(* ------------------------------------------------------------------ *)
+(* experiment *)
+
+let experiment_cmd =
+  let name_arg =
+    let doc = "Experiment: table1, table3, fig3a, fig3b, ablation-bic, \
+               ablation-proj, ablation-prefetch, sampling, statcache, models, rate \
+               (suite-wide figures live in bench/main.exe)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc)
+  in
+  let run name scale quiet =
+    let options = options ~scale ~quiet in
+    match name with
+    | "table1" -> Sp_util.Table.print (Experiments.table1 ())
+    | "table3" -> print_endline (Experiments.table3 ())
+    | "fig3a" -> Sp_util.Table.print (Experiments.fig3a ~options ())
+    | "fig3b" -> Sp_util.Table.print (Experiments.fig3b ~options ())
+    | "ablation-bic" -> Sp_util.Table.print (Experiments.ablation_bic ~options ())
+    | "ablation-proj" ->
+        Sp_util.Table.print (Experiments.ablation_projection ~options ())
+    | "ablation-prefetch" ->
+        Sp_util.Table.print (Experiments.ablation_prefetch ~options ())
+    | "sampling" -> Sp_util.Table.print (Experiments.sampling ~options ())
+    | "statcache" -> Sp_util.Table.print (Experiments.statcache ~options ())
+    | "models" -> Sp_util.Table.print (Experiments.models ~options ())
+    | "rate" -> Sp_util.Table.print (Experiments.rate ~options ())
+    | other ->
+        Printf.eprintf
+          "unknown experiment %S (suite-wide figures: use bench/main.exe)\n"
+          other;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate a single-benchmark experiment.")
+    Term.(const run $ name_arg $ scale_arg $ quiet_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc =
+    "reproduction of 'Efficacy of Statistical Sampling on Contemporary \
+     Workloads: The Case of SPEC CPU2017' (IISWC 2019)"
+  in
+  let info = Cmd.info "specrepro" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            list_cmd;
+            profile_cmd;
+            simpoints_cmd;
+            replay_cmd;
+            trace_cmd;
+            disasm_cmd;
+            exec_cmd;
+            run_cmd;
+            suite_cmd;
+            experiment_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/cpi_validation.ml: Array Format List Pipeline Printf Runstats Sp_perf Sp_util Sp_workloads Specrepro Sys

@@ -1,0 +1,1 @@
+examples/cpi_validation.mli:

@@ -1,0 +1,1 @@
+examples/custom_workload.ml: Array Benchspec Format Kernel List Pipeline Printf Runstats Sp_pin Sp_workloads Specrepro

@@ -1,0 +1,1 @@
+examples/design_space_exploration.ml: Array List Option Pipeline Printf Runstats Sp_cache Sp_workloads Specrepro String Sys

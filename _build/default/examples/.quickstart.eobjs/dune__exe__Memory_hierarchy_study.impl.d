@@ -1,0 +1,1 @@
+examples/memory_hierarchy_study.ml: Array List Pipeline Printf Runstats Sp_cache Sp_workloads Specrepro Sys

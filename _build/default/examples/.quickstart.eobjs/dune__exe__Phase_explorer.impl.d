@@ -1,0 +1,1 @@
+examples/phase_explorer.ml: Array Bbv_tool Hashtbl Option Pin Printf Simpoints Sp_pin Sp_simpoint Sp_workloads String Sys

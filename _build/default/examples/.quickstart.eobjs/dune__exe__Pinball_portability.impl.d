@@ -1,0 +1,1 @@
+examples/pinball_portability.ml: Array Filename Format List Logger Pinball Pipeline Printf Replayer Sp_pin Sp_pinball Sp_simpoint Sp_workloads Specrepro Store Sys Unix

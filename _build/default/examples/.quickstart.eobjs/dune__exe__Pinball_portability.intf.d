@@ -1,0 +1,1 @@
+examples/pinball_portability.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Pipeline Printf Runstats Sp_pin Sp_simpoint Sp_workloads Specrepro Sys

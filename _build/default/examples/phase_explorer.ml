@@ -1,0 +1,83 @@
+(* Phase explorer: visualise a workload's phase behaviour the way
+   Figures 1 and 6 of the paper do — a timeline of which cluster each
+   slice belongs to, and the weight distribution of the chosen
+   simulation points.
+
+     dune exec examples/phase_explorer.exe -- [benchmark] [scale] *)
+
+open Sp_pin
+open Sp_simpoint
+
+let glyph_of_cluster c =
+  let glyphs = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghij" in
+  if c < String.length glyphs then glyphs.[c] else '#'
+
+let () =
+  let bench = if Array.length Sys.argv > 1 then Sys.argv.(1) else "623.xalancbmk_s" in
+  let scale =
+    if Array.length Sys.argv > 2 then float_of_string Sys.argv.(2) else 0.25
+  in
+  let spec = Sp_workloads.Suite.find bench in
+  let built = Sp_workloads.Benchspec.build ~slices_scale:scale spec in
+  let prog = built.Sp_workloads.Benchspec.program in
+
+  (* collect BBVs over the whole execution *)
+  let bbv =
+    Bbv_tool.create ~slice_len:built.Sp_workloads.Benchspec.slice_insns prog
+  in
+  let run = Pin.run_fresh ~tools:[ Bbv_tool.hooks bbv ] prog in
+  Bbv_tool.finish bbv;
+  let slices = Bbv_tool.slices bbv in
+  Printf.printf "%s: %d instructions, %d slices\n" spec.Sp_workloads.Benchspec.name
+    run.Pin.retired (Array.length slices);
+
+  (* cluster and show the phase timeline *)
+  let sel =
+    Simpoints.select ~slice_len:built.Sp_workloads.Benchspec.slice_insns slices
+  in
+  Printf.printf "SimPoint found %d phases\n\n" sel.Simpoints.chosen_k;
+  let n = Array.length sel.Simpoints.assignment in
+  let width = 100 in
+  let per_char = max 1 (n / width) in
+  Printf.printf "Phase timeline (each column = %d slices):\n  " per_char;
+  let i = ref 0 in
+  while !i < n do
+    (* majority cluster in this column *)
+    let counts = Hashtbl.create 8 in
+    for j = !i to min (n - 1) (!i + per_char - 1) do
+      let c = sel.Simpoints.assignment.(j) in
+      Hashtbl.replace counts c
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts c))
+    done;
+    let best, _ =
+      Hashtbl.fold (fun c k (bc, bk) -> if k > bk then (c, k) else (bc, bk))
+        counts (0, 0)
+    in
+    print_char (glyph_of_cluster best);
+    i := !i + per_char
+  done;
+  print_newline ();
+
+  (* weight stack, Figure 6 style *)
+  Printf.printf "\nSimulation-point weights (the paper's Figure 6 bar):\n";
+  let points = Array.copy sel.Simpoints.points in
+  Array.sort (fun (a : Simpoints.point) b -> compare b.weight a.weight) points;
+  let cum = ref 0.0 in
+  let cut_printed = ref false in
+  Array.iter
+    (fun (p : Simpoints.point) ->
+      if (not !cut_printed) && !cum >= 0.9 then begin
+        Printf.printf "  ---- 90th percentile ----\n";
+        cut_printed := true
+      end;
+      cum := !cum +. p.weight;
+      let bar = String.make (max 1 (int_of_float (p.weight *. 120.0))) '#' in
+      Printf.printf "  %c %5.2f%% %s\n"
+        (glyph_of_cluster p.cluster)
+        (p.weight *. 100.0) bar)
+    points;
+  Printf.printf
+    "\n%d of %d points cover 90%% of execution (paper reports %d of %d).\n"
+    (Array.length (Simpoints.reduce sel ~coverage:0.9))
+    (Array.length points) spec.Sp_workloads.Benchspec.planted_n90
+    spec.Sp_workloads.Benchspec.planted_phases

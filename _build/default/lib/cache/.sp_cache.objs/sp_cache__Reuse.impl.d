@@ -1,0 +1,1 @@
+lib/cache/reuse.ml: Array Hashtbl List Sp_vm

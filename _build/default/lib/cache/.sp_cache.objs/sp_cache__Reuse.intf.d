@@ -1,0 +1,1 @@
+lib/cache/reuse.mli: Sp_vm

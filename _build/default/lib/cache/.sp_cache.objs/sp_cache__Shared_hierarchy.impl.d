@@ -1,0 +1,1 @@
+lib/cache/shared_hierarchy.ml: Array Cache Config Hierarchy

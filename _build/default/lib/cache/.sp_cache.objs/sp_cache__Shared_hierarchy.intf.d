@@ -1,0 +1,1 @@
+lib/cache/shared_hierarchy.mli: Config Hierarchy

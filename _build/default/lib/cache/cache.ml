@@ -1,0 +1,131 @@
+type policy = Lru | Fifo | Random
+
+(* Tags are line addresses shifted right by the set bits: far below bit
+   60, so the dirty flag rides in a high bit and moves with its tag. *)
+let dirty_bit = 1 lsl 60
+let tag_mask = dirty_bit - 1
+
+type t = {
+  cfg : Config.level;
+  pol : policy;
+  line_shift : int;
+  set_mask : int;
+  set_shift : int;
+  assoc : int;
+  tags : int array;  (* sets * assoc; recency/insertion-ordered, slot 0 = MRU *)
+  rng : Sp_util.Rng.t;
+  mutable accesses : int;
+  mutable misses : int;
+  mutable writebacks : int;
+}
+
+let log2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let create ?(policy = Lru) ?(seed = 0x5CA1AB1E) cfg =
+  let sets = Config.num_sets cfg in
+  {
+    cfg;
+    pol = policy;
+    line_shift = log2 cfg.Config.line_bytes;
+    set_mask = sets - 1;
+    set_shift = log2 sets;
+    assoc = cfg.Config.assoc;
+    tags = Array.make (sets * cfg.Config.assoc) (-1);
+    rng = Sp_util.Rng.create (seed lxor Sp_util.Rng.hash_string cfg.Config.name);
+    accesses = 0;
+    misses = 0;
+    writebacks = 0;
+  }
+
+let config t = t.cfg
+let policy t = t.pol
+
+(* Look up [addr]'s line and update replacement state; returns hit. *)
+let touch t ~write addr =
+  let line = addr lsr t.line_shift in
+  let set = line land t.set_mask in
+  let tag = line lsr t.set_shift in
+  let base = set * t.assoc in
+  let tags = t.tags in
+  let rec find w =
+    if w >= t.assoc then -1
+    else if Array.unsafe_get tags (base + w) land tag_mask = tag
+            && Array.unsafe_get tags (base + w) >= 0
+    then w
+    else find (w + 1)
+  in
+  let w = find 0 in
+  if w >= 0 then begin
+    (* hit: LRU rotates the entry to slot 0; FIFO/Random leave order *)
+    let entry = tags.(base + w) lor (if write then dirty_bit else 0) in
+    (match t.pol with
+    | Lru ->
+        for i = w downto 1 do
+          Array.unsafe_set tags (base + i) (Array.unsafe_get tags (base + i - 1))
+        done;
+        Array.unsafe_set tags base entry
+    | Fifo | Random -> tags.(base + w) <- entry);
+    true
+  end
+  else begin
+    let entry = tag lor (if write then dirty_bit else 0) in
+    let evict victim =
+      let old = tags.(base + victim) in
+      if old >= 0 && old land dirty_bit <> 0 then
+        t.writebacks <- t.writebacks + 1
+    in
+    (match t.pol with
+    | Lru | Fifo ->
+        evict (t.assoc - 1);
+        for i = t.assoc - 1 downto 1 do
+          Array.unsafe_set tags (base + i) (Array.unsafe_get tags (base + i - 1))
+        done;
+        Array.unsafe_set tags base entry
+    | Random ->
+        (* fill an invalid way first, else evict a random victim *)
+        let rec invalid w =
+          if w >= t.assoc then -1
+          else if tags.(base + w) < 0 then w
+          else invalid (w + 1)
+        in
+        let victim =
+          match invalid 0 with
+          | -1 -> Sp_util.Rng.int t.rng t.assoc
+          | w -> w
+        in
+        evict victim;
+        tags.(base + victim) <- entry);
+    false
+  end
+
+let access_rw t ~write addr =
+  let hit = touch t ~write addr in
+  t.accesses <- t.accesses + 1;
+  if not hit then t.misses <- t.misses + 1;
+  hit
+
+let access t addr = access_rw t ~write:false addr
+
+let warm t addr = touch t ~write:false addr
+
+let accesses t = t.accesses
+let misses t = t.misses
+let hits t = t.accesses - t.misses
+let writebacks t = t.writebacks
+
+let miss_rate t =
+  if t.accesses = 0 then 0.0 else float_of_int t.misses /. float_of_int t.accesses
+
+let reset_stats t =
+  t.accesses <- 0;
+  t.misses <- 0;
+  t.writebacks <- 0
+
+let reset_state t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  reset_stats t
+
+let resident_lines t =
+  Array.fold_left (fun acc tag -> if tag >= 0 then acc + 1 else acc) 0 t.tags

@@ -1,0 +1,71 @@
+type level = { name : string; size_bytes : int; assoc : int; line_bytes : int }
+
+type hierarchy = { l1i : level; l1d : level; l2 : level; l3 : level }
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let level ~name ~size_kb ~assoc ~line_bytes =
+  let size_bytes = size_kb * 1024 in
+  if not (is_pow2 size_bytes) then
+    invalid_arg (name ^ ": size must be a power of two");
+  if not (is_pow2 line_bytes) then
+    invalid_arg (name ^ ": line size must be a power of two");
+  if assoc < 1 then invalid_arg (name ^ ": assoc must be >= 1");
+  let lines = size_bytes / line_bytes in
+  if lines mod assoc <> 0 then
+    invalid_arg (name ^ ": lines not divisible by associativity");
+  if not (is_pow2 (lines / assoc)) then
+    invalid_arg (name ^ ": set count must be a power of two");
+  { name; size_bytes; assoc; line_bytes }
+
+let num_lines l = l.size_bytes / l.line_bytes
+
+let num_sets l = num_lines l / l.assoc
+
+(* Table I of the paper. *)
+let allcache_table1 =
+  {
+    l1i = level ~name:"L1I" ~size_kb:32 ~assoc:32 ~line_bytes:32;
+    l1d = level ~name:"L1D" ~size_kb:32 ~assoc:32 ~line_bytes:32;
+    l2 = level ~name:"L2" ~size_kb:2048 ~assoc:1 ~line_bytes:32;
+    l3 = level ~name:"L3" ~size_kb:16384 ~assoc:1 ~line_bytes:32;
+  }
+
+(* Cache side of Table III (Intel i7-3770 as modelled in Sniper). *)
+let i7_3770 =
+  {
+    l1i = level ~name:"L1I" ~size_kb:32 ~assoc:8 ~line_bytes:64;
+    l1d = level ~name:"L1D" ~size_kb:32 ~assoc:8 ~line_bytes:64;
+    l2 = level ~name:"L2" ~size_kb:256 ~assoc:8 ~line_bytes:64;
+    l3 = level ~name:"L3" ~size_kb:8192 ~assoc:16 ~line_bytes:64;
+  }
+
+let pp_level ppf l =
+  let assoc =
+    if l.assoc = 1 then "direct-mapped" else Printf.sprintf "%d-way" l.assoc
+  in
+  Format.fprintf ppf "%s: %s, %dkB, %dB linesize" l.name assoc
+    (l.size_bytes / 1024) l.line_bytes
+
+let pp_hierarchy ppf h =
+  Format.fprintf ppf "%a@.%a@.%a@.%a" pp_level h.l1i pp_level h.l1d pp_level
+    h.l2 pp_level h.l3
+
+let sim_scale = 32
+
+let scaled_level (l : level) =
+  let size_bytes = max (l.line_bytes * 2) (l.size_bytes / sim_scale) in
+  let lines = size_bytes / l.line_bytes in
+  { l with size_bytes; assoc = min l.assoc lines }
+
+let scaled h =
+  {
+    l1i = scaled_level h.l1i;
+    l1d = scaled_level h.l1d;
+    l2 = scaled_level h.l2;
+    l3 = scaled_level h.l3;
+  }
+
+let allcache_sim = scaled allcache_table1
+
+let i7_3770_sim = scaled i7_3770

@@ -1,0 +1,51 @@
+(** Cache-hierarchy configurations, including the paper's Table I
+    ([allcache] pintool) and Table III (Sniper / i7-3770) hierarchies. *)
+
+type level = {
+  name : string;
+  size_bytes : int;
+  assoc : int;        (** 1 = direct-mapped *)
+  line_bytes : int;
+}
+
+type hierarchy = { l1i : level; l1d : level; l2 : level; l3 : level }
+
+val level : name:string -> size_kb:int -> assoc:int -> line_bytes:int -> level
+(** Constructor with validation: sizes must be powers of two and evenly
+    divisible into sets.
+    @raise Invalid_argument on inconsistent geometry. *)
+
+val num_sets : level -> int
+val num_lines : level -> int
+
+val allcache_table1 : hierarchy
+(** Table I: L1I/L1D 32-way 32 kB 32 B lines; L2 2 MB direct-mapped;
+    L3 16 MB direct-mapped; 32 B lines throughout. *)
+
+val i7_3770 : hierarchy
+(** Table III cache side: L1I/L1D 32 kB 8-way; L2 256 kB 8-way;
+    L3 8 MB 16-way; 64 B lines. *)
+
+val sim_scale : int
+(** Capacity scale factor for simulated hierarchies (32).
+
+    The project simulates instruction streams scaled down from the
+    paper's (a 30 M-instruction slice maps to 1,200 simulated
+    instructions), so cache capacities must shrink by a comparable
+    factor to preserve the ratios that drive every cache result: lines
+    touched per slice vs cache size, and working-set size vs cache
+    size.  Experiment tables print the nominal (paper) configurations;
+    simulations run the scaled ones. *)
+
+val scaled : hierarchy -> hierarchy
+(** Divide every level's capacity by {!sim_scale}, clamping
+    associativity to the resulting line count. *)
+
+val allcache_sim : hierarchy
+(** [scaled allcache_table1] — what the pipeline actually simulates. *)
+
+val i7_3770_sim : hierarchy
+(** [scaled i7_3770]. *)
+
+val pp_level : Format.formatter -> level -> unit
+val pp_hierarchy : Format.formatter -> hierarchy -> unit

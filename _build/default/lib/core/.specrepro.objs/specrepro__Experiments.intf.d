@@ -1,0 +1,1 @@
+lib/core/experiments.mli: Pipeline Sp_util Sp_workloads Table

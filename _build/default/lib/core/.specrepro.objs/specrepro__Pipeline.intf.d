@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Runstats Sp_cache Sp_cpu Sp_perf Sp_pin Sp_pinball Sp_simpoint Sp_workloads

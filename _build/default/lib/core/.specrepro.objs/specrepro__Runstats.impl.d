@@ -1,0 +1,1 @@
+lib/core/runstats.ml: List Sp_cache Sp_pin Sp_util

@@ -1,0 +1,1 @@
+lib/core/runstats.mli: Sp_cache Sp_pin

@@ -1,0 +1,344 @@
+open Sp_workloads
+open Sp_pin
+open Sp_pinball
+
+type options = {
+  slice_insns : int;
+  slices_scale : float;
+  warmup_insns : int;
+  coverage : float;
+  simpoint_config : Sp_simpoint.Simpoints.config;
+  cache_config : Sp_cache.Config.hierarchy;
+  next_line_prefetch : bool;
+  core_config : Sp_cpu.Core_config.t;
+  variance_ks : int list;
+  collect_variance : bool;
+  progress : bool;
+}
+
+let default_options =
+  {
+    slice_insns = Benchspec.default_slice_insns;
+    slices_scale = 1.0;
+    (* The paper warms for 500 M cycles before each point.  What makes
+       that effective is its size relative to the LLC: hundreds of
+       accesses per L3 line.  Since simulated caches are capacity-scaled
+       by 32 while instruction counts are scaled much further, the
+       window is sized against the scaled L3 (~10 accesses per line at
+       the suite's ~0.3 accesses/instruction) rather than by naive
+       instruction-count scaling, which would warm almost nothing. *)
+    warmup_insns = 150_000;
+    coverage = 0.9;
+    simpoint_config = Sp_simpoint.Simpoints.default_config;
+    cache_config = Sp_cache.Config.allcache_sim;
+    next_line_prefetch = false;
+    core_config = Sp_cpu.Core_config.i7_3770_sim;
+    variance_ks = [ 5; 10; 15; 20; 25; 30; 35 ];
+    collect_variance = true;
+    progress = true;
+  }
+
+type selection_summary = {
+  chosen_k : int;
+  num_slices : int;
+  points : Sp_simpoint.Simpoints.point array;
+  bic_curve : (int * float) list;
+}
+
+type bench_result = {
+  spec : Benchspec.t;
+  built : Benchspec.built;
+  options : options;
+  whole_insns : int;
+  selection : selection_summary;
+  whole : Runstats.run_stats;
+  whole_core : Sp_cpu.Interval_core.stats;
+  point_stats : Runstats.point_stats list;
+  warm_point_stats : Runstats.point_stats list;
+  native : Sp_perf.Perf_counters.sample;
+  variance : Sp_simpoint.Variance.sweep_point list;
+  wall_seconds : float;
+}
+
+let progressf options fmt =
+  if options.progress then Printf.eprintf fmt
+  else Printf.ifprintf stderr fmt
+
+(* Replay one regional pinball under fresh (cold) pintools and collect
+   its statistics — the paper's Regional-Run methodology, where every
+   pinball is an independent job. *)
+let replay_point options (pb : Pinball.t) =
+  let prog = pb.Pinball.program in
+  let mixt = Ldstmix.create () in
+  let cache =
+    Allcache_tool.create ~config:options.cache_config
+      ~prefetch:options.next_line_prefetch prog
+  in
+  let core = Sp_cpu.Interval_core.create ~config:options.core_config prog in
+  let result =
+    Replayer.replay
+      ~tools:
+        [
+          Ldstmix.hooks mixt;
+          Allcache_tool.hooks cache;
+          Sp_cpu.Interval_core.hooks core;
+        ]
+      pb
+  in
+  let cluster, weight =
+    match pb.Pinball.kind with
+    | Pinball.Region r -> (r.cluster, r.weight)
+    | Pinball.Whole -> (-1, 1.0)
+  in
+  {
+    Runstats.cluster;
+    weight;
+    insns = result.Replayer.retired;
+    mix = Ldstmix.mix mixt;
+    cache = Allcache_tool.stats cache;
+    cpi = Sp_cpu.Interval_core.cpi core;
+  }
+
+let replay_points options (whole : Logger.whole) points =
+  let acc = ref [] in
+  Logger.scan_regions whole points (fun pb ->
+      acc := replay_point options pb :: !acc);
+  List.rev !acc
+
+let warm_replay_points options ~warmup_insns (whole : Logger.whole) points =
+  let prog = whole.Logger.pinball.Pinball.program in
+  let warm_cache =
+    Allcache_tool.create ~config:options.cache_config
+      ~prefetch:options.next_line_prefetch prog
+  in
+  let warm_core =
+    Sp_cpu.Interval_core.create ~config:options.core_config prog
+  in
+  let warm_hooks =
+    [ Allcache_tool.hooks warm_cache; Sp_cpu.Interval_core.hooks warm_core ]
+  in
+  let acc = ref [] in
+  let warmup =
+    {
+      Logger.length = warmup_insns;
+      hooks = Sp_vm.Hooks.seq_all warm_hooks;
+      on_start =
+        (fun () ->
+          Allcache_tool.reset_state warm_cache;
+          Sp_cpu.Interval_core.reset_state warm_core;
+          Allcache_tool.set_warming warm_cache true;
+          Sp_cpu.Interval_core.set_warming warm_core true);
+    }
+  in
+  Logger.scan_regions ~warmup whole points (fun pb ->
+      Allcache_tool.set_warming warm_cache false;
+      Sp_cpu.Interval_core.set_warming warm_core false;
+      (* a zero-length window skips on_start: reset here instead *)
+      if warmup_insns = 0 then begin
+        Allcache_tool.reset_state warm_cache;
+        Sp_cpu.Interval_core.reset_state warm_core
+      end;
+      let mixt = Ldstmix.create () in
+      let result =
+        Replayer.replay ~tools:(Ldstmix.hooks mixt :: warm_hooks) pb
+      in
+      let cluster, weight =
+        match pb.Pinball.kind with
+        | Pinball.Region r -> (r.cluster, r.weight)
+        | Pinball.Whole -> (-1, 1.0)
+      in
+      acc :=
+        {
+          Runstats.cluster;
+          weight;
+          insns = result.Replayer.retired;
+          mix = Ldstmix.mix mixt;
+          cache = Allcache_tool.stats warm_cache;
+          cpi = Sp_cpu.Interval_core.cpi warm_core;
+        }
+        :: !acc);
+  List.rev !acc
+
+let run_benchmark ?(options = default_options) spec =
+  let t0 = Unix.gettimeofday () in
+  let built =
+    Benchspec.build ~slice_insns:options.slice_insns
+      ~slices_scale:options.slices_scale spec
+  in
+  let prog = built.Benchspec.program in
+  progressf options "[%s] logging whole pinball (%d planted phases)...\n%!"
+    spec.Benchspec.name spec.Benchspec.planted_phases;
+  (* one instrumented pass: logger + BBVs + ldstmix + allcache + timing *)
+  let bbv = Bbv_tool.create ~slice_len:options.slice_insns prog in
+  let mixt = Ldstmix.create () in
+  let cache =
+    Allcache_tool.create ~config:options.cache_config
+      ~prefetch:options.next_line_prefetch prog
+  in
+  let core = Sp_cpu.Interval_core.create ~config:options.core_config prog in
+  let whole =
+    Logger.log_whole ~benchmark:spec.Benchspec.name
+      ~extra_tools:
+        [
+          Bbv_tool.hooks bbv;
+          Ldstmix.hooks mixt;
+          Allcache_tool.hooks cache;
+          Sp_cpu.Interval_core.hooks core;
+        ]
+      prog
+  in
+  Bbv_tool.finish bbv;
+  let slices = Bbv_tool.slices bbv in
+  progressf options "[%s] %d instructions, %d slices; selecting points...\n%!"
+    spec.Benchspec.name whole.Logger.total_insns (Array.length slices);
+  let sel =
+    Sp_simpoint.Simpoints.select ~config:options.simpoint_config
+      ~slice_len:options.slice_insns slices
+  in
+  let variance =
+    if options.collect_variance then
+      Sp_simpoint.Variance.sweep ~config:options.simpoint_config
+        ~ks:options.variance_ks slices
+    else []
+  in
+  let whole_stats =
+    Runstats.of_whole ~label:"Whole" ~insns:whole.Logger.total_insns
+      ~mix:(Ldstmix.mix mixt) ~cache:(Allcache_tool.stats cache)
+      ~cpi:(Sp_cpu.Interval_core.cpi core)
+  in
+  let native =
+    Sp_perf.Native.sample_of_stats ~name:spec.Benchspec.name
+      (Sp_cpu.Interval_core.stats core)
+  in
+  progressf options "[%s] %d simulation points; replaying regions...\n%!"
+    spec.Benchspec.name
+    (Array.length sel.Sp_simpoint.Simpoints.points);
+  (* cold regional replays (Regional / Reduced Regional) *)
+  let cold = replay_points options whole sel.Sp_simpoint.Simpoints.points in
+  (* warmed regional replays: Section IV-D's mitigation *)
+  let warm =
+    warm_replay_points options ~warmup_insns:options.warmup_insns whole
+      sel.Sp_simpoint.Simpoints.points
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  progressf options "[%s] done in %.1fs\n%!" spec.Benchspec.name wall;
+  {
+    spec;
+    built;
+    options;
+    whole_insns = whole.Logger.total_insns;
+    selection =
+      {
+        chosen_k = sel.Sp_simpoint.Simpoints.chosen_k;
+        num_slices = sel.Sp_simpoint.Simpoints.num_slices;
+        points = sel.Sp_simpoint.Simpoints.points;
+        bic_curve = sel.Sp_simpoint.Simpoints.bic_curve;
+      };
+    whole = whole_stats;
+    whole_core = Sp_cpu.Interval_core.stats core;
+    point_stats = cold;
+    warm_point_stats = warm;
+    native;
+    variance;
+    wall_seconds = wall;
+  }
+
+let run_suite ?(options = default_options) ?(specs = Suite.all) () =
+  List.map (fun spec -> run_benchmark ~options spec) specs
+
+let regional r = Runstats.of_points ~label:"Regional" r.point_stats
+
+let reduced_point_stats ~coverage r =
+  let sorted =
+    List.sort
+      (fun (a : Runstats.point_stats) b -> compare b.weight a.weight)
+      r.point_stats
+  in
+  let acc = ref 0.0 in
+  List.filter
+    (fun (p : Runstats.point_stats) ->
+      if !acc >= coverage then false
+      else begin
+        acc := !acc +. p.weight;
+        true
+      end)
+    sorted
+
+let reduced ?coverage r =
+  let coverage = Option.value ~default:r.options.coverage coverage in
+  Runstats.of_points ~label:"Reduced Regional"
+    (reduced_point_stats ~coverage r)
+
+let reduced_count ?coverage r =
+  let coverage = Option.value ~default:r.options.coverage coverage in
+  List.length (reduced_point_stats ~coverage r)
+
+let warmup_regional r =
+  Runstats.of_points ~label:"Warmup Regional" r.warm_point_stats
+
+let reduced_warm ?coverage r =
+  let coverage = Option.value ~default:r.options.coverage coverage in
+  let sorted =
+    List.sort
+      (fun (a : Runstats.point_stats) b -> compare b.weight a.weight)
+      r.warm_point_stats
+  in
+  let acc = ref 0.0 in
+  let keep =
+    List.filter
+      (fun (p : Runstats.point_stats) ->
+        if !acc >= coverage then false
+        else begin
+          acc := !acc +. p.weight;
+          true
+        end)
+      sorted
+  in
+  Runstats.of_points ~label:"Reduced Warmup Regional" keep
+
+let paper_insns _r (stats : Runstats.run_stats) =
+  Sp_util.Scale.paper_insns_of_sim (int_of_float stats.Runstats.insns)
+
+type sweep_profile = {
+  sweep_built : Benchspec.built;
+  sweep_whole : Logger.whole;
+  sweep_slices : Bbv_tool.slice array;
+  sweep_whole_stats : Runstats.run_stats;
+}
+
+let profile_for_sweep ?(options = default_options) ?slice_insns spec =
+  let slice_insns = Option.value ~default:options.slice_insns slice_insns in
+  let built =
+    Benchspec.build ~slice_insns:options.slice_insns
+      ~slices_scale:options.slices_scale spec
+  in
+  let prog = built.Benchspec.program in
+  let bbv = Bbv_tool.create ~slice_len:slice_insns prog in
+  let mixt = Ldstmix.create () in
+  let cache =
+    Allcache_tool.create ~config:options.cache_config
+      ~prefetch:options.next_line_prefetch prog
+  in
+  let core = Sp_cpu.Interval_core.create ~config:options.core_config prog in
+  let whole =
+    Logger.log_whole ~benchmark:spec.Benchspec.name
+      ~extra_tools:
+        [
+          Bbv_tool.hooks bbv;
+          Ldstmix.hooks mixt;
+          Allcache_tool.hooks cache;
+          Sp_cpu.Interval_core.hooks core;
+        ]
+      prog
+  in
+  Bbv_tool.finish bbv;
+  {
+    sweep_built = built;
+    sweep_whole = whole;
+    sweep_slices = Bbv_tool.slices bbv;
+    sweep_whole_stats =
+      Runstats.of_whole ~label:"Full Run" ~insns:whole.Logger.total_insns
+        ~mix:(Ldstmix.mix mixt)
+        ~cache:(Allcache_tool.stats cache)
+        ~cpi:(Sp_cpu.Interval_core.cpi core);
+  }

@@ -1,0 +1,114 @@
+(** The paper's experimental pipeline (Figure 2), end to end:
+
+    compile (build the synthetic benchmark) -> log a Whole Pinball while
+    profiling (BBVs, instruction mix, [allcache], the Sniper-model
+    timing and the native-hardware counters all piggyback on the single
+    logging pass) -> select simulation points -> capture Regional
+    Pinballs -> replay them cold (Regional / Reduced Regional) and with
+    cache warming (Warmup Regional).
+
+    [run_benchmark] does all of the above for one workload and returns
+    every statistic the evaluation section consumes; [run_suite] maps it
+    over the suite. *)
+
+type options = {
+  slice_insns : int;        (** slice length (default: 30 paper-Minsn) *)
+  slices_scale : float;     (** scales whole-run length; tests use < 1 *)
+  warmup_insns : int;       (** warmup window per point (500 paper-M) *)
+  coverage : float;         (** percentile for Reduced runs (0.9) *)
+  simpoint_config : Sp_simpoint.Simpoints.config;
+  cache_config : Sp_cache.Config.hierarchy;  (** Table I *)
+  next_line_prefetch : bool;
+      (** enable the allcache next-line prefetcher (ablation) *)
+  core_config : Sp_cpu.Core_config.t;        (** Table III *)
+  variance_ks : int list;   (** cluster counts for the Figure 4 sweep *)
+  collect_variance : bool;
+  progress : bool;          (** progress lines on stderr *)
+}
+
+val default_options : options
+
+(** What simulation-point selection found (the clustering metadata,
+    minus the bulky per-slice vectors). *)
+type selection_summary = {
+  chosen_k : int;
+  num_slices : int;
+  points : Sp_simpoint.Simpoints.point array;
+  bic_curve : (int * float) list;
+}
+
+type bench_result = {
+  spec : Sp_workloads.Benchspec.t;
+  built : Sp_workloads.Benchspec.built;
+  options : options;
+  whole_insns : int;
+  selection : selection_summary;
+  whole : Runstats.run_stats;
+  whole_core : Sp_cpu.Interval_core.stats;
+      (** timing breakdown of the whole run (CPI-stack reporting) *)
+  point_stats : Runstats.point_stats list;       (** cold Regional replays *)
+  warm_point_stats : Runstats.point_stats list;  (** Warmup Regional *)
+  native : Sp_perf.Perf_counters.sample;
+  variance : Sp_simpoint.Variance.sweep_point list;
+  wall_seconds : float;  (** real host time spent on this benchmark *)
+}
+
+val run_benchmark :
+  ?options:options -> Sp_workloads.Benchspec.t -> bench_result
+
+val run_suite :
+  ?options:options -> ?specs:Sp_workloads.Benchspec.t list -> unit ->
+  bench_result list
+(** Defaults to the full 29-benchmark suite. *)
+
+(** {1 Aggregations over a result} *)
+
+val regional : bench_result -> Runstats.run_stats
+
+val reduced : ?coverage:float -> bench_result -> Runstats.run_stats
+(** The Reduced Regional Run: highest-weight points covering
+    [coverage] of execution (default: the result's option, 0.9). *)
+
+val reduced_count : ?coverage:float -> bench_result -> int
+
+val warmup_regional : bench_result -> Runstats.run_stats
+
+val reduced_warm : ?coverage:float -> bench_result -> Runstats.run_stats
+(** Reduced Regional aggregation over the *warmed* replays — the
+    methodology Sniper's PinPoints flow uses for timing runs. *)
+
+val reduced_point_stats :
+  coverage:float -> bench_result -> Runstats.point_stats list
+
+val paper_insns : bench_result -> Runstats.run_stats -> float
+(** Paper-equivalent instruction count of a run (applies {!Sp_util.Scale}). *)
+
+(** {1 Building blocks for sweeps}
+
+    The Figure 3 sensitivity sweeps and the ablations re-cluster and
+    re-replay one workload many times; these expose the pipeline's
+    stages individually so the expensive profiling pass runs once. *)
+
+type sweep_profile = {
+  sweep_built : Sp_workloads.Benchspec.built;
+  sweep_whole : Sp_pinball.Logger.whole;
+  sweep_slices : Sp_pin.Bbv_tool.slice array;
+  sweep_whole_stats : Runstats.run_stats;
+}
+
+val profile_for_sweep :
+  ?options:options -> ?slice_insns:int -> Sp_workloads.Benchspec.t ->
+  sweep_profile
+(** Build, log and profile once, keeping the slices and the whole
+    pinball for repeated re-clustering.  [slice_insns] overrides the
+    BBV granularity (Figure 3(b) collects 5-Minsn micro-slices). *)
+
+val replay_points :
+  options -> Sp_pinball.Logger.whole -> Sp_simpoint.Simpoints.point array ->
+  Runstats.point_stats list
+(** Cold Regional replays of the given points (fresh tools each). *)
+
+val warm_replay_points :
+  options -> warmup_insns:int -> Sp_pinball.Logger.whole ->
+  Sp_simpoint.Simpoints.point array -> Runstats.point_stats list
+(** Warmup Regional replays with the given warmup window. *)

@@ -1,0 +1,89 @@
+type point_stats = {
+  cluster : int;
+  weight : float;
+  insns : int;
+  mix : Sp_pin.Mix.t;
+  cache : Sp_cache.Hierarchy.stats;
+  cpi : float;
+}
+
+type run_stats = {
+  label : string;
+  insns : float;
+  mix : Sp_pin.Mix.t;
+  l1i_miss : float;
+  l1d_miss : float;
+  l2_miss : float;
+  l3_miss : float;
+  l1d_accesses : float;
+  l2_accesses : float;
+  l3_accesses : float;
+  cpi : float;
+}
+
+let of_points ~label points =
+  if points = [] then invalid_arg "Runstats.of_points: no points";
+  let wsum = Sp_util.Stats.fsum (fun p -> p.weight) points in
+  let wavg f =
+    if wsum <= 0.0 then 0.0
+    else Sp_util.Stats.fsum (fun p -> p.weight *. f p) points /. wsum
+  in
+  let sum f = Sp_util.Stats.fsum f points in
+  (* Only instruction-normalised statistics may be weight-averaged (the
+     paper's rule).  A miss *rate* is normalised by accesses, not
+     instructions, so each level's rate is reconstructed from the
+     weighted per-instruction miss and access densities — the weighted
+     analogue of the whole run's global misses/accesses ratio. *)
+  let miss_rate level =
+    let density f (p : point_stats) =
+      if p.insns = 0 then 0.0
+      else float_of_int (f p.cache) /. float_of_int p.insns
+    in
+    let misses =
+      wavg (density (fun c -> (level c).Sp_cache.Hierarchy.misses))
+    in
+    let accesses =
+      wavg (density (fun c -> (level c).Sp_cache.Hierarchy.accesses))
+    in
+    if accesses <= 0.0 then 0.0 else misses /. accesses
+  in
+  {
+    label;
+    insns = sum (fun p -> float_of_int p.insns);
+    mix = Sp_pin.Mix.weighted (List.map (fun p -> (p.weight, p.mix)) points);
+    l1i_miss = miss_rate (fun (c : Sp_cache.Hierarchy.stats) -> c.l1i);
+    l1d_miss = miss_rate (fun (c : Sp_cache.Hierarchy.stats) -> c.l1d);
+    l2_miss = miss_rate (fun (c : Sp_cache.Hierarchy.stats) -> c.l2);
+    l3_miss = miss_rate (fun (c : Sp_cache.Hierarchy.stats) -> c.l3);
+    l1d_accesses =
+      sum (fun p -> float_of_int p.cache.Sp_cache.Hierarchy.l1d.accesses);
+    l2_accesses =
+      sum (fun p -> float_of_int p.cache.Sp_cache.Hierarchy.l2.accesses);
+    l3_accesses =
+      sum (fun p -> float_of_int p.cache.Sp_cache.Hierarchy.l3.accesses);
+    cpi = wavg (fun p -> p.cpi);
+  }
+
+let of_whole ~label ~insns ~mix ~(cache : Sp_cache.Hierarchy.stats) ~cpi =
+  {
+    label;
+    insns = float_of_int insns;
+    mix;
+    l1i_miss = cache.l1i.miss_rate;
+    l1d_miss = cache.l1d.miss_rate;
+    l2_miss = cache.l2.miss_rate;
+    l3_miss = cache.l3.miss_rate;
+    l1d_accesses = float_of_int cache.l1d.accesses;
+    l2_accesses = float_of_int cache.l2.accesses;
+    l3_accesses = float_of_int cache.l3.accesses;
+    cpi;
+  }
+
+let miss_rate_error_pct ~reference t =
+  let e ref x = Sp_util.Stats.rel_error_pct ~reference:ref x in
+  ( e reference.l1d_miss t.l1d_miss,
+    e reference.l2_miss t.l2_miss,
+    e reference.l3_miss t.l3_miss )
+
+let mix_error_pp ~reference t =
+  Sp_pin.Mix.max_abs_error_pp ~reference:reference.mix t.mix

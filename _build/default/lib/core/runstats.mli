@@ -1,0 +1,51 @@
+(** Per-run statistics and their aggregation.
+
+    A [point_stats] is what replaying one Regional Pinball under the
+    paper's pintools yields.  A [run_stats] is the aggregate the paper
+    reports for a run kind (Whole / Regional / Reduced Regional / Warmup
+    Regional): rate-like metrics are combined as weighted averages over
+    simulation points — the aggregation rule Section IV-D mandates for
+    statistics normalised by instruction counts — while count-like
+    metrics (executed instructions, L3 accesses) are plain sums. *)
+
+type point_stats = {
+  cluster : int;
+  weight : float;
+  insns : int;
+  mix : Sp_pin.Mix.t;
+  cache : Sp_cache.Hierarchy.stats;
+  cpi : float;
+}
+
+type run_stats = {
+  label : string;
+  insns : float;          (** executed instructions (sum) *)
+  mix : Sp_pin.Mix.t;     (** weighted *)
+  l1i_miss : float;       (** weighted miss rates, [0,1] *)
+  l1d_miss : float;
+  l2_miss : float;
+  l3_miss : float;
+  l1d_accesses : float;   (** sums, for pooled (suite-level) rates *)
+  l2_accesses : float;
+  l3_accesses : float;
+  cpi : float;            (** weighted *)
+}
+
+val of_points : label:string -> point_stats list -> run_stats
+(** Weighted aggregation over simulation points (weights renormalised,
+    so the same function serves full and percentile-reduced sets). *)
+
+val of_whole :
+  label:string ->
+  insns:int ->
+  mix:Sp_pin.Mix.t ->
+  cache:Sp_cache.Hierarchy.stats ->
+  cpi:float ->
+  run_stats
+
+val miss_rate_error_pct : reference:run_stats -> run_stats -> float * float * float
+(** Relative errors (percent) of (L1D, L2, L3) miss rates against a
+    reference run — the quantities behind Figure 8's error statements. *)
+
+val mix_error_pp : reference:run_stats -> run_stats -> float
+(** Largest instruction-class deviation in percentage points (Fig. 7). *)

@@ -1,0 +1,1 @@
+lib/cpu/branch_predictor.ml: Bool Bytes Char

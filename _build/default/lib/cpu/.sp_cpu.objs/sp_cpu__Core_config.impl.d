@@ -1,0 +1,1 @@
+lib/cpu/core_config.ml: Format Printf Sp_cache

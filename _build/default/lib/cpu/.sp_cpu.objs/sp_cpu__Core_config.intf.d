@@ -1,0 +1,1 @@
+lib/cpu/core_config.mli: Format Sp_cache

@@ -1,0 +1,1 @@
+lib/cpu/inorder_core.mli: Core_config Hooks Program Sp_vm

@@ -1,0 +1,1 @@
+lib/cpu/interval_core.ml: Array Branch_predictor Core_config Hierarchy Hooks Isa Program Sp_cache Sp_isa Sp_vm

@@ -1,0 +1,1 @@
+lib/cpu/interval_core.mli: Core_config Hooks Program Sp_vm

@@ -1,0 +1,1 @@
+lib/cpu/slice_timer.ml: Array Hooks Interval_core List Sp_vm

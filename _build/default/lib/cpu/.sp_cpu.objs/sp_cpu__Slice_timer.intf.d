@@ -1,0 +1,1 @@
+lib/cpu/slice_timer.mli: Hooks Interval_core Sp_vm

@@ -1,0 +1,22 @@
+(** Gshare branch predictor: global history XOR PC indexing a table of
+    2-bit saturating counters. *)
+
+type t
+
+val create : ?history_bits:int -> ?table_bits:int -> unit -> t
+(** Defaults: 12 history bits, 4096-entry table. *)
+
+val predict_and_update : t -> pc:int -> taken:bool -> bool
+(** Returns [true] when the prediction was correct; always trains. *)
+
+val observe : t -> pc:int -> taken:bool -> unit
+(** Train without counting statistics (warmup). *)
+
+val lookups : t -> int
+val mispredicts : t -> int
+
+val mispredict_rate : t -> float
+(** Mispredicts per lookup; 0 before any lookup. *)
+
+val reset_stats : t -> unit
+val reset_state : t -> unit

@@ -1,0 +1,67 @@
+type t = {
+  name : string;
+  freq_ghz : float;
+  fetch_width : int;
+  decode_width : int;
+  dispatch_width : int;
+  commit_width : int;
+  rob_entries : int;
+  branch_rob_entries : int;
+  branch_penalty : int;
+  pipeline_stages : int;
+  caches : Sp_cache.Config.hierarchy;
+  l1_latency : int;
+  l2_latency : int;
+  l3_latency : int;
+  memory_latency : int;
+}
+
+let i7_3770 =
+  {
+    name = "8-core Intel i7-3770";
+    freq_ghz = 3.4;
+    fetch_width = 6;
+    decode_width = 4;
+    dispatch_width = 4;
+    commit_width = 4;
+    rob_entries = 168;
+    branch_rob_entries = 48;
+    branch_penalty = 8;
+    pipeline_stages = 19;
+    caches = Sp_cache.Config.i7_3770;
+    l1_latency = 4;
+    l2_latency = 10;
+    l3_latency = 30;
+    memory_latency = 180;
+  }
+
+let with_caches t caches = { t with caches }
+
+let i7_3770_sim = with_caches i7_3770 Sp_cache.Config.i7_3770_sim
+
+let pp ppf t =
+  let row label value = Format.fprintf ppf "%-30s %s@." label value in
+  row "Model" t.name;
+  row "CPU Frequency" (Printf.sprintf "%.1fGHz" t.freq_ghz);
+  row "Pipeline" (Printf.sprintf "%d stage Out-of-Order" t.pipeline_stages);
+  row "Fetch Width" (Printf.sprintf "%d instructions per cycle" t.fetch_width);
+  row "Decode Width" (Printf.sprintf "%d-7 fused u-ops per cycle" t.decode_width);
+  row "Rename width and Issue width"
+    (Printf.sprintf "%d fused u-ops per cycle" t.dispatch_width);
+  row "Dispatch width" "6 u-ops per cycle";
+  row "Commit width" (Printf.sprintf "%d fused u-ops per cycle" t.commit_width);
+  row "Reorder buffer" (Printf.sprintf "%d entries" t.rob_entries);
+  row "Branch Reorder Buffer" (Printf.sprintf "%d entries" t.branch_rob_entries);
+  row "Branch misprediction penalty" (Printf.sprintf "%d cycles" t.branch_penalty);
+  let cache (l : Sp_cache.Config.level) latency =
+    Printf.sprintf "%d KB, %d-way & %d cycles" (l.size_bytes / 1024) l.assoc
+      latency
+  in
+  row "L1-I cache & latency" (cache t.caches.l1i t.l1_latency);
+  row "L1-D cache & latency" (cache t.caches.l1d t.l1_latency);
+  row "L2 cache & latency" (cache t.caches.l2 t.l2_latency);
+  row "L3 cache & latency"
+    (Printf.sprintf "%d MB, %d-way & %d cycles"
+       (t.caches.l3.size_bytes / 1024 / 1024)
+       t.caches.l3.assoc t.l3_latency);
+  row "Cache line size" (Printf.sprintf "%d Bytes" t.caches.l1d.line_bytes)

@@ -1,0 +1,36 @@
+(** Out-of-order core configurations, including the paper's Table III
+    machine (the Intel i7-3770 as modelled in Sniper). *)
+
+type t = {
+  name : string;
+  freq_ghz : float;
+  fetch_width : int;
+  decode_width : int;
+  dispatch_width : int;
+  commit_width : int;
+  rob_entries : int;
+  branch_rob_entries : int;
+  branch_penalty : int;     (** cycles per mispredicted branch *)
+  pipeline_stages : int;
+  caches : Sp_cache.Config.hierarchy;
+  l1_latency : int;
+  l2_latency : int;
+  l3_latency : int;
+  memory_latency : int;     (** DRAM access, cycles *)
+}
+
+val i7_3770 : t
+(** Table III: 3.4 GHz, 19-stage OoO, 4-wide, 168-entry ROB, 8-cycle
+    mispredict penalty, 32 kB/256 kB/8 MB caches at 4/10/30 cycles. *)
+
+val i7_3770_sim : t
+(** The same core over the capacity-scaled hierarchy
+    ({!Sp_cache.Config.i7_3770_sim}) — what simulations run; [i7_3770]
+    itself is the nominal configuration the reports print. *)
+
+val with_caches : t -> Sp_cache.Config.hierarchy -> t
+(** The same core over a different hierarchy (used by the warmup study,
+    which times the Table I [allcache] hierarchy inside Sniper). *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders the configuration as the paper's Table III rows. *)

@@ -1,0 +1,50 @@
+open Sp_vm
+
+(** Interval-model out-of-order timing: the abstraction Sniper itself is
+    built on.
+
+    The model charges each instruction its dispatch slot
+    (1/dispatch-width cycles) and adds penalty *intervals* for the
+    events an out-of-order window cannot hide: branch mispredictions
+    (from a gshare predictor) and long-latency memory accesses (from a
+    timed cache hierarchy).  Miss latency is partially hidden by the
+    reorder buffer; consecutive independent misses within the ROB window
+    overlap, while pointer-chasing (unpredictable next address) pays the
+    full latency — approximated here by address-pattern detection, since
+    the hook stream carries no register dependences. *)
+
+type stats = {
+  instructions : int;
+  cycles : float;
+  base_cycles : float;
+  branch_stall_cycles : float;
+  memory_stall_cycles : float;
+  branch_lookups : int;
+  branch_mispredicts : int;
+  level_hits : int array;  (** accesses served per level: L1/L2/L3/Memory *)
+}
+
+type t
+
+val create : ?config:Core_config.t -> Program.t -> t
+
+val hooks : t -> Hooks.t
+
+val cpi : t -> float
+(** Cycles per instruction so far; 0 before any instruction. *)
+
+val cycles : t -> float
+val instructions : t -> int
+val stats : t -> stats
+
+val set_warming : t -> bool -> unit
+(** While warming, caches and the predictor train but neither cycles nor
+    counters accumulate. *)
+
+val reset_stats : t -> unit
+val reset_state : t -> unit
+
+val config : t -> Core_config.t
+
+val seconds : t -> float
+(** Simulated wall-clock time at the configured frequency. *)

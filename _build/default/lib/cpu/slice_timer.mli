@@ -1,0 +1,23 @@
+open Sp_vm
+
+(** Per-slice CPI recording on top of an {!Interval_core}.
+
+    Attach these hooks *after* the core's own hooks (hook sets run in
+    composition order), and the timer snapshots the core's cycle counter
+    at every slice boundary, yielding a CPI time-series aligned with the
+    BBV slicing.  Used by the systematic-sampling comparison and
+    available for time-varying-behaviour studies. *)
+
+type t
+
+val create : slice_len:int -> Interval_core.t -> t
+
+val hooks : t -> Hooks.t
+
+val finish : t -> unit
+(** Close the trailing partial slice (if at least half a slice long). *)
+
+val slice_cpis : t -> float array
+(** CPI of each completed slice, in execution order. *)
+
+val num_slices : t -> int

@@ -1,0 +1,1 @@
+lib/isa/isa.ml: Format List Option Printf String

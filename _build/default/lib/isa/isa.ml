@@ -1,0 +1,355 @@
+type reg = int
+type freg = int
+
+let num_regs = 16
+let num_fregs = 16
+
+type alu_op = Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr
+
+type falu_op = Fadd | Fsub | Fmul | Fdiv
+
+type cond = Eq | Ne | Lt | Le | Gt | Ge
+
+type instr =
+  | Alu of alu_op * reg * reg * reg
+  | Alui of alu_op * reg * reg * int
+  | Li of reg * int
+  | Mov of reg * reg
+  | Load of reg * reg * int
+  | Store of reg * reg * int
+  | Movs of reg * reg
+  | Falu of falu_op * freg * freg * freg
+  | Fload of freg * reg * int
+  | Fstore of freg * reg * int
+  | Fmovi of freg * float
+  | Cvtif of freg * reg
+  | Cvtfi of reg * freg
+  | Branch of cond * reg * reg * int
+  | Jump of int
+  | Call of int
+  | Ret
+  | Sys of int * reg
+  | Halt
+
+type mem_class = No_mem | Mem_r | Mem_w | Mem_rw
+
+let mem_class = function
+  | Load _ | Fload _ -> Mem_r
+  | Store _ | Fstore _ -> Mem_w
+  | Movs _ -> Mem_rw
+  | Alu _ | Alui _ | Li _ | Mov _ | Falu _ | Fmovi _ | Cvtif _ | Cvtfi _
+  | Branch _ | Jump _ | Call _ | Ret | Sys _ | Halt ->
+      No_mem
+
+let mem_class_code = function No_mem -> 0 | Mem_r -> 1 | Mem_w -> 2 | Mem_rw -> 3
+
+let mem_class_of_code = function
+  | 0 -> No_mem
+  | 1 -> Mem_r
+  | 2 -> Mem_w
+  | 3 -> Mem_rw
+  | n -> invalid_arg (Printf.sprintf "Isa.mem_class_of_code: %d" n)
+
+let mem_class_name = function
+  | No_mem -> "NO_MEM"
+  | Mem_r -> "MEM_R"
+  | Mem_w -> "MEM_W"
+  | Mem_rw -> "MEM_RW"
+
+let all_mem_classes = [ No_mem; Mem_r; Mem_w; Mem_rw ]
+
+type kind =
+  | K_alu
+  | K_mul
+  | K_div
+  | K_falu
+  | K_fmul
+  | K_fdiv
+  | K_load
+  | K_store
+  | K_movs
+  | K_branch
+  | K_jump
+  | K_sys
+  | K_halt
+
+let kind = function
+  | Alu ((Mul : alu_op), _, _, _) | Alui (Mul, _, _, _) -> K_mul
+  | Alu ((Div | Rem), _, _, _) | Alui ((Div | Rem), _, _, _) -> K_div
+  | Alu _ | Alui _ | Li _ | Mov _ | Cvtif _ | Cvtfi _ -> K_alu
+  | Falu (Fmul, _, _, _) -> K_fmul
+  | Falu (Fdiv, _, _, _) -> K_fdiv
+  | Falu ((Fadd | Fsub), _, _, _) | Fmovi _ -> K_falu
+  | Load _ | Fload _ -> K_load
+  | Store _ | Fstore _ -> K_store
+  | Movs _ -> K_movs
+  | Branch _ -> K_branch
+  | Jump _ | Call _ | Ret -> K_jump
+  | Sys _ -> K_sys
+  | Halt -> K_halt
+
+let kind_code = function
+  | K_alu -> 0
+  | K_mul -> 1
+  | K_div -> 2
+  | K_falu -> 3
+  | K_fmul -> 4
+  | K_fdiv -> 5
+  | K_load -> 6
+  | K_store -> 7
+  | K_movs -> 8
+  | K_branch -> 9
+  | K_jump -> 10
+  | K_sys -> 11
+  | K_halt -> 12
+
+let kind_of_code = function
+  | 0 -> K_alu
+  | 1 -> K_mul
+  | 2 -> K_div
+  | 3 -> K_falu
+  | 4 -> K_fmul
+  | 5 -> K_fdiv
+  | 6 -> K_load
+  | 7 -> K_store
+  | 8 -> K_movs
+  | 9 -> K_branch
+  | 10 -> K_jump
+  | 11 -> K_sys
+  | 12 -> K_halt
+  | n -> invalid_arg (Printf.sprintf "Isa.kind_of_code: %d" n)
+
+let num_kinds = 13
+
+let is_control = function
+  | Branch _ | Jump _ | Call _ | Ret | Halt -> true
+  | Alu _ | Alui _ | Li _ | Mov _ | Load _ | Store _ | Movs _ | Falu _
+  | Fload _ | Fstore _ | Fmovi _ | Cvtif _ | Cvtfi _ | Sys _ ->
+      false
+
+let branch_target = function
+  | Branch (_, _, _, t) | Jump t | Call t -> Some t
+  | Ret | Halt -> None
+  | Alu _ | Alui _ | Li _ | Mov _ | Load _ | Store _ | Movs _ | Falu _
+  | Fload _ | Fstore _ | Fmovi _ | Cvtif _ | Cvtfi _ | Sys _ ->
+      None
+
+let map_target f = function
+  | Branch (c, r1, r2, t) -> Branch (c, r1, r2, f t)
+  | Jump t -> Jump (f t)
+  | Call t -> Call (f t)
+  | i -> i
+
+let bytes_per_instr = 4
+
+let alu_op_name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Rem -> "rem"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Shl -> "shl"
+  | Shr -> "shr"
+
+let falu_op_name = function
+  | Fadd -> "fadd"
+  | Fsub -> "fsub"
+  | Fmul -> "fmul"
+  | Fdiv -> "fdiv"
+
+let cond_name = function
+  | Eq -> "eq"
+  | Ne -> "ne"
+  | Lt -> "lt"
+  | Le -> "le"
+  | Gt -> "gt"
+  | Ge -> "ge"
+
+let pp ppf = function
+  | Alu (op, rd, r1, r2) ->
+      Format.fprintf ppf "%s r%d, r%d, r%d" (alu_op_name op) rd r1 r2
+  | Alui (op, rd, r1, imm) ->
+      Format.fprintf ppf "%si r%d, r%d, %d" (alu_op_name op) rd r1 imm
+  | Li (rd, imm) -> Format.fprintf ppf "li r%d, %d" rd imm
+  | Mov (rd, rs) -> Format.fprintf ppf "mov r%d, r%d" rd rs
+  | Load (rd, rs, off) -> Format.fprintf ppf "ld r%d, %d(r%d)" rd off rs
+  | Store (rv, rb, off) -> Format.fprintf ppf "st r%d, %d(r%d)" rv off rb
+  | Movs (rd, rs) -> Format.fprintf ppf "movs (r%d), (r%d)" rd rs
+  | Falu (op, fd, f1, f2) ->
+      Format.fprintf ppf "%s f%d, f%d, f%d" (falu_op_name op) fd f1 f2
+  | Fload (fd, rs, off) -> Format.fprintf ppf "fld f%d, %d(r%d)" fd off rs
+  | Fstore (fv, rb, off) -> Format.fprintf ppf "fst f%d, %d(r%d)" fv off rb
+  | Fmovi (fd, x) ->
+      (* hex float: exact round-trip through the text format *)
+      Format.fprintf ppf "fmovi f%d, %h" fd x
+  | Cvtif (fd, rs) -> Format.fprintf ppf "cvtif f%d, r%d" fd rs
+  | Cvtfi (rd, fs) -> Format.fprintf ppf "cvtfi r%d, f%d" rd fs
+  | Branch (c, r1, r2, t) ->
+      Format.fprintf ppf "b%s r%d, r%d, @%d" (cond_name c) r1 r2 t
+  | Jump t -> Format.fprintf ppf "jmp @%d" t
+  | Call t -> Format.fprintf ppf "call @%d" t
+  | Ret -> Format.fprintf ppf "ret"
+  | Sys (n, rd) -> Format.fprintf ppf "sys %d, r%d" n rd
+  | Halt -> Format.fprintf ppf "halt"
+
+let to_string i = Format.asprintf "%a" pp i
+
+(* ------------------------------------------------------------------ *)
+(* Parsing: the inverse of [pp].  Tokens are the mnemonic followed by
+   comma-separated operands; registers are rN/fN, targets @N, memory
+   operands off(rN), movs operands (rN). *)
+
+let alu_op_of_name = function
+  | "add" -> Some Add
+  | "sub" -> Some Sub
+  | "mul" -> Some Mul
+  | "div" -> Some Div
+  | "rem" -> Some Rem
+  | "and" -> Some And
+  | "or" -> Some Or
+  | "xor" -> Some Xor
+  | "shl" -> Some Shl
+  | "shr" -> Some Shr
+  | _ -> None
+
+let falu_op_of_name = function
+  | "fadd" -> Some Fadd
+  | "fsub" -> Some Fsub
+  | "fmul" -> Some Fmul
+  | "fdiv" -> Some Fdiv
+  | _ -> None
+
+let cond_of_name = function
+  | "eq" -> Some Eq
+  | "ne" -> Some Ne
+  | "lt" -> Some Lt
+  | "le" -> Some Le
+  | "gt" -> Some Gt
+  | "ge" -> Some Ge
+  | _ -> None
+
+let parse_reg prefix s =
+  let n = String.length s in
+  if n >= 2 && s.[0] = prefix then
+    match int_of_string_opt (String.sub s 1 (n - 1)) with
+    | Some r when r >= 0 && r < 16 -> Some r
+    | _ -> None
+  else None
+
+let parse_target s =
+  let n = String.length s in
+  if n >= 2 && s.[0] = '@' then int_of_string_opt (String.sub s 1 (n - 1))
+  else None
+
+(* "off(rN)" *)
+let parse_mem s =
+  match String.index_opt s '(' with
+  | Some i when String.length s > 0 && s.[String.length s - 1] = ')' ->
+      let off = String.sub s 0 i in
+      let reg = String.sub s (i + 1) (String.length s - i - 2) in
+      Option.bind (int_of_string_opt off) (fun off ->
+          Option.map (fun r -> (off, r)) (parse_reg 'r' reg))
+  | _ -> None
+
+(* "(rN)" *)
+let parse_paren_reg s =
+  let n = String.length s in
+  if n >= 4 && s.[0] = '(' && s.[n - 1] = ')' then
+    parse_reg 'r' (String.sub s 1 (n - 2))
+  else None
+
+let of_string line =
+  let line = String.trim line in
+  match String.index_opt line ' ' with
+  | None -> (
+      match line with "ret" -> Some Ret | "halt" -> Some Halt | _ -> None)
+  | Some sp -> (
+      let mnemonic = String.sub line 0 sp in
+      let rest = String.sub line (sp + 1) (String.length line - sp - 1) in
+      let operands =
+        String.split_on_char ',' rest |> List.map String.trim
+      in
+      let ( let* ) = Option.bind in
+      match (mnemonic, operands) with
+      | "li", [ rd; imm ] ->
+          let* rd = parse_reg 'r' rd in
+          let* imm = int_of_string_opt imm in
+          Some (Li (rd, imm))
+      | "mov", [ rd; rs ] ->
+          let* rd = parse_reg 'r' rd in
+          let* rs = parse_reg 'r' rs in
+          Some (Mov (rd, rs))
+      | "ld", [ rd; mem ] ->
+          let* rd = parse_reg 'r' rd in
+          let* off, rs = parse_mem mem in
+          Some (Load (rd, rs, off))
+      | "st", [ rv; mem ] ->
+          let* rv = parse_reg 'r' rv in
+          let* off, rb = parse_mem mem in
+          Some (Store (rv, rb, off))
+      | "movs", [ dst; src ] ->
+          let* rd = parse_paren_reg dst in
+          let* rs = parse_paren_reg src in
+          Some (Movs (rd, rs))
+      | "fld", [ fd; mem ] ->
+          let* fd = parse_reg 'f' fd in
+          let* off, rs = parse_mem mem in
+          Some (Fload (fd, rs, off))
+      | "fst", [ fv; mem ] ->
+          let* fv = parse_reg 'f' fv in
+          let* off, rb = parse_mem mem in
+          Some (Fstore (fv, rb, off))
+      | "fmovi", [ fd; x ] ->
+          let* fd = parse_reg 'f' fd in
+          let* x = float_of_string_opt x in
+          Some (Fmovi (fd, x))
+      | "cvtif", [ fd; rs ] ->
+          let* fd = parse_reg 'f' fd in
+          let* rs = parse_reg 'r' rs in
+          Some (Cvtif (fd, rs))
+      | "cvtfi", [ rd; fs ] ->
+          let* rd = parse_reg 'r' rd in
+          let* fs = parse_reg 'f' fs in
+          Some (Cvtfi (rd, fs))
+      | "jmp", [ t ] ->
+          let* t = parse_target t in
+          Some (Jump t)
+      | "call", [ t ] ->
+          let* t = parse_target t in
+          Some (Call t)
+      | "sys", [ n; rd ] ->
+          let* n = int_of_string_opt n in
+          let* rd = parse_reg 'r' rd in
+          Some (Sys (n, rd))
+      | _, [ a; b; c ] -> (
+          (* three-operand forms: alu / alui / falu / branches *)
+          match falu_op_of_name mnemonic with
+          | Some op ->
+              let* fd = parse_reg 'f' a in
+              let* f1 = parse_reg 'f' b in
+              let* f2 = parse_reg 'f' c in
+              Some (Falu (op, fd, f1, f2))
+          | None -> (
+              let n = String.length mnemonic in
+              if n > 1 && mnemonic.[0] = 'b' then
+                let* cond = cond_of_name (String.sub mnemonic 1 (n - 1)) in
+                let* r1 = parse_reg 'r' a in
+                let* r2 = parse_reg 'r' b in
+                let* t = parse_target c in
+                Some (Branch (cond, r1, r2, t))
+              else if n > 1 && mnemonic.[n - 1] = 'i' then
+                let* op = alu_op_of_name (String.sub mnemonic 0 (n - 1)) in
+                let* rd = parse_reg 'r' a in
+                let* r1 = parse_reg 'r' b in
+                let* imm = int_of_string_opt c in
+                Some (Alui (op, rd, r1, imm))
+              else
+                let* op = alu_op_of_name mnemonic in
+                let* rd = parse_reg 'r' a in
+                let* r1 = parse_reg 'r' b in
+                let* r2 = parse_reg 'r' c in
+                Some (Alu (op, rd, r1, r2))))
+      | _ -> None)

@@ -1,0 +1,104 @@
+(** The synthetic instruction-set architecture.
+
+    A register machine with 16 integer and 16 floating-point registers,
+    64-bit words, explicit loads/stores, a memory-to-memory move (the
+    x86-[movs]-style instruction the paper counts as MEM_RW), conditional
+    branches, direct calls and a recording "syscall" for non-deterministic
+    inputs.  The ISA is deliberately simple — the paper's methodology only
+    observes the *dynamic* stream of basic blocks, instruction classes and
+    memory addresses, all of which this ISA produces — while still being a
+    real executable target: workloads are genuine programs interpreted by
+    {!Sp_vm.Interp}, not pre-recorded traces. *)
+
+type reg = int
+(** Integer register index, [0..15]. *)
+
+type freg = int
+(** Floating-point register index, [0..15]. *)
+
+val num_regs : int
+val num_fregs : int
+
+type alu_op = Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr
+
+type falu_op = Fadd | Fsub | Fmul | Fdiv
+
+type cond = Eq | Ne | Lt | Le | Gt | Ge
+
+type instr =
+  | Alu of alu_op * reg * reg * reg   (** [rd <- rs1 op rs2] *)
+  | Alui of alu_op * reg * reg * int  (** [rd <- rs1 op imm] *)
+  | Li of reg * int                   (** [rd <- imm] *)
+  | Mov of reg * reg                  (** [rd <- rs] *)
+  | Load of reg * reg * int           (** [rd <- mem\[rs1 + off\]] *)
+  | Store of reg * reg * int          (** [mem\[rs1 + off\] <- rs2]; operands are (value, base, off) *)
+  | Movs of reg * reg                 (** [mem\[r_dst\] <- mem\[r_src\]]; operands are (dst addr, src addr) *)
+  | Falu of falu_op * freg * freg * freg
+  | Fload of freg * reg * int         (** [fd <- mem\[rs + off\]] reinterpreted as float bits *)
+  | Fstore of freg * reg * int
+  | Fmovi of freg * float             (** [fd <- constant] *)
+  | Cvtif of freg * reg               (** [fd <- float_of_int rs] *)
+  | Cvtfi of reg * freg               (** [rd <- int_of_float fs] *)
+  | Branch of cond * reg * reg * int  (** conditional PC-relative-free absolute target *)
+  | Jump of int
+  | Call of int
+  | Ret
+  | Sys of int * reg                  (** [rd <- external input on channel n] *)
+  | Halt
+
+(** Memory-operand classification used by the paper's [ldstmix] pintool. *)
+type mem_class = No_mem | Mem_r | Mem_w | Mem_rw
+
+val mem_class : instr -> mem_class
+
+val mem_class_code : mem_class -> int
+(** Stable code in [0..3]: NO_MEM=0, MEM_R=1, MEM_W=2, MEM_RW=3. *)
+
+val mem_class_of_code : int -> mem_class
+val mem_class_name : mem_class -> string
+val all_mem_classes : mem_class list
+
+(** Micro-operation kind, the granularity the timing model cares about. *)
+type kind =
+  | K_alu    (** single-cycle integer op *)
+  | K_mul
+  | K_div
+  | K_falu   (** FP add/sub *)
+  | K_fmul
+  | K_fdiv
+  | K_load
+  | K_store
+  | K_movs
+  | K_branch (** conditional branch *)
+  | K_jump   (** unconditional control transfer, incl. call/ret *)
+  | K_sys
+  | K_halt
+
+val kind : instr -> kind
+val kind_code : kind -> int
+(** Dense code in [0..12] for table-indexed dispatch in hot loops. *)
+
+val kind_of_code : int -> kind
+val num_kinds : int
+
+val is_control : instr -> bool
+(** True for every instruction that may change the PC. *)
+
+val branch_target : instr -> int option
+(** Static target of a control instruction, if any (none for [Ret]). *)
+
+val map_target : (int -> int) -> instr -> instr
+(** Rewrite the static control target; identity on non-control
+    instructions.  Used by the assembler to resolve symbolic labels. *)
+
+val bytes_per_instr : int
+(** Nominal encoded size, used to form instruction-fetch addresses. *)
+
+val pp : Format.formatter -> instr -> unit
+(** Disassembly, e.g. ["add r3, r1, r2"]. *)
+
+val to_string : instr -> string
+
+val of_string : string -> instr option
+(** Parse one line of disassembly back into an instruction; inverse of
+    {!to_string} on every instruction.  [None] on malformed input. *)

@@ -1,0 +1,1 @@
+lib/perf/native.ml: Array Float Interp Perf_counters Program Sp_cpu Sp_util Sp_vm

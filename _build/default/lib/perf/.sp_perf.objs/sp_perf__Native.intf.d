@@ -1,0 +1,1 @@
+lib/perf/native.mli: Perf_counters Program Sp_cpu Sp_vm

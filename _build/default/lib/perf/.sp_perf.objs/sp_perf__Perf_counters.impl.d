@@ -1,0 +1,1 @@
+lib/perf/perf_counters.ml: Format

@@ -1,0 +1,57 @@
+open Sp_vm
+
+type t = {
+  config : Sp_cpu.Core_config.t;
+  noise_sigma : float;
+  startup_cycles : float;
+  seed : int;
+}
+
+let default =
+  {
+    config = Sp_cpu.Core_config.i7_3770;
+    noise_sigma = 0.015;
+    startup_cycles = 1.0e4;
+    seed = 0xF00D;
+  }
+
+let sample_of_stats ?(machine = default) ?(run_index = 0) ~name
+    (stats : Sp_cpu.Interval_core.stats) =
+  let rng =
+    Sp_util.Rng.create
+      (machine.seed
+      + (Sp_util.Rng.hash_string name land 0xFFFF)
+      + (run_index * 7919))
+  in
+  let noise = Sp_util.Rng.gaussian rng ~mu:1.0 ~sigma:machine.noise_sigma in
+  let cycles =
+    (stats.Sp_cpu.Interval_core.cycles *. Float.max 0.5 noise)
+    +. machine.startup_cycles
+  in
+  let post_l1 =
+    stats.Sp_cpu.Interval_core.level_hits.(1)
+    + stats.Sp_cpu.Interval_core.level_hits.(2)
+    + stats.Sp_cpu.Interval_core.level_hits.(3)
+  in
+  {
+    Perf_counters.cpu_cycles = cycles;
+    instructions = stats.Sp_cpu.Interval_core.instructions;
+    cache_references = post_l1;
+    cache_misses = stats.Sp_cpu.Interval_core.level_hits.(3);
+    branch_instructions = stats.Sp_cpu.Interval_core.branch_lookups;
+    branch_misses = stats.Sp_cpu.Interval_core.branch_mispredicts;
+    task_clock_seconds =
+      cycles /. (machine.config.Sp_cpu.Core_config.freq_ghz *. 1e9);
+  }
+
+let run ?(machine = default) ?run_index ?syscall (prog : Program.t) =
+  let core = Sp_cpu.Interval_core.create ~config:machine.config prog in
+  let vm = Interp.create ~entry:prog.Program.entry () in
+  let status =
+    Interp.run ~hooks:(Sp_cpu.Interval_core.hooks core) ?syscall prog vm
+  in
+  (match status with
+  | Interp.Halted -> ()
+  | Interp.Out_of_fuel -> assert false);
+  sample_of_stats ~machine ?run_index ~name:prog.Program.name
+    (Sp_cpu.Interval_core.stats core)

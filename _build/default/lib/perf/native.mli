@@ -1,0 +1,39 @@
+open Sp_vm
+
+(** The "real hardware" substrate: native execution of a workload on an
+    i7-3770-class machine, observed through performance counters.
+
+    The paper's ground truth is a native run measured with [perf].  Our
+    stand-in executes the same program under the same micro-architectural
+    model as the Sniper substrate ({!Sp_cpu.Interval_core} with the Table
+    III configuration) and then adds what distinguishes hardware
+    measurement from simulation: run-to-run non-determinism — frequency
+    jitter, interrupts and other-tenant interference — as seeded
+    multiplicative noise plus a fixed startup overhead.  The Figure 12
+    comparison thus exercises exactly the error sources the paper's
+    does: sampling error (SimPoints) on one side, measurement noise and
+    model/configuration drift on the other. *)
+
+type t = {
+  config : Sp_cpu.Core_config.t;
+  noise_sigma : float;      (** relative cycle noise per run (~1.5%) *)
+  startup_cycles : float;   (** process startup / OS overhead (scaled) *)
+  seed : int;
+}
+
+val default : t
+
+val run :
+  ?machine:t -> ?run_index:int -> ?syscall:(int -> int) -> Program.t ->
+  Perf_counters.sample
+(** Execute the program natively (fresh machine, to completion) and
+    return its counter sample.  [run_index] distinguishes repeated runs
+    of the same binary: each gets a different noise draw, like real
+    back-to-back [perf] invocations. *)
+
+val sample_of_stats :
+  ?machine:t -> ?run_index:int -> name:string ->
+  Sp_cpu.Interval_core.stats -> Perf_counters.sample
+(** Turn already-collected core statistics into a noisy counter sample —
+    used when a pipeline has run the timing model during another pass
+    and only needs the measurement-noise layer applied. *)

@@ -1,0 +1,32 @@
+type sample = {
+  cpu_cycles : float;
+  instructions : int;
+  cache_references : int;
+  cache_misses : int;
+  branch_instructions : int;
+  branch_misses : int;
+  task_clock_seconds : float;
+}
+
+let cpi s =
+  if s.instructions = 0 then 0.0
+  else s.cpu_cycles /. float_of_int s.instructions
+
+let ipc s = if s.cpu_cycles = 0.0 then 0.0 else float_of_int s.instructions /. s.cpu_cycles
+
+let pp ppf s =
+  let line fmt = Format.fprintf ppf fmt in
+  line "  %18.2f      task-clock (msec)@." (s.task_clock_seconds *. 1e3);
+  line "  %18.0f      cpu-cycles@." s.cpu_cycles;
+  line "  %18d      instructions              # %.2f  insn per cycle@."
+    s.instructions (ipc s);
+  line "  %18d      cache-references@." s.cache_references;
+  line "  %18d      cache-misses@." s.cache_misses;
+  line "  %18d      branch-instructions@." s.branch_instructions;
+  line "  %18d      branch-misses             # %.2f%% of all branches@."
+    s.branch_misses
+    (if s.branch_instructions = 0 then 0.0
+     else
+       float_of_int s.branch_misses
+       /. float_of_int s.branch_instructions
+       *. 100.0)

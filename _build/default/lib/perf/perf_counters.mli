@@ -1,0 +1,22 @@
+(** Hardware-performance-counter samples, in the vocabulary of
+    [perf stat].  The paper validates its Sniper results against the
+    [cpu-cycles] and [instructions] events of native runs; this record
+    carries those plus the usual companions. *)
+
+type sample = {
+  cpu_cycles : float;
+  instructions : int;
+  cache_references : int;  (** accesses that left the core (post-L1) *)
+  cache_misses : int;      (** LLC misses *)
+  branch_instructions : int;
+  branch_misses : int;
+  task_clock_seconds : float;
+}
+
+val cpi : sample -> float
+(** cpu-cycles / instructions — the paper's comparison metric. *)
+
+val ipc : sample -> float
+
+val pp : Format.formatter -> sample -> unit
+(** Rendered like a [perf stat] report. *)

@@ -1,0 +1,1 @@
+lib/pin/allcache_tool.ml: Config Hierarchy Hooks Program Sp_cache Sp_isa Sp_vm Tlb

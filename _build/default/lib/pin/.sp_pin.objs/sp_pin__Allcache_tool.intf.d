@@ -1,0 +1,1 @@
+lib/pin/allcache_tool.mli: Hooks Program Sp_cache Sp_vm

@@ -1,0 +1,1 @@
+lib/pin/bbv_tool.ml: Array Hooks List Program Sp_vm

@@ -1,0 +1,1 @@
+lib/pin/bbv_tool.mli: Hooks Program Sp_vm

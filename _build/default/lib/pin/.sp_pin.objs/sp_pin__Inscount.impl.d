@@ -1,0 +1,1 @@
+lib/pin/inscount.ml: Array Hooks Isa Sp_isa Sp_vm

@@ -1,0 +1,1 @@
+lib/pin/inscount.mli: Hooks Sp_isa Sp_vm

@@ -1,0 +1,1 @@
+lib/pin/ldstmix.ml: Array Hooks Isa Mix Sp_isa Sp_vm

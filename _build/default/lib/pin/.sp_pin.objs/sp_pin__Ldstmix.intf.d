@@ -1,0 +1,1 @@
+lib/pin/ldstmix.mli: Hooks Mix Sp_isa Sp_vm

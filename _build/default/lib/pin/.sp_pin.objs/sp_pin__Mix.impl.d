@@ -1,0 +1,1 @@
+lib/pin/mix.ml: Float Format Isa List Sp_isa Sp_util

@@ -1,0 +1,1 @@
+lib/pin/mix.mli: Format Sp_isa

@@ -1,0 +1,1 @@
+lib/pin/pin.ml: Hooks Interp Program Sp_vm

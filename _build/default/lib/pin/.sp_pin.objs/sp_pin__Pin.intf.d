@@ -1,0 +1,1 @@
+lib/pin/pin.mli: Hooks Interp Program Sp_vm

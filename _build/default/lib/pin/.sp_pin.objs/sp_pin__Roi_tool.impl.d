@@ -1,0 +1,1 @@
+lib/pin/roi_tool.ml: Hooks Sp_vm

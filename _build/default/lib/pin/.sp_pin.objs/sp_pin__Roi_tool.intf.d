@@ -1,0 +1,1 @@
+lib/pin/roi_tool.mli: Hooks Sp_vm

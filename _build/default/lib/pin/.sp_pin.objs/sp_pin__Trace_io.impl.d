@@ -1,0 +1,1 @@
+lib/pin/trace_io.ml: Hooks List Printf Sp_vm String

@@ -1,0 +1,1 @@
+lib/pin/trace_io.mli: Hooks Sp_vm

@@ -1,0 +1,1 @@
+lib/pin/tracer.ml: Array Hooks Sp_isa Sp_vm

@@ -1,0 +1,1 @@
+lib/pin/tracer.mli: Hooks Sp_isa Sp_vm

@@ -1,0 +1,63 @@
+open Sp_vm
+open Sp_cache
+
+type t = {
+  hier : Hierarchy.t;
+  itlb : Tlb.t;
+  dtlb : Tlb.t;
+  code_base : int;
+  mutable warming : bool;
+}
+
+let create ?(config = Config.allcache_table1) ?(prefetch = false)
+    (prog : Program.t) =
+  {
+    hier = Hierarchy.create ~next_line_prefetch:prefetch config;
+    itlb = Tlb.create ~level2:Tlb.stlb_default Tlb.itlb_default;
+    dtlb = Tlb.create ~level2:Tlb.stlb_default Tlb.dtlb_default;
+    code_base = prog.code_base;
+    warming = false;
+  }
+
+let hooks t =
+  let hier = t.hier in
+  let code_base = t.code_base in
+  let data t addr =
+    if t.warming then Tlb.warm t.dtlb addr else Tlb.access t.dtlb addr
+  in
+  {
+    Hooks.nil with
+    on_instr =
+      (fun pc _kind ->
+        let addr = code_base + (pc * Sp_isa.Isa.bytes_per_instr) in
+        if t.warming then Tlb.warm t.itlb addr else Tlb.access t.itlb addr;
+        Hierarchy.fetch hier addr);
+    on_read =
+      (fun addr ->
+        data t addr;
+        Hierarchy.read hier addr);
+    on_write =
+      (fun addr ->
+        data t addr;
+        Hierarchy.write hier addr);
+  }
+
+let hierarchy t = t.hier
+let stats t = Hierarchy.stats t.hier
+let prefetches t = Hierarchy.prefetches t.hier
+let itlb_stats t = Tlb.stats t.itlb
+let dtlb_stats t = Tlb.stats t.dtlb
+
+let set_warming t b =
+  t.warming <- b;
+  Hierarchy.set_warming t.hier b
+
+let reset_stats t =
+  Hierarchy.reset_stats t.hier;
+  Tlb.reset_stats t.itlb;
+  Tlb.reset_stats t.dtlb
+
+let reset_state t =
+  Hierarchy.reset_state t.hier;
+  Tlb.reset_state t.itlb;
+  Tlb.reset_state t.dtlb

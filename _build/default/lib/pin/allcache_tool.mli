@@ -1,0 +1,32 @@
+open Sp_vm
+
+(** The [allcache] pintool: a functional simulator of the
+    instruction+data cache hierarchy (Table I by default), fed by the
+    instrumented instruction and data reference streams. *)
+
+type t
+
+val create :
+  ?config:Sp_cache.Config.hierarchy -> ?prefetch:bool -> Program.t -> t
+(** The program is needed to turn PCs into instruction-fetch addresses.
+    [prefetch] enables the hierarchy's next-line prefetcher. *)
+
+val prefetches : t -> int
+
+val hooks : t -> Hooks.t
+
+val hierarchy : t -> Sp_cache.Hierarchy.t
+
+val stats : t -> Sp_cache.Hierarchy.stats
+
+val itlb_stats : t -> Sp_cache.Tlb.stats
+(** Instruction-TLB statistics (the [allcache] pintool simulates
+    instruction+data TLBs alongside the caches). *)
+
+val dtlb_stats : t -> Sp_cache.Tlb.stats
+
+val set_warming : t -> bool -> unit
+(** Forwarded to the hierarchy: accesses update state but not stats. *)
+
+val reset_stats : t -> unit
+val reset_state : t -> unit

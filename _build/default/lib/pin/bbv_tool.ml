@@ -1,0 +1,80 @@
+open Sp_vm
+
+type slice = {
+  index : int;
+  start_icount : int;
+  length : int;
+  bbv : (int * int) array;
+}
+
+type t = {
+  slice_len : int;
+  bb_of_pc : int array;
+  counts : int array;          (* per block, current slice *)
+  mutable touched : int list;  (* blocks with non-zero count *)
+  mutable cur_len : int;
+  mutable start_icount : int;
+  mutable closed : slice list; (* reversed *)
+  mutable num_closed : int;
+}
+
+let create ~slice_len (prog : Program.t) =
+  if slice_len <= 0 then invalid_arg "Bbv_tool.create: slice_len <= 0";
+  {
+    slice_len;
+    bb_of_pc = prog.bb_of_pc;
+    counts = Array.make (Program.num_blocks prog) 0;
+    touched = [];
+    cur_len = 0;
+    start_icount = 0;
+    closed = [];
+    num_closed = 0;
+  }
+
+let close_slice t =
+  let pairs =
+    List.rev_map
+      (fun bb ->
+        let c = t.counts.(bb) in
+        t.counts.(bb) <- 0;
+        (bb, c))
+      t.touched
+  in
+  let bbv = Array.of_list pairs in
+  Array.sort (fun (a, _) (b, _) -> compare a b) bbv;
+  let s =
+    {
+      index = t.num_closed;
+      start_icount = t.start_icount;
+      length = t.cur_len;
+      bbv;
+    }
+  in
+  t.closed <- s :: t.closed;
+  t.num_closed <- t.num_closed + 1;
+  t.touched <- [];
+  t.start_icount <- t.start_icount + t.cur_len;
+  t.cur_len <- 0
+
+let hooks t =
+  let counts = t.counts in
+  let bb_of_pc = t.bb_of_pc in
+  {
+    Hooks.nil with
+    on_instr =
+      (fun pc _kind ->
+        let bb = Array.unsafe_get bb_of_pc pc in
+        let c = Array.unsafe_get counts bb in
+        if c = 0 then t.touched <- bb :: t.touched;
+        Array.unsafe_set counts bb (c + 1);
+        t.cur_len <- t.cur_len + 1;
+        if t.cur_len >= t.slice_len then close_slice t);
+  }
+
+let finish t = if t.cur_len > 0 then close_slice t
+
+let slices t = Array.of_list (List.rev t.closed)
+
+let num_slices t = t.num_closed
+
+let slice_len t = t.slice_len

@@ -1,0 +1,36 @@
+open Sp_vm
+
+(** Basic Block Vector collector (the SimPoint frontend).
+
+    Splits the dynamic instruction stream into fixed-length slices and
+    records, per slice, how many instructions retired inside each static
+    basic block.  Vectors are kept sparse: a slice typically touches a
+    handful of the program's blocks.
+
+    Attribution is per retired instruction (equivalent to the classic
+    entry-count x block-length weighting, but exact at slice boundaries,
+    which slice mid-block). *)
+
+type slice = {
+  index : int;
+  start_icount : int;  (** dynamic instruction count at slice start *)
+  length : int;        (** retired instructions in the slice *)
+  bbv : (int * int) array;
+      (** (block id, instructions retired in block), sorted by block id *)
+}
+
+type t
+
+val create : slice_len:int -> Program.t -> t
+(** @raise Invalid_argument if [slice_len <= 0]. *)
+
+val hooks : t -> Hooks.t
+
+val finish : t -> unit
+(** Close the trailing partial slice, if any.  Call after the run. *)
+
+val slices : t -> slice array
+(** All closed slices, in execution order. *)
+
+val num_slices : t -> int
+val slice_len : t -> int

@@ -1,0 +1,22 @@
+open Sp_isa
+open Sp_vm
+
+type t = { counts : int array; mutable total : int }
+
+let create () = { counts = Array.make Isa.num_kinds 0; total = 0 }
+
+let hooks t =
+  {
+    Hooks.nil with
+    on_instr =
+      (fun _pc kind ->
+        t.total <- t.total + 1;
+        t.counts.(kind) <- t.counts.(kind) + 1);
+  }
+
+let total t = t.total
+let by_kind t k = t.counts.(Isa.kind_code k)
+
+let reset t =
+  t.total <- 0;
+  Array.fill t.counts 0 (Array.length t.counts) 0

@@ -1,0 +1,13 @@
+open Sp_vm
+
+(** The [inscount0] pintool: dynamic instruction counting, overall and
+    per micro-operation kind. *)
+
+type t
+
+val create : unit -> t
+val hooks : t -> Hooks.t
+
+val total : t -> int
+val by_kind : t -> Sp_isa.Isa.kind -> int
+val reset : t -> unit

@@ -1,0 +1,38 @@
+open Sp_isa
+open Sp_vm
+
+type t = { counts : int array (* indexed by mem_class code *) }
+
+(* Per-kind memory class, precomputed so the hot callback is two array
+   operations. *)
+let class_of_kind =
+  Array.init Isa.num_kinds (fun code ->
+      match Isa.kind_of_code code with
+      | K_load -> Isa.mem_class_code Mem_r
+      | K_store -> Isa.mem_class_code Mem_w
+      | K_movs -> Isa.mem_class_code Mem_rw
+      | K_alu | K_mul | K_div | K_falu | K_fmul | K_fdiv | K_branch | K_jump
+      | K_sys | K_halt ->
+          Isa.mem_class_code No_mem)
+
+let create () = { counts = Array.make 4 0 }
+
+let hooks t =
+  let counts = t.counts in
+  {
+    Hooks.nil with
+    on_instr =
+      (fun _pc kind ->
+        let cls = Array.unsafe_get class_of_kind kind in
+        Array.unsafe_set counts cls (Array.unsafe_get counts cls + 1));
+  }
+
+let count t cls = t.counts.(Isa.mem_class_code cls)
+
+let total t = Array.fold_left ( + ) 0 t.counts
+
+let mix t =
+  Mix.of_counts ~no_mem:t.counts.(0) ~mem_r:t.counts.(1) ~mem_w:t.counts.(2)
+    ~mem_rw:t.counts.(3)
+
+let reset t = Array.fill t.counts 0 4 0

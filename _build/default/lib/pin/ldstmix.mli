@@ -1,0 +1,19 @@
+open Sp_vm
+
+(** The [ldstmix] pintool: classifies every retired instruction by its
+    memory-operand pattern (NO_MEM / MEM_R / MEM_W / MEM_RW) and reports
+    the distribution.  This is the instruction-mix instrument behind
+    Figures 3 and 7 of the paper. *)
+
+type t
+
+val create : unit -> t
+val hooks : t -> Hooks.t
+
+val count : t -> Sp_isa.Isa.mem_class -> int
+val total : t -> int
+
+val mix : t -> Mix.t
+(** Current distribution as fractions. *)
+
+val reset : t -> unit

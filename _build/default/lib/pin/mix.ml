@@ -1,0 +1,48 @@
+open Sp_isa
+
+type t = { no_mem : float; mem_r : float; mem_w : float; mem_rw : float }
+
+let zero = { no_mem = 0.0; mem_r = 0.0; mem_w = 0.0; mem_rw = 0.0 }
+
+let of_counts ~no_mem ~mem_r ~mem_w ~mem_rw =
+  let total = no_mem + mem_r + mem_w + mem_rw in
+  if total = 0 then zero
+  else
+    let f n = float_of_int n /. float_of_int total in
+    { no_mem = f no_mem; mem_r = f mem_r; mem_w = f mem_w; mem_rw = f mem_rw }
+
+let get t = function
+  | Isa.No_mem -> t.no_mem
+  | Isa.Mem_r -> t.mem_r
+  | Isa.Mem_w -> t.mem_w
+  | Isa.Mem_rw -> t.mem_rw
+
+let weighted parts =
+  let wsum = Sp_util.Stats.fsum fst parts in
+  if wsum <= 0.0 then zero
+  else
+    let comp f =
+      Sp_util.Stats.fsum (fun (w, m) -> w *. f m) parts /. wsum
+    in
+    {
+      no_mem = comp (fun m -> m.no_mem);
+      mem_r = comp (fun m -> m.mem_r);
+      mem_w = comp (fun m -> m.mem_w);
+      mem_rw = comp (fun m -> m.mem_rw);
+    }
+
+let l1_distance a b =
+  Float.abs (a.no_mem -. b.no_mem)
+  +. Float.abs (a.mem_r -. b.mem_r)
+  +. Float.abs (a.mem_w -. b.mem_w)
+  +. Float.abs (a.mem_rw -. b.mem_rw)
+
+let max_abs_error_pp ~reference t =
+  List.fold_left
+    (fun acc cls ->
+      Float.max acc (Float.abs (get t cls -. get reference cls) *. 100.0))
+    0.0 Isa.all_mem_classes
+
+let pp ppf t =
+  Format.fprintf ppf "NO_MEM %.1f%% | MEM_R %.1f%% | MEM_W %.1f%% | MEM_RW %.1f%%"
+    (t.no_mem *. 100.0) (t.mem_r *. 100.0) (t.mem_w *. 100.0) (t.mem_rw *. 100.0)

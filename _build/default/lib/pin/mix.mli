@@ -1,0 +1,25 @@
+(** Instruction-distribution vectors: the paper's four-way breakdown into
+    NO_MEM / MEM_R / MEM_W / MEM_RW, as fractions of retired
+    instructions.  Used for Figures 3 and 7. *)
+
+type t = { no_mem : float; mem_r : float; mem_w : float; mem_rw : float }
+
+val of_counts : no_mem:int -> mem_r:int -> mem_w:int -> mem_rw:int -> t
+(** Fractions from raw counts (all zero yields the zero vector). *)
+
+val zero : t
+
+val get : t -> Sp_isa.Isa.mem_class -> float
+
+val weighted : (float * t) list -> t
+(** Weighted combination (weights renormalised): the paper's rule for
+    aggregating per-simulation-point distributions. *)
+
+val l1_distance : t -> t -> float
+(** Sum of absolute per-class differences (in fraction units). *)
+
+val max_abs_error_pp : reference:t -> t -> float
+(** Largest per-class deviation, in percentage points — the "<1%%
+    variance in instruction distribution" metric of the abstract. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,13 @@
+open Sp_vm
+
+type run = { status : Interp.status; retired : int }
+
+let run ?(tools = []) ?syscall ?fuel prog machine =
+  let hooks = Hooks.seq_all tools in
+  let before = machine.Interp.icount in
+  let status = Interp.run ~hooks ?syscall ?fuel prog machine in
+  { status; retired = machine.Interp.icount - before }
+
+let run_fresh ?tools ?syscall ?fuel (prog : Program.t) =
+  let machine = Interp.create ~entry:prog.entry () in
+  run ?tools ?syscall ?fuel prog machine

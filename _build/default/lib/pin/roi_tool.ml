@@ -1,0 +1,22 @@
+open Sp_vm
+
+type t = {
+  target_pc : int;
+  mutable count : int;
+  mutable reached : int option;
+}
+
+let create ~target_pc = { target_pc; count = 0; reached = None }
+
+let hooks t =
+  {
+    Hooks.nil with
+    on_instr =
+      (fun pc _kind ->
+        (match t.reached with
+        | None when pc = t.target_pc -> t.reached <- Some t.count
+        | _ -> ());
+        t.count <- t.count + 1);
+  }
+
+let reached_at t = t.reached

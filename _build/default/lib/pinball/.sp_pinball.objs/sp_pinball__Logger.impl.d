@@ -1,0 +1,1 @@
+lib/pinball/logger.ml: Array Hooks Interp List Pinball Program Replayer Snapshot Sp_simpoint Sp_vm

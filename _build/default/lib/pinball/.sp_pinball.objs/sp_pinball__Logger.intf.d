@@ -1,0 +1,1 @@
+lib/pinball/logger.mli: Hooks Pinball Program Sp_simpoint Sp_vm

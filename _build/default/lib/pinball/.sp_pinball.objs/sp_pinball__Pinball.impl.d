@@ -1,0 +1,1 @@
+lib/pinball/pinball.ml: Array List Printf Program Snapshot Sp_vm

@@ -1,0 +1,1 @@
+lib/pinball/pinball.mli: Program Snapshot Sp_vm

@@ -1,0 +1,1 @@
+lib/pinball/replayer.ml: Array Hooks Interp Pinball Printf Snapshot Sp_vm

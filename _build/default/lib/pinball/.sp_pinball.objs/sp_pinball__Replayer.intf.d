@@ -1,0 +1,1 @@
+lib/pinball/replayer.mli: Hooks Interp Pinball Sp_vm

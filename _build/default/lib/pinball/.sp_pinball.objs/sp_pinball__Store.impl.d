@@ -1,0 +1,1 @@
+lib/pinball/store.ml: Array Filename Fun List Marshal Pinball Printf String Sys

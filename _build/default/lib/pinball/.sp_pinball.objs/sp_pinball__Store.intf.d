@@ -1,0 +1,1 @@
+lib/pinball/store.mli: Pinball

@@ -1,0 +1,131 @@
+open Sp_vm
+
+type whole = { pinball : Pinball.t; total_insns : int }
+
+let log_whole ?(syscall = Interp.default_syscall) ?(extra_tools = [])
+    ~benchmark (prog : Program.t) =
+  let machine = Interp.create ~entry:prog.entry () in
+  let initial = Snapshot.capture machine in
+  let recorded = ref [] in
+  let recording_syscall n =
+    let v = syscall n in
+    (* the syscall retires as the current instruction: icount was already
+       incremented when the hook fired, so the consuming instruction's
+       index is icount - 1 *)
+    recorded := (machine.Interp.icount - 1, v) :: !recorded;
+    v
+  in
+  let hooks = Hooks.seq_all extra_tools in
+  let status = Interp.run ~hooks ~syscall:recording_syscall prog machine in
+  (match status with
+  | Interp.Halted -> ()
+  | Interp.Out_of_fuel -> assert false);
+  let pinball =
+    {
+      Pinball.benchmark;
+      kind = Pinball.Whole;
+      program = prog;
+      snapshot = initial;
+      length = Some machine.Interp.icount;
+      syscalls = Array.of_list (List.rev !recorded);
+    }
+  in
+  { pinball; total_insns = machine.Interp.icount }
+
+let capture_regions (w : whole) points =
+  let pb = w.pinball in
+  let order = Array.init (Array.length points) (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      compare points.(a).Sp_simpoint.Simpoints.start_icount
+        points.(b).Sp_simpoint.Simpoints.start_icount)
+    order;
+  let machine = Snapshot.restore pb.Pinball.snapshot in
+  let syscall = Replayer.recorded_syscall pb in
+  let out = Array.make (Array.length points) None in
+  Array.iter
+    (fun idx ->
+      let p = points.(idx) in
+      let start = p.Sp_simpoint.Simpoints.start_icount in
+      if start > w.total_insns then
+        invalid_arg "Logger.capture_regions: point beyond execution";
+      let gap = start - machine.Interp.icount in
+      if gap < 0 then
+        invalid_arg "Logger.capture_regions: overlapping points";
+      if gap > 0 then
+        ignore (Interp.run ~syscall ~fuel:gap pb.Pinball.program machine);
+      let snapshot = Snapshot.capture machine in
+      let region =
+        {
+          Pinball.benchmark = pb.Pinball.benchmark;
+          kind =
+            Pinball.Region
+              {
+                cluster = p.Sp_simpoint.Simpoints.cluster;
+                weight = p.Sp_simpoint.Simpoints.weight;
+              };
+          program = pb.Pinball.program;
+          snapshot;
+          length = Some p.Sp_simpoint.Simpoints.length;
+          syscalls =
+            Pinball.syscalls_in_range pb ~start
+              ~len:p.Sp_simpoint.Simpoints.length;
+        }
+      in
+      out.(idx) <- Some region)
+    order;
+  Array.map
+    (function Some r -> r | None -> assert false)
+    out
+
+type warmup = {
+  length : int;
+  hooks : Hooks.t;
+  on_start : unit -> unit;
+}
+
+let scan_regions ?warmup (w : whole) points f =
+  let pb = w.pinball in
+  let sorted = Array.copy points in
+  Array.sort
+    (fun a b ->
+      compare a.Sp_simpoint.Simpoints.start_icount
+        b.Sp_simpoint.Simpoints.start_icount)
+    sorted;
+  let machine = Snapshot.restore pb.Pinball.snapshot in
+  let syscall = Replayer.recorded_syscall pb in
+  Array.iter
+    (fun (p : Sp_simpoint.Simpoints.point) ->
+      let start = p.start_icount in
+      if start > w.total_insns then
+        invalid_arg "Logger.scan_regions: point beyond execution";
+      let gap = start - machine.Interp.icount in
+      if gap < 0 then invalid_arg "Logger.scan_regions: overlapping points";
+      (match warmup with
+      | Some wu when wu.length > 0 ->
+          let wlen = min wu.length gap in
+          let ff = gap - wlen in
+          if ff > 0 then
+            ignore (Interp.run ~syscall ~fuel:ff pb.Pinball.program machine);
+          wu.on_start ();
+          if wlen > 0 then
+            ignore
+              (Interp.run ~hooks:wu.hooks ~syscall ~fuel:wlen
+                 pb.Pinball.program machine)
+      | Some _ | None ->
+          if gap > 0 then
+            ignore (Interp.run ~syscall ~fuel:gap pb.Pinball.program machine));
+      let region =
+        {
+          Pinball.benchmark = pb.Pinball.benchmark;
+          kind = Pinball.Region { cluster = p.cluster; weight = p.weight };
+          program = pb.Pinball.program;
+          snapshot = Snapshot.capture machine;
+          length = Some p.length;
+          syscalls = Pinball.syscalls_in_range pb ~start ~len:p.length;
+        }
+      in
+      f region;
+      (* advance the forward pass over the region itself *)
+      ignore (Interp.run ~syscall ~fuel:p.length pb.Pinball.program machine))
+    sorted

@@ -1,0 +1,50 @@
+open Sp_vm
+
+(** The PinPlay logger: creates Whole Pinballs by running a program
+    while recording every non-deterministic input, and carves Regional
+    Pinballs out of a Whole Pinball at simulation-point boundaries. *)
+
+type whole = {
+  pinball : Pinball.t;
+  total_insns : int;    (** dynamic instruction count of the execution *)
+}
+
+val log_whole :
+  ?syscall:(int -> int) -> ?extra_tools:Hooks.t list -> benchmark:string ->
+  Program.t -> whole
+(** Execute the program to completion from a fresh machine, recording
+    inputs.  [extra_tools] lets callers profile (e.g. collect BBVs)
+    during the same pass — logging is the slowest step of the paper's
+    pipeline, so piggybacking avoids a second whole-program run. *)
+
+val capture_regions :
+  whole -> Sp_simpoint.Simpoints.point array -> Pinball.t array
+(** Replay the whole pinball once, snapshotting the machine at the start
+    of each simulation point; returns one Regional Pinball per point, in
+    the order given.  Points must lie within the execution and be
+    non-overlapping (simulation points always are: they are distinct
+    slices). *)
+
+type warmup = {
+  length : int;             (** instructions to warm before each point *)
+  hooks : Hooks.t;          (** attached during the warmup window *)
+  on_start : unit -> unit;  (** fired before each point's window (e.g.
+                                to cold-reset the caches being warmed) *)
+}
+
+val scan_regions :
+  ?warmup:warmup ->
+  whole ->
+  Sp_simpoint.Simpoints.point array ->
+  (Pinball.t -> unit) ->
+  unit
+(** Streaming variant of {!capture_regions}: one forward replay of the
+    whole pinball; at each simulation point the Regional Pinball is
+    materialised, handed to the callback and then dropped, so at most one
+    region snapshot is live at a time (regions can be tens of MB).
+
+    [warmup] reproduces the paper's Warmup Regional Run: the [length]
+    instructions *preceding* each point are executed with [hooks]
+    attached (clamped to the gap since the previous point), so a cache
+    tool can warm its state exactly as Sniper's 500M-cycle warmup does
+    before measurement starts. *)

@@ -1,0 +1,29 @@
+open Sp_vm
+
+type kind = Whole | Region of { cluster : int; weight : float }
+
+type t = {
+  benchmark : string;
+  kind : kind;
+  program : Program.t;
+  snapshot : Snapshot.t;
+  length : int option;
+  syscalls : (int * int) array;
+}
+
+let start_icount t = Snapshot.icount t.snapshot
+
+let weight t = match t.kind with Whole -> 1.0 | Region r -> r.weight
+
+let syscalls_in_range t ~start ~len =
+  Array.of_list
+    (List.filter
+       (fun (ic, _) -> ic >= start && ic < start + len)
+       (Array.to_list t.syscalls))
+
+let describe t =
+  match t.kind with
+  | Whole -> Printf.sprintf "%s.whole" t.benchmark
+  | Region r ->
+      Printf.sprintf "%s.region%d(w=%.4f)@%d" t.benchmark r.cluster r.weight
+        (start_icount t)

@@ -1,0 +1,40 @@
+open Sp_vm
+
+(** Pinballs: self-contained, replayable checkpoints of an execution,
+    mirroring PinPlay's format in role.
+
+    A pinball carries everything replay needs — the program, the
+    architectural snapshot at its start, the recorded values of every
+    non-deterministic input ([Sys] instructions) it will consume, and a
+    length.  Replaying therefore needs neither the original inputs nor
+    the original environment, and any pinball can be replayed
+    independently and repeatedly (the property the paper exploits to
+    parallelise Regional runs). *)
+
+type kind =
+  | Whole
+      (** checkpoint of a complete execution (start to [Halt]) *)
+  | Region of { cluster : int; weight : float }
+      (** checkpoint of one simulation point *)
+
+type t = {
+  benchmark : string;
+  kind : kind;
+  program : Program.t;
+  snapshot : Snapshot.t;     (** state at the pinball's first instruction *)
+  length : int option;       (** instructions to replay; [None] = to [Halt] *)
+  syscalls : (int * int) array;
+      (** (absolute icount, value) of recorded non-deterministic inputs
+          consumed at or after the snapshot, in consumption order *)
+}
+
+val start_icount : t -> int
+(** Dynamic-instruction offset of the pinball's first instruction. *)
+
+val weight : t -> float
+(** 1.0 for a whole pinball; the phase weight for a region. *)
+
+val syscalls_in_range : t -> start:int -> len:int -> (int * int) array
+(** Recorded inputs whose icount falls in [\[start, start+len)]. *)
+
+val describe : t -> string

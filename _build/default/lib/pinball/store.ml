@@ -1,0 +1,40 @@
+let magic = "SPREPRO-PINBALL"
+let version = 1
+
+let filename (pb : Pinball.t) =
+  match pb.kind with
+  | Pinball.Whole -> Printf.sprintf "%s.whole.pb" pb.benchmark
+  | Pinball.Region r -> Printf.sprintf "%s.region%03d.pb" pb.benchmark r.cluster
+
+let save ~dir pb =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir (filename pb) in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc magic;
+      output_binary_int oc version;
+      Marshal.to_channel oc pb []);
+  path
+
+let load path =
+  if not (Sys.file_exists path) then failwith ("Store.load: no such file " ^ path);
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let m = really_input_string ic (String.length magic) in
+      if m <> magic then failwith ("Store.load: bad magic in " ^ path);
+      let v = input_binary_int ic in
+      if v <> version then
+        failwith (Printf.sprintf "Store.load: version %d, expected %d" v version);
+      (Marshal.from_channel ic : Pinball.t))
+
+let list_dir ~dir =
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".pb")
+    |> List.map (Filename.concat dir)
+    |> List.sort compare

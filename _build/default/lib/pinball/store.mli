@@ -1,0 +1,20 @@
+(** On-disk pinball store.
+
+    Pinballs are self-contained, so serialising one file per pinball
+    gives the same portability PinPlay's format provides: a regional
+    pinball can be copied to another machine (or another process) and
+    replayed without the benchmark's inputs.  The format is OCaml
+    [Marshal] framed with a magic string and version. *)
+
+val save : dir:string -> Pinball.t -> string
+(** Write the pinball under [dir] (created if missing); returns the file
+    path.  File names encode benchmark and kind. *)
+
+val load : string -> Pinball.t
+(** @raise Failure on a missing file, bad magic or version mismatch. *)
+
+val list_dir : dir:string -> string list
+(** Paths of all pinball files under [dir], sorted. *)
+
+val filename : Pinball.t -> string
+(** The basename {!save} would use. *)

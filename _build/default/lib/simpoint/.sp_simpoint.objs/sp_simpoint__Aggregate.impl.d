@@ -1,0 +1,1 @@
+lib/simpoint/aggregate.ml: Array Hashtbl List Option Sp_pin

@@ -1,0 +1,1 @@
+lib/simpoint/aggregate.mli: Sp_pin

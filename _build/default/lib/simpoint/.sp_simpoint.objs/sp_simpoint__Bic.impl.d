@@ -1,0 +1,1 @@
+lib/simpoint/bic.ml: Array Float Kmeans List

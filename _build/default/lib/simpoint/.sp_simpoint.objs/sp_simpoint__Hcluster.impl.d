@@ -1,0 +1,1 @@
+lib/simpoint/hcluster.ml: Array Hashtbl Kmeans List Seq

@@ -1,0 +1,1 @@
+lib/simpoint/hcluster.mli:

@@ -1,0 +1,1 @@
+lib/simpoint/pca.ml: Array Float Option

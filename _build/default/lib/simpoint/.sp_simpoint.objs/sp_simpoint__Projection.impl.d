@@ -1,0 +1,1 @@
+lib/simpoint/projection.ml: Array Int64 Sp_pin

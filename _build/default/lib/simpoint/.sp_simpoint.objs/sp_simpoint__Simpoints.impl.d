@@ -1,0 +1,1 @@
+lib/simpoint/simpoints.ml: Array Bic Format Hashtbl Kmeans List Projection Sp_pin

@@ -1,0 +1,1 @@
+lib/simpoint/simpoints.mli: Format Sp_pin

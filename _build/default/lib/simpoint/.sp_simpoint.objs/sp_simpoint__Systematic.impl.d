@@ -1,0 +1,1 @@
+lib/simpoint/systematic.ml: Array Float Sp_util

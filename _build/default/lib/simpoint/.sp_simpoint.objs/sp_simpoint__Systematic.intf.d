@@ -1,0 +1,1 @@
+lib/simpoint/systematic.mli:

@@ -1,0 +1,1 @@
+lib/simpoint/variance.ml: Array Float Kmeans List Simpoints Sp_util

@@ -1,0 +1,1 @@
+lib/simpoint/variance.mli: Simpoints Sp_pin

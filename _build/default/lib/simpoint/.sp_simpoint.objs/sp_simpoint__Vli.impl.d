@@ -1,0 +1,1 @@
+lib/simpoint/vli.ml: Aggregate Array Hashtbl Kmeans List Option Projection Simpoints Sp_pin

@@ -1,0 +1,1 @@
+lib/simpoint/vli.mli: Simpoints Sp_pin

@@ -1,0 +1,46 @@
+let merge_group index group =
+  let tbl = Hashtbl.create 64 in
+  let start = ref max_int in
+  let length = ref 0 in
+  List.iter
+    (fun (s : Sp_pin.Bbv_tool.slice) ->
+      start := min !start s.start_icount;
+      length := !length + s.length;
+      Array.iter
+        (fun (bb, c) ->
+          let prev = Option.value ~default:0 (Hashtbl.find_opt tbl bb) in
+          Hashtbl.replace tbl bb (prev + c))
+        s.bbv)
+    group;
+  let bbv =
+    Hashtbl.fold (fun bb c acc -> (bb, c) :: acc) tbl [] |> Array.of_list
+  in
+  Array.sort (fun (a, _) (b, _) -> compare a b) bbv;
+  { Sp_pin.Bbv_tool.index; start_icount = !start; length = !length; bbv }
+
+let merge_slices ~index group =
+  if group = [] then invalid_arg "Aggregate.merge_slices: empty";
+  merge_group index group
+
+let merge ~factor micro =
+  if factor < 1 then invalid_arg "Aggregate.merge: factor < 1";
+  if factor = 1 then micro
+  else begin
+    let out = ref [] in
+    let group = ref [] in
+    let n_out = ref 0 in
+    let flush () =
+      if !group <> [] then begin
+        out := merge_group !n_out (List.rev !group) :: !out;
+        incr n_out;
+        group := []
+      end
+    in
+    Array.iteri
+      (fun i s ->
+        group := s :: !group;
+        if (i + 1) mod factor = 0 then flush ())
+      micro;
+    flush ();
+    Array.of_list (List.rev !out)
+  end

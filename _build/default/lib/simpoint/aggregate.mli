@@ -1,0 +1,20 @@
+(** Re-aggregation of micro-slices into coarser slices.
+
+    BBVs are collected once at a fine granularity (5 paper-Minsn); the
+    slice-size sensitivity sweep of Figure 3(b) then builds 15/25/30/50/
+    100-Minsn slices by merging consecutive micro-slices, instead of
+    re-running the workload once per slice size. *)
+
+val merge : factor:int -> Sp_pin.Bbv_tool.slice array ->
+  Sp_pin.Bbv_tool.slice array
+(** [merge ~factor micro] combines each run of [factor] consecutive
+    micro-slices into one slice (summing BBVs); a trailing partial group
+    becomes a final shorter slice.
+    @raise Invalid_argument if [factor < 1]. *)
+
+val merge_slices : index:int -> Sp_pin.Bbv_tool.slice list ->
+  Sp_pin.Bbv_tool.slice
+(** Combine consecutive slices into one (summed BBV, summed length,
+    earliest start).  Exposed for the variable-length-interval
+    segmentation.
+    @raise Invalid_argument on an empty list. *)

@@ -1,0 +1,40 @@
+let score (r : Kmeans.result) points =
+  let n = Array.length points in
+  let d = if n = 0 then 0 else Array.length points.(0) in
+  let nf = float_of_int n and df = float_of_int d in
+  (* pooled per-dimension variance of the spherical model *)
+  let denom = float_of_int (max 1 (n - r.k)) *. df in
+  let sigma2 = Float.max (r.distortion /. denom) 1e-12 in
+  let log_n = log nf in
+  let likelihood = ref 0.0 in
+  Array.iter
+    (fun size ->
+      if size > 0 then begin
+        let sf = float_of_int size in
+        likelihood := !likelihood +. (sf *. (log sf -. log_n))
+      end)
+    r.sizes;
+  likelihood :=
+    !likelihood
+    -. (nf *. df /. 2.0 *. log (2.0 *. Float.pi *. sigma2))
+    -. (float_of_int (n - r.k) *. df /. 2.0);
+  let params = float_of_int (r.k * (d + 1)) in
+  !likelihood -. (params /. 2.0 *. log_n)
+
+let pick_k ~threshold scored =
+  match scored with
+  | [] -> invalid_arg "Bic.pick_k: empty"
+  | (k0, s0) :: _ ->
+      let lo, hi =
+        List.fold_left
+          (fun (lo, hi) (_, s) -> (Float.min lo s, Float.max hi s))
+          (s0, s0) scored
+      in
+      let range = hi -. lo in
+      if range <= 0.0 then
+        List.fold_left (fun acc (k, _) -> min acc k) k0 scored
+      else
+        let qualifying =
+          List.filter (fun (_, s) -> (s -. lo) /. range >= threshold) scored
+        in
+        List.fold_left (fun acc (k, _) -> min acc k) max_int qualifying

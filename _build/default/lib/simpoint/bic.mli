@@ -1,0 +1,15 @@
+(** Bayesian Information Criterion scoring of k-means clusterings,
+    following the spherical-Gaussian formulation of Pelleg & Moore
+    (X-means) that SimPoint 3.0 uses for model selection. *)
+
+val score : Kmeans.result -> float array array -> float
+(** [score result points] is the BIC of the clustering: data
+    log-likelihood minus the parameter penalty [(p/2) log n] with
+    [p = k*(d+1)].  Higher is better. *)
+
+val pick_k :
+  threshold:float -> (int * float) list -> int
+(** [pick_k ~threshold scored] selects the smallest k whose
+    range-normalised BIC reaches [threshold] (SimPoint's default policy
+    with threshold 0.9).  [scored] is a non-empty [(k, bic)] list.
+    @raise Invalid_argument on an empty list. *)

@@ -1,0 +1,91 @@
+type step = { left : int; right : int; dist : float; id : int }
+
+let euclid a b = sqrt (Kmeans.sq_distance a b)
+
+let linkage points =
+  let n = Array.length points in
+  if n = 0 then invalid_arg "Hcluster.linkage: empty";
+  (* members.(id) = leaf list of active cluster id; ids grow as merges
+     happen.  n is small in our uses (29 benchmarks), so the O(n^3)
+     textbook algorithm is fine. *)
+  let members = Hashtbl.create (2 * n) in
+  for i = 0 to n - 1 do
+    Hashtbl.replace members i [ i ]
+  done;
+  let avg_dist a b =
+    let la = Hashtbl.find members a and lb = Hashtbl.find members b in
+    let s = ref 0.0 in
+    List.iter
+      (fun i -> List.iter (fun j -> s := !s +. euclid points.(i) points.(j)) lb)
+      la;
+    !s /. float_of_int (List.length la * List.length lb)
+  in
+  let active = ref (List.init n (fun i -> i)) in
+  let steps = ref [] in
+  let next_id = ref n in
+  while List.length !active > 1 do
+    let best = ref None in
+    List.iter
+      (fun a ->
+        List.iter
+          (fun b ->
+            if a < b then begin
+              let d = avg_dist a b in
+              match !best with
+              | Some (_, _, bd) when bd <= d -> ()
+              | _ -> best := Some (a, b, d)
+            end)
+          !active)
+      !active;
+    match !best with
+    | None -> assert false
+    | Some (a, b, d) ->
+        let id = !next_id in
+        incr next_id;
+        Hashtbl.replace members id (Hashtbl.find members a @ Hashtbl.find members b);
+        active := id :: List.filter (fun x -> x <> a && x <> b) !active;
+        steps := { left = a; right = b; dist = d; id } :: !steps
+  done;
+  List.rev !steps
+
+let cut ~n steps ~k =
+  let k = max 1 (min n k) in
+  (* apply the first n-k merges with a union-find *)
+  let parent = Array.init (n + List.length steps) (fun i -> i) in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  List.iteri
+    (fun idx (s : step) ->
+      if idx < n - k then begin
+        parent.(find s.left) <- s.id;
+        parent.(find s.right) <- s.id
+      end)
+    steps;
+  let roots = Hashtbl.create k in
+  Array.init n (fun i ->
+      let r = find i in
+      match Hashtbl.find_opt roots r with
+      | Some c -> c
+      | None ->
+          let c = Hashtbl.length roots in
+          Hashtbl.replace roots r c;
+          c)
+
+let medoids points assignment =
+  let k = Array.fold_left (fun m c -> max m (c + 1)) 0 assignment in
+  Array.init k (fun c ->
+      let members =
+        Array.to_list
+          (Array.of_seq
+             (Seq.filter_map
+                (fun i -> if assignment.(i) = c then Some i else None)
+                (Seq.init (Array.length assignment) (fun i -> i))))
+      in
+      let cost i =
+        List.fold_left (fun acc j -> acc +. euclid points.(i) points.(j)) 0.0 members
+      in
+      match members with
+      | [] -> 0
+      | first :: _ ->
+          List.fold_left
+            (fun best i -> if cost i < cost best then i else best)
+            first members)

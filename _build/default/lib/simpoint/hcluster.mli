@@ -1,0 +1,25 @@
+(** Agglomerative hierarchical clustering with average linkage, as used
+    by the benchmark-subsetting studies in the paper's related work to
+    group similar benchmarks and pick subset representatives. *)
+
+type step = {
+  left : int;   (** cluster id merged (leaves are [0..n-1]) *)
+  right : int;
+  dist : float; (** average-linkage distance at the merge *)
+  id : int;     (** id of the merged cluster ([n + step index]) *)
+}
+
+val linkage : float array array -> step list
+(** [linkage points] builds the full dendrogram over the rows of
+    [points] (Euclidean distance, average linkage), n-1 steps.
+    @raise Invalid_argument on an empty input. *)
+
+val cut : n:int -> step list -> k:int -> int array
+(** [cut ~n steps ~k] stops the merging at [k] clusters and returns a
+    dense assignment (cluster indices [0..k-1]) for the [n] leaves.
+    [k] is clamped to [\[1, n\]]. *)
+
+val medoids : float array array -> int array -> int array
+(** [medoids points assignment] picks, per cluster, the row minimising
+    the total distance to its cluster-mates — the subset
+    representative.  Returns one row index per cluster index. *)

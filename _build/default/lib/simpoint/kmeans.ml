@@ -1,0 +1,140 @@
+type result = {
+  k : int;
+  assignment : int array;
+  centroids : float array array;
+  sizes : int array;
+  distortion : float;
+}
+
+let sq_distance a b =
+  let d = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    let x = Array.unsafe_get a i -. Array.unsafe_get b i in
+    d := !d +. (x *. x)
+  done;
+  !d
+
+let nearest centroids p =
+  let best = ref 0 and best_d = ref infinity in
+  Array.iteri
+    (fun j c ->
+      let d = sq_distance p c in
+      if d < !best_d then begin
+        best_d := d;
+        best := j
+      end)
+    centroids;
+  (!best, !best_d)
+
+let assign ~centroids points = Array.map (fun p -> fst (nearest centroids p)) points
+
+(* k-means++ seeding: first centroid uniform, then each next centroid
+   drawn with probability proportional to squared distance to the
+   nearest chosen centroid. *)
+let seed_plus_plus rng k points =
+  let n = Array.length points in
+  let centroids = Array.make k points.(0) in
+  centroids.(0) <- points.(Sp_util.Rng.int rng n);
+  let d2 = Array.map (fun p -> sq_distance p centroids.(0)) points in
+  for j = 1 to k - 1 do
+    let total = Array.fold_left ( +. ) 0.0 d2 in
+    let chosen =
+      if total <= 0.0 then Sp_util.Rng.int rng n
+      else begin
+        let target = Sp_util.Rng.float rng total in
+        let acc = ref 0.0 and pick = ref (n - 1) in
+        (try
+           for i = 0 to n - 1 do
+             acc := !acc +. d2.(i);
+             if !acc >= target then begin
+               pick := i;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        !pick
+      end
+    in
+    centroids.(j) <- points.(chosen);
+    for i = 0 to n - 1 do
+      let d = sq_distance points.(i) centroids.(j) in
+      if d < d2.(i) then d2.(i) <- d
+    done
+  done;
+  Array.map Array.copy centroids
+
+let fit ?(max_iters = 50) ?(seed = 42) ~k points =
+  let n = Array.length points in
+  if n = 0 then invalid_arg "Kmeans.fit: no points";
+  if k < 1 then invalid_arg "Kmeans.fit: k < 1";
+  let k = min k n in
+  let dim = Array.length points.(0) in
+  let rng = Sp_util.Rng.create seed in
+  let centroids = seed_plus_plus rng k points in
+  let assignment = Array.make n (-1) in
+  let sizes = Array.make k 0 in
+  let sums = Array.init k (fun _ -> Array.make dim 0.0) in
+  let distortion = ref 0.0 in
+  let changed = ref true in
+  let iters = ref 0 in
+  while !changed && !iters < max_iters do
+    changed := false;
+    incr iters;
+    distortion := 0.0;
+    Array.fill sizes 0 k 0;
+    Array.iter (fun s -> Array.fill s 0 dim 0.0) sums;
+    for i = 0 to n - 1 do
+      let j, d = nearest centroids points.(i) in
+      if assignment.(i) <> j then begin
+        assignment.(i) <- j;
+        changed := true
+      end;
+      distortion := !distortion +. d;
+      sizes.(j) <- sizes.(j) + 1;
+      let s = sums.(j) and p = points.(i) in
+      for x = 0 to dim - 1 do
+        s.(x) <- s.(x) +. p.(x)
+      done
+    done;
+    (* recompute centroids; re-seed empty clusters on the farthest point *)
+    for j = 0 to k - 1 do
+      if sizes.(j) = 0 then begin
+        let far = ref 0 and far_d = ref neg_infinity in
+        for i = 0 to n - 1 do
+          let d = sq_distance points.(i) centroids.(assignment.(i)) in
+          if d > !far_d then begin
+            far_d := d;
+            far := i
+          end
+        done;
+        centroids.(j) <- Array.copy points.(!far);
+        changed := true
+      end
+      else begin
+        let s = sums.(j) and inv = 1.0 /. float_of_int sizes.(j) in
+        centroids.(j) <- Array.map (fun x -> x *. inv) s
+      end
+    done
+  done;
+  (* final consistent assignment pass *)
+  Array.fill sizes 0 k 0;
+  distortion := 0.0;
+  for i = 0 to n - 1 do
+    let j, d = nearest centroids points.(i) in
+    assignment.(i) <- j;
+    sizes.(j) <- sizes.(j) + 1;
+    distortion := !distortion +. d
+  done;
+  { k; assignment; centroids; sizes; distortion = !distortion }
+
+let within_cluster_variance result points =
+  let acc = Array.make result.k 0.0 in
+  Array.iteri
+    (fun i p ->
+      let j = result.assignment.(i) in
+      acc.(j) <- acc.(j) +. sq_distance p result.centroids.(j))
+    points;
+  Array.mapi
+    (fun j total ->
+      if result.sizes.(j) = 0 then 0.0 else total /. float_of_int result.sizes.(j))
+    acc

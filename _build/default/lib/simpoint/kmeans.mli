@@ -1,0 +1,27 @@
+(** K-means clustering with k-means++ seeding and Lloyd iterations —
+    the engine behind simulation-point selection. *)
+
+type result = {
+  k : int;
+  assignment : int array;        (** cluster id per point *)
+  centroids : float array array; (** [k] centroids *)
+  sizes : int array;             (** points per cluster *)
+  distortion : float;            (** sum of squared point-centroid distances *)
+}
+
+val fit :
+  ?max_iters:int -> ?seed:int -> k:int -> float array array -> result
+(** [fit ~k points] clusters [points] (each a dense vector of equal
+    dimension).  [k] is clamped to the number of points.  Empty clusters
+    are repaired by re-seeding on the farthest point.
+    @raise Invalid_argument if [points] is empty or [k < 1]. *)
+
+val assign : centroids:float array array -> float array array -> int array
+(** Nearest-centroid assignment for a (possibly different) point set —
+    used when centroids were fitted on a subsample. *)
+
+val sq_distance : float array -> float array -> float
+
+val within_cluster_variance : result -> float array array -> float array
+(** Mean squared distance to the centroid, per cluster (the paper's
+    Figure 4 "variance in phase similarity"). *)

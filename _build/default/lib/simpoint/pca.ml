@@ -1,0 +1,139 @@
+type result = {
+  components : float array array;
+  eigenvalues : float array;
+  explained : float array;
+  scores : float array array;
+  means : float array;
+  stddevs : float array;
+}
+
+let check_matrix data =
+  let n = Array.length data in
+  if n = 0 then invalid_arg "Pca: empty matrix";
+  let d = Array.length data.(0) in
+  if d = 0 then invalid_arg "Pca: empty rows";
+  Array.iter
+    (fun row -> if Array.length row <> d then invalid_arg "Pca: ragged matrix")
+    data;
+  (n, d)
+
+let column_stats data =
+  let n, d = check_matrix data in
+  let nf = float_of_int n in
+  let means = Array.make d 0.0 in
+  Array.iter (fun row -> Array.iteri (fun j x -> means.(j) <- means.(j) +. x) row) data;
+  Array.iteri (fun j s -> means.(j) <- s /. nf) means;
+  let vars = Array.make d 0.0 in
+  Array.iter
+    (fun row ->
+      Array.iteri
+        (fun j x ->
+          let dx = x -. means.(j) in
+          vars.(j) <- vars.(j) +. (dx *. dx))
+        row)
+    data;
+  let stddevs = Array.map (fun v -> sqrt (v /. nf)) vars in
+  (means, stddevs)
+
+let standardize data =
+  let means, stddevs = column_stats data in
+  Array.map
+    (fun row ->
+      Array.mapi
+        (fun j x ->
+          if stddevs.(j) <= 0.0 then 0.0 else (x -. means.(j)) /. stddevs.(j))
+        row)
+    data
+
+(* Cyclic Jacobi rotations; d is small (~10), convergence is fast. *)
+let jacobi_eigen m =
+  let d = Array.length m in
+  let a = Array.map Array.copy m in
+  let v = Array.init d (fun i -> Array.init d (fun j -> if i = j then 1.0 else 0.0)) in
+  let off () =
+    let s = ref 0.0 in
+    for i = 0 to d - 1 do
+      for j = 0 to d - 1 do
+        if i <> j then s := !s +. (a.(i).(j) *. a.(i).(j))
+      done
+    done;
+    !s
+  in
+  let sweeps = ref 0 in
+  while off () > 1e-18 && !sweeps < 100 do
+    incr sweeps;
+    for p = 0 to d - 2 do
+      for q = p + 1 to d - 1 do
+        if Float.abs a.(p).(q) > 1e-20 then begin
+          let theta = (a.(q).(q) -. a.(p).(p)) /. (2.0 *. a.(p).(q)) in
+          let t =
+            let s = if theta >= 0.0 then 1.0 else -1.0 in
+            s /. (Float.abs theta +. sqrt ((theta *. theta) +. 1.0))
+          in
+          let c = 1.0 /. sqrt ((t *. t) +. 1.0) in
+          let s = t *. c in
+          for k = 0 to d - 1 do
+            let akp = a.(k).(p) and akq = a.(k).(q) in
+            a.(k).(p) <- (c *. akp) -. (s *. akq);
+            a.(k).(q) <- (s *. akp) +. (c *. akq)
+          done;
+          for k = 0 to d - 1 do
+            let apk = a.(p).(k) and aqk = a.(q).(k) in
+            a.(p).(k) <- (c *. apk) -. (s *. aqk);
+            a.(q).(k) <- (s *. apk) +. (c *. aqk)
+          done;
+          for k = 0 to d - 1 do
+            let vkp = v.(k).(p) and vkq = v.(k).(q) in
+            v.(k).(p) <- (c *. vkp) -. (s *. vkq);
+            v.(k).(q) <- (s *. vkp) +. (c *. vkq)
+          done
+        end
+      done
+    done
+  done;
+  let eigenvalues = Array.init d (fun i -> a.(i).(i)) in
+  (* eigenvectors as rows *)
+  let vectors = Array.init d (fun i -> Array.init d (fun k -> v.(k).(i))) in
+  (eigenvalues, vectors)
+
+let fit ?components data =
+  let n, d = check_matrix data in
+  let k = min d (Option.value ~default:d components) in
+  let means, stddevs = column_stats data in
+  let z = standardize data in
+  let nf = float_of_int n in
+  let cov =
+    Array.init d (fun i ->
+        Array.init d (fun j ->
+            let s = ref 0.0 in
+            for r = 0 to n - 1 do
+              s := !s +. (z.(r).(i) *. z.(r).(j))
+            done;
+            !s /. nf))
+  in
+  let eigenvalues, vectors = jacobi_eigen cov in
+  let order = Array.init d (fun i -> i) in
+  Array.sort (fun a b -> compare eigenvalues.(b) eigenvalues.(a)) order;
+  let eigenvalues = Array.init k (fun i -> Float.max 0.0 eigenvalues.(order.(i))) in
+  let components = Array.init k (fun i -> vectors.(order.(i))) in
+  (* trace of the covariance = total variance of the standardised data *)
+  let total =
+    let tr = ref 0.0 in
+    for i = 0 to d - 1 do
+      tr := !tr +. cov.(i).(i)
+    done;
+    Float.max 1e-12 !tr
+  in
+  let explained = Array.map (fun e -> e /. total) eigenvalues in
+  let scores =
+    Array.map
+      (fun row ->
+        Array.map
+          (fun comp ->
+            let s = ref 0.0 in
+            Array.iteri (fun j c -> s := !s +. (c *. row.(j))) comp;
+            !s)
+          components)
+      z
+  in
+  { components; eigenvalues; explained; scores; means; stddevs }

@@ -1,0 +1,29 @@
+(** Principal Components Analysis, as used by the CPU2017
+    characterisation studies the paper builds on (Limaye & Adegbija
+    ISPASS'18, Panda et al. HPCA'18, Joshua et al. IISWC'06) to reduce
+    per-benchmark feature vectors before subsetting.
+
+    Dimensionality here is small (a dozen features), so the
+    implementation is the classical one: z-score standardisation,
+    covariance matrix, Jacobi eigen-decomposition. *)
+
+type result = {
+  components : float array array;  (** [k x d] eigenvectors, by eigenvalue desc *)
+  eigenvalues : float array;       (** descending *)
+  explained : float array;         (** fraction of variance per component *)
+  scores : float array array;      (** [n x k] projected (standardised) data *)
+  means : float array;
+  stddevs : float array;
+}
+
+val standardize : float array array -> float array array
+(** Column z-scores; constant columns map to zeros.
+    @raise Invalid_argument on an empty or ragged matrix. *)
+
+val fit : ?components:int -> float array array -> result
+(** [fit ~components data] on an [n x d] matrix ([components] defaults
+    to [d]).  @raise Invalid_argument on empty/ragged input. *)
+
+val jacobi_eigen : float array array -> float array * float array array
+(** [jacobi_eigen m] for a symmetric matrix: (eigenvalues, eigenvectors
+    as rows), unsorted.  Exposed for testing. *)

@@ -1,0 +1,32 @@
+let default_dim = 15
+
+(* SplitMix64-style finaliser over the packed coordinates. *)
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let matrix_entry ~seed ~block ~dim =
+  let packed =
+    Int64.add
+      (Int64.mul (Int64.of_int seed) 0x9E3779B97F4A7C15L)
+      (Int64.of_int ((block * 1024) + dim))
+  in
+  let bits = Int64.shift_right_logical (mix packed) 11 in
+  (Int64.to_float bits /. 9007199254740992.0 *. 2.0) -. 1.0
+
+let project ?(dim = default_dim) ~seed (slices : Sp_pin.Bbv_tool.slice array) =
+  Array.map
+    (fun (s : Sp_pin.Bbv_tool.slice) ->
+      let v = Array.make dim 0.0 in
+      let total = float_of_int s.length in
+      if total > 0.0 then
+        Array.iter
+          (fun (block, count) ->
+            let w = float_of_int count /. total in
+            for d = 0 to dim - 1 do
+              v.(d) <- v.(d) +. (w *. matrix_entry ~seed ~block ~dim:d)
+            done)
+          s.bbv;
+      v)
+    slices

@@ -1,0 +1,20 @@
+(** Random projection of sparse Basic Block Vectors.
+
+    SimPoint reduces BBVs (one dimension per static basic block) to a
+    small dense space — 15 dimensions by default — before clustering, via
+    a random linear projection.  The projection matrix is never
+    materialised: entry (block, dim) is a deterministic hash of its
+    coordinates and a seed, so projecting is reproducible and costs
+    nothing in memory even for programs with many blocks. *)
+
+val default_dim : int
+(** 15, as in SimPoint 3.0. *)
+
+val matrix_entry : seed:int -> block:int -> dim:int -> float
+(** The (block, dim) projection coefficient, uniform in [\[-1, 1\]]. *)
+
+val project :
+  ?dim:int -> seed:int -> Sp_pin.Bbv_tool.slice array -> float array array
+(** [project ~seed slices] L1-normalises each slice's BBV (so slices of
+    different lengths are comparable) and projects it, yielding one
+    [dim]-vector per slice. *)

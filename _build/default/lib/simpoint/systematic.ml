@@ -1,0 +1,43 @@
+type design = { period : int; offset : int }
+
+let design_for_budget ~num_slices ~budget =
+  if budget < 1 || num_slices < 1 then
+    invalid_arg "Systematic.design_for_budget";
+  let period = max 1 (num_slices / budget) in
+  { period; offset = period / 2 }
+
+let sample_indices d ~num_slices =
+  let rec count acc i = if i >= num_slices then acc else count (acc + 1) (i + d.period) in
+  let n = count 0 d.offset in
+  Array.init n (fun k -> d.offset + (k * d.period))
+
+type estimate = {
+  samples : int;
+  mean : float;
+  std_error : float;
+  ci95_half : float;
+  rel_ci95 : float;
+}
+
+let estimate xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Systematic.estimate: empty sample";
+  let mean = Sp_util.Stats.mean xs in
+  let var =
+    (* unbiased sample variance *)
+    if n < 2 then 0.0
+    else Sp_util.Stats.variance xs *. float_of_int n /. float_of_int (n - 1)
+  in
+  let std_error = sqrt (var /. float_of_int n) in
+  let ci95_half = 1.96 *. std_error in
+  {
+    samples = n;
+    mean;
+    std_error;
+    ci95_half;
+    rel_ci95 = (if mean = 0.0 then 0.0 else ci95_half /. Float.abs mean);
+  }
+
+let required_samples ~cv ~target_rel_ci =
+  if target_rel_ci <= 0.0 then invalid_arg "Systematic.required_samples";
+  int_of_float (Float.ceil ((1.96 *. cv /. target_rel_ci) ** 2.0))

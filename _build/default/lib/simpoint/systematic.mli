@@ -1,0 +1,38 @@
+(** Systematic (SMARTS/SimFlex-style) statistical sampling, the main
+    alternative to SimPoint that the paper's related-work section
+    discusses (Wenisch et al., IEEE Micro 2006).
+
+    Instead of clustering phases, systematic sampling measures every
+    k-th slice and reports the sample mean with a confidence interval
+    from sampling theory.  This module provides the sample-design
+    arithmetic; the [sampling] experiment in {!Specrepro.Experiments}
+    compares it against SimPoint selection on the same workloads. *)
+
+type design = {
+  period : int;  (** measure every [period]-th slice *)
+  offset : int;  (** index of the first measured slice *)
+}
+
+val design_for_budget : num_slices:int -> budget:int -> design
+(** A design measuring ~[budget] slices spread uniformly.
+    @raise Invalid_argument if [budget < 1] or [num_slices < 1]. *)
+
+val sample_indices : design -> num_slices:int -> int array
+(** Indices of the measured slices, ascending. *)
+
+type estimate = {
+  samples : int;
+  mean : float;
+  std_error : float;   (** of the mean *)
+  ci95_half : float;   (** 1.96 x std_error *)
+  rel_ci95 : float;    (** ci95_half / mean; 0 when the mean is 0 *)
+}
+
+val estimate : float array -> estimate
+(** Sample mean and its confidence interval.
+    @raise Invalid_argument on an empty sample. *)
+
+val required_samples : cv:float -> target_rel_ci:float -> int
+(** SMARTS' sample-size rule: the number of measurements needed for a
+    95%% confidence interval of [target_rel_ci] (e.g. 0.03) given a
+    coefficient of variation [cv] — ceil((1.96 cv / eps)^2). *)

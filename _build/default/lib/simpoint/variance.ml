@@ -1,0 +1,59 @@
+type sweep_point = {
+  k : int;
+  avg_variance : float;
+  max_variance : float;
+  distortion : float;
+}
+
+let at_k ?(config = Simpoints.default_config) ~k slices =
+  let t = Simpoints.select_with_k ~config ~slice_len:1 ~k slices in
+  let result : Kmeans.result =
+    (* rebuild a Kmeans.result view from the selection for variance *)
+    let k' = t.Simpoints.chosen_k in
+    let centroids =
+      (* centroid = mean of member points *)
+      let dim = Array.length t.Simpoints.projected.(0) in
+      let sums = Array.init k' (fun _ -> Array.make dim 0.0) in
+      let sizes = Array.make k' 0 in
+      Array.iteri
+        (fun i j ->
+          sizes.(j) <- sizes.(j) + 1;
+          let p = t.Simpoints.projected.(i) in
+          let s = sums.(j) in
+          for x = 0 to dim - 1 do
+            s.(x) <- s.(x) +. p.(x)
+          done)
+        t.Simpoints.assignment;
+      Array.mapi
+        (fun j s ->
+          if sizes.(j) = 0 then s
+          else Array.map (fun x -> x /. float_of_int sizes.(j)) s)
+        sums
+    in
+    let sizes = Array.make k' 0 in
+    Array.iter (fun j -> sizes.(j) <- sizes.(j) + 1) t.Simpoints.assignment;
+    let distortion = ref 0.0 in
+    Array.iteri
+      (fun i j ->
+        distortion :=
+          !distortion +. Kmeans.sq_distance t.Simpoints.projected.(i) centroids.(j))
+      t.Simpoints.assignment;
+    {
+      Kmeans.k = k';
+      assignment = t.Simpoints.assignment;
+      centroids;
+      sizes;
+      distortion = !distortion;
+    }
+  in
+  let variances = Kmeans.within_cluster_variance result t.Simpoints.projected in
+  let nonempty = Array.of_list (List.filter (fun v -> v >= 0.0) (Array.to_list variances)) in
+  {
+    k = result.Kmeans.k;
+    avg_variance = Sp_util.Stats.mean nonempty;
+    max_variance = Array.fold_left Float.max 0.0 variances;
+    distortion = result.Kmeans.distortion;
+  }
+
+let sweep ?(config = Simpoints.default_config) ~ks slices =
+  List.map (fun k -> at_k ~config ~k slices) ks

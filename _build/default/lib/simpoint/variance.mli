@@ -1,0 +1,19 @@
+(** Within-cluster variance analysis: reproduces the quantity plotted in
+    the paper's Figure 4 — how the average phase-similarity variance
+    inside clusters grows as the number of available clusters shrinks. *)
+
+type sweep_point = {
+  k : int;
+  avg_variance : float;  (** mean over clusters of within-cluster variance *)
+  max_variance : float;
+  distortion : float;
+}
+
+val at_k :
+  ?config:Simpoints.config -> k:int -> Sp_pin.Bbv_tool.slice array -> sweep_point
+(** Cluster at exactly [k] and measure variance. *)
+
+val sweep :
+  ?config:Simpoints.config -> ks:int list -> Sp_pin.Bbv_tool.slice array ->
+  sweep_point list
+(** Variance at each cluster count in [ks] (Figure 4's x-axis). *)

@@ -1,0 +1,72 @@
+let default_threshold = 0.25
+
+let segment ?(threshold = default_threshold) ?(max_len = max_int)
+    ?(seed = Simpoints.default_config.Simpoints.seed) micro =
+  let n = Array.length micro in
+  if n = 0 then invalid_arg "Vli.segment: empty";
+  let projected = Projection.project ~seed micro in
+  let dim = Array.length projected.(0) in
+  let out = ref [] in
+  let group = ref [] in
+  let group_n = ref 0 in
+  let group_len = ref 0 in
+  let mean = Array.make dim 0.0 in
+  let n_out = ref 0 in
+  let flush () =
+    if !group <> [] then begin
+      out := Aggregate.merge_slices ~index:!n_out (List.rev !group) :: !out;
+      incr n_out;
+      group := [];
+      group_n := 0;
+      group_len := 0;
+      Array.fill mean 0 dim 0.0
+    end
+  in
+  let add i (s : Sp_pin.Bbv_tool.slice) =
+    group := s :: !group;
+    incr group_n;
+    group_len := !group_len + s.Sp_pin.Bbv_tool.length;
+    let w = 1.0 /. float_of_int !group_n in
+    for d = 0 to dim - 1 do
+      mean.(d) <- mean.(d) +. ((projected.(i).(d) -. mean.(d)) *. w)
+    done
+  in
+  Array.iteri
+    (fun i s ->
+      let fits =
+        !group_n > 0
+        && !group_len + s.Sp_pin.Bbv_tool.length <= max_len
+        && sqrt (Kmeans.sq_distance mean projected.(i)) <= threshold
+      in
+      if not fits then flush ();
+      add i s)
+    micro;
+  flush ();
+  Array.of_list (List.rev !out)
+
+let select ?config ?threshold ?max_len ~micro_len micro =
+  let intervals = segment ?threshold ?max_len micro in
+  let sel = Simpoints.select ?config ~slice_len:micro_len intervals in
+  (* re-weight clusters by instructions rather than interval count *)
+  let total =
+    Array.fold_left
+      (fun acc (s : Sp_pin.Bbv_tool.slice) -> acc + s.Sp_pin.Bbv_tool.length)
+      0 intervals
+  in
+  let per_cluster = Hashtbl.create 16 in
+  Array.iteri
+    (fun i c ->
+      let prev = Option.value ~default:0 (Hashtbl.find_opt per_cluster c) in
+      Hashtbl.replace per_cluster c
+        (prev + intervals.(i).Sp_pin.Bbv_tool.length))
+    sel.Simpoints.assignment;
+  let points =
+    Array.map
+      (fun (p : Simpoints.point) ->
+        let insns =
+          Option.value ~default:0 (Hashtbl.find_opt per_cluster p.cluster)
+        in
+        { p with Simpoints.weight = float_of_int insns /. float_of_int total })
+      sel.Simpoints.points
+  in
+  { sel with Simpoints.points }

@@ -1,0 +1,34 @@
+(** Variable-Length Intervals (Hamerly et al., "SimPoint 3.0: Faster
+    and more flexible program phase analysis" — the extension the
+    paper's related-work section highlights).
+
+    Instead of slicing the execution into fixed-size chunks, VLI merges
+    consecutive micro-slices while the program stays in the same phase
+    (projected-BBV distance below a threshold), producing long intervals
+    inside stable phases and short ones at transitions.  Intervals are
+    then clustered like ordinary slices, but weighted by instruction
+    count rather than interval count. *)
+
+val segment :
+  ?threshold:float ->
+  ?max_len:int ->
+  ?seed:int ->
+  Sp_pin.Bbv_tool.slice array ->
+  Sp_pin.Bbv_tool.slice array
+(** [segment micro] greedily merges consecutive micro-slices whose
+    projected BBVs stay within [threshold] (Euclidean, in the 15-dim
+    projection) of the running interval mean, up to [max_len]
+    instructions per interval.  The result is a valid slice array
+    (contiguous [start_icount], summed BBVs).
+    @raise Invalid_argument on an empty input. *)
+
+val select :
+  ?config:Simpoints.config ->
+  ?threshold:float ->
+  ?max_len:int ->
+  micro_len:int ->
+  Sp_pin.Bbv_tool.slice array ->
+  Simpoints.t
+(** VLI end-to-end: segment, then run simulation-point selection over
+    the intervals with instruction-weighted cluster weights.  The
+    returned points' weights sum to 1 over *instructions*. *)

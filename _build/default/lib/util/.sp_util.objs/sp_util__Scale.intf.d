@@ -1,0 +1,1 @@
+lib/util/scale.mli: Format

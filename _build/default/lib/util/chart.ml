@@ -1,0 +1,83 @@
+let bar ?(width = 60) ?(unit_label = "") rows =
+  let vmax =
+    List.fold_left
+      (fun m (_, v) -> if Float.is_finite v then Float.max m v else m)
+      0.0 rows
+  in
+  let lmax =
+    List.fold_left (fun m (l, _) -> max m (String.length l)) 0 rows
+  in
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (label, v) ->
+      let n =
+        if vmax <= 0.0 || (not (Float.is_finite v)) || v < 0.0 then 0
+        else int_of_float (Float.round (v /. vmax *. float_of_int width))
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%-*s | %s %.3g%s\n" lmax label (String.make n '#') v
+           unit_label))
+    rows;
+  Buffer.contents buf
+
+let glyphs = [| '*'; 'o'; '+'; 'x'; '@'; '%' |]
+
+let series ?(height = 12) ?(width = 60) ~labels seriess =
+  if List.length labels <> List.length seriess then
+    invalid_arg "Chart.series: labels/series mismatch";
+  List.iter
+    (fun s -> if Array.length s = 0 then invalid_arg "Chart.series: empty series")
+    seriess;
+  let vmax =
+    List.fold_left
+      (fun m s -> Array.fold_left Float.max m s)
+      neg_infinity seriess
+  in
+  let vmin =
+    List.fold_left
+      (fun m s -> Array.fold_left Float.min m s)
+      infinity seriess
+  in
+  let vmin = if vmin = vmax then vmin -. 1.0 else vmin in
+  let grid = Array.make_matrix height width ' ' in
+  List.iteri
+    (fun si s ->
+      let g = glyphs.(si mod Array.length glyphs) in
+      let n = Array.length s in
+      for x = 0 to width - 1 do
+        let i =
+          if n = 1 then 0
+          else
+            int_of_float
+              (Float.round
+                 (float_of_int x /. float_of_int (width - 1) *. float_of_int (n - 1)))
+        in
+        let v = s.(i) in
+        if Float.is_finite v then begin
+          let y =
+            int_of_float
+              (Float.round
+                 ((v -. vmin) /. (vmax -. vmin) *. float_of_int (height - 1)))
+          in
+          let y = max 0 (min (height - 1) y) in
+          grid.(height - 1 - y).(x) <- g
+        end
+      done)
+    seriess;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "%10.3g +\n" vmax);
+  Array.iter
+    (fun row ->
+      Buffer.add_string buf "           |";
+      Array.iter (Buffer.add_char buf) row;
+      Buffer.add_char buf '\n')
+    grid;
+  Buffer.add_string buf (Printf.sprintf "%10.3g +%s\n" vmin (String.make width '-'));
+  Buffer.add_string buf "            ";
+  List.iteri
+    (fun i l ->
+      Buffer.add_string buf
+        (Printf.sprintf "%c=%s  " glyphs.(i mod Array.length glyphs) l))
+    labels;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf

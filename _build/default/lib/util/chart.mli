@@ -1,0 +1,17 @@
+(** Terminal charts for the figure reproductions.
+
+    The paper's results are figures; alongside the numeric tables the
+    bench renders their *shapes* as ASCII charts — horizontal bars for
+    categorical comparisons and multi-series line plots for sweeps. *)
+
+val bar : ?width:int -> ?unit_label:string -> (string * float) list -> string
+(** Horizontal bar chart; bars scale to the maximum value.
+    Non-finite/negative values render as empty bars. *)
+
+val series :
+  ?height:int -> ?width:int -> labels:string list -> float array list -> string
+(** Multi-series plot: each series is drawn with its own glyph over a
+    shared y-scale; x is the sample index scaled to [width].  A legend
+    line maps glyphs to [labels].
+    @raise Invalid_argument if series and labels differ in count, or if
+    any series is empty. *)

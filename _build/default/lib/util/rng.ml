@@ -1,0 +1,68 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let next_seed t =
+  t.state <- Int64.add t.state golden_gamma;
+  t.state
+
+(* SplitMix64 output mix. *)
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let int64 t = mix64 (next_seed t)
+
+let split t = { state = int64 t }
+
+let copy t = { state = t.state }
+
+let bits30 t = Int64.to_int (Int64.shift_right_logical (int64 t) 34)
+
+let int t bound =
+  assert (bound > 0);
+  if bound <= 1 lsl 30 then bits30 t mod bound
+  else
+    (* 60 bits, enough for any simulated address space we use. *)
+    let hi = bits30 t and lo = bits30 t in
+    ((hi lsl 30) lor lo) mod bound
+
+let float t bound =
+  let x = Int64.to_float (Int64.shift_right_logical (int64 t) 11) in
+  x /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let gaussian t ~mu ~sigma =
+  let rec draw () =
+    let u1 = float t 1.0 in
+    if u1 <= 1e-300 then draw () else u1
+  in
+  let u1 = draw () in
+  let u2 = float t 1.0 in
+  let r = sqrt (-2.0 *. log u1) in
+  mu +. (sigma *. r *. cos (2.0 *. Float.pi *. u2))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  assert (Array.length a > 0);
+  a.(int t (Array.length a))
+
+let hash_string s =
+  let h = ref 0x0bf29ce484222325 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x100000001b3 land max_int)
+    s;
+  !h

@@ -1,0 +1,45 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomness in the system flows through this module so that every
+    experiment is reproducible bit-for-bit from a seed.  The generator is
+    SplitMix64 (Steele et al., OOPSLA 2014): tiny state, excellent
+    statistical quality for simulation purposes, and cheap splitting, which
+    lets each benchmark, kernel and tool own an independent stream derived
+    from a master seed. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes a fresh generator from an integer seed. *)
+
+val split : t -> t
+(** [split t] derives a statistically independent generator; [t] advances. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state (same future outputs). *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val bits30 : t -> int
+(** 30 uniformly random bits as a non-negative [int]. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val gaussian : t -> mu:float -> sigma:float -> float
+(** Box-Muller normal deviate. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val hash_string : string -> int
+(** FNV-1a hash of a string, for deriving per-name seeds. *)

@@ -1,0 +1,17 @@
+let sim_insns_per_minsn = 40
+
+let of_minsn m = m * sim_insns_per_minsn
+
+let paper_insns_of_sim n = float_of_int n /. float_of_int sim_insns_per_minsn *. 1e6
+
+let micro_slice_minsn = 5
+
+let default_slice_minsn = 30
+
+let default_max_k = 35
+
+let pp_paper_insns ppf x =
+  if x >= 1e12 then Format.fprintf ppf "%.1f T" (x /. 1e12)
+  else if x >= 1e9 then Format.fprintf ppf "%.1f B" (x /. 1e9)
+  else if x >= 1e6 then Format.fprintf ppf "%.1f M" (x /. 1e6)
+  else Format.fprintf ppf "%.0f" x

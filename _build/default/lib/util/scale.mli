@@ -1,0 +1,35 @@
+(** Scaling between paper-reported instruction counts and simulated
+    instruction counts.
+
+    SPEC CPU2017 reference runs execute trillions of instructions; our
+    synthetic workloads cannot (and need not) match those absolute counts.
+    We keep every *structural* quantity at paper scale — number of slices
+    per benchmark, number of simulation points, slice-size ratios — and
+    scale only the number of simulated instructions that stand in for one
+    paper "M instructions" (Minsn).  All experiment reports show both the
+    simulated count and the paper-equivalent count derived from this
+    scale. *)
+
+val sim_insns_per_minsn : int
+(** Simulated instructions representing one million paper instructions. *)
+
+val of_minsn : int -> int
+(** [of_minsn m] is the simulated-instruction length of a slice quoted in
+    the paper as [m] million instructions. *)
+
+val paper_insns_of_sim : int -> float
+(** Paper-equivalent (absolute) instruction count of a simulated count. *)
+
+val micro_slice_minsn : int
+(** BBV collection granularity in paper-Minsn.  It divides every slice
+    size used in the paper's sweep (15, 25, 30, 50, 100 M), letting the
+    slice-size sweep re-aggregate micro-slices instead of re-running. *)
+
+val default_slice_minsn : int
+(** The paper's chosen slice size: 30 M instructions. *)
+
+val default_max_k : int
+(** The paper's chosen MaxK: 35 clusters. *)
+
+val pp_paper_insns : Format.formatter -> float -> unit
+(** Human formatting of paper-equivalent counts (e.g. ["6873.9 B"]). *)

@@ -1,0 +1,87 @@
+let sum xs = Array.fold_left ( +. ) 0.0 xs
+
+let fsum f xs = List.fold_left (fun acc x -> acc +. f x) 0.0 xs
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else sum xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else
+    let m = mean xs in
+    let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+    acc /. float_of_int n
+
+let stddev xs = sqrt (variance xs)
+
+let geomean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else begin
+    Array.iter (fun x -> assert (x > 0.0)) xs;
+    exp (Array.fold_left (fun acc x -> acc +. log x) 0.0 xs /. float_of_int n)
+  end
+
+let weighted_mean ~weights xs =
+  let n = Array.length xs in
+  assert (Array.length weights = n);
+  let wsum = sum weights in
+  if wsum <= 0.0 then mean xs
+  else begin
+    let acc = ref 0.0 in
+    for i = 0 to n - 1 do
+      acc := !acc +. (weights.(i) *. xs.(i))
+    done;
+    !acc /. wsum
+  end
+
+let percentile xs p =
+  let n = Array.length xs in
+  assert (n > 0 && p >= 0.0 && p <= 100.0);
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  if n = 1 then sorted.(0)
+  else
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+
+let abs_error ~reference x = Float.abs (x -. reference)
+
+let rel_error_pct ~reference x =
+  if reference = 0.0 then if x = 0.0 then 0.0 else 100.0
+  else Float.abs ((x -. reference) /. reference) *. 100.0
+
+let mean_abs_error_pct ~reference xs =
+  let n = Array.length xs in
+  assert (Array.length reference = n && n > 0);
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. rel_error_pct ~reference:reference.(i) xs.(i)
+  done;
+  !acc /. float_of_int n
+
+let pearson xs ys =
+  let n = Array.length xs in
+  assert (Array.length ys = n);
+  if n = 0 then 0.0
+  else
+    let mx = mean xs and my = mean ys in
+    let sxy = ref 0.0 and sxx = ref 0.0 and syy = ref 0.0 in
+    for i = 0 to n - 1 do
+      let dx = xs.(i) -. mx and dy = ys.(i) -. my in
+      sxy := !sxy +. (dx *. dy);
+      sxx := !sxx +. (dx *. dx);
+      syy := !syy +. (dy *. dy)
+    done;
+    if !sxx = 0.0 || !syy = 0.0 then 0.0 else !sxy /. sqrt (!sxx *. !syy)
+
+let normalize xs =
+  let s = sum xs in
+  let n = Array.length xs in
+  if s <= 0.0 then Array.make n (if n = 0 then 0.0 else 1.0 /. float_of_int n)
+  else Array.map (fun x -> x /. s) xs

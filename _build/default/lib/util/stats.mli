@@ -1,0 +1,41 @@
+(** Descriptive statistics and error metrics used throughout the
+    experiment harness. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 for an empty array. *)
+
+val variance : float array -> float
+(** Population variance; 0 for fewer than two samples. *)
+
+val stddev : float array -> float
+
+val geomean : float array -> float
+(** Geometric mean of strictly positive samples. *)
+
+val weighted_mean : weights:float array -> float array -> float
+(** [weighted_mean ~weights xs] with weights summing to anything positive;
+    they are renormalised internally.  This is the aggregation rule the
+    paper mandates for per-simulation-point statistics ("the weighted
+    average should be taken only for statistics normalized by
+    instructions"). *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] for [p] in [\[0,100\]], linear interpolation. *)
+
+val abs_error : reference:float -> float -> float
+(** [abs_error ~reference x] = |x - reference|. *)
+
+val rel_error_pct : reference:float -> float -> float
+(** Relative error in percent; 0 if the reference is 0 and x is 0,
+    100 if the reference is 0 and x is not. *)
+
+val mean_abs_error_pct : reference:float array -> float array -> float
+(** Mean of pairwise relative errors (percent). *)
+
+val pearson : float array -> float array -> float
+(** Pearson correlation coefficient; 0 when either side is constant. *)
+
+val sum : float array -> float
+val fsum : ('a -> float) -> 'a list -> float
+val normalize : float array -> float array
+(** Scale a non-negative vector to sum to 1; uniform if the sum is 0. *)

@@ -1,0 +1,120 @@
+type align = Left | Right
+
+type row = Cells of string list | Rule
+
+type t = {
+  title : string option;
+  headers : string list;
+  aligns : align list;
+  mutable rows : row list;  (* reversed *)
+}
+
+let create ?title columns =
+  { title; headers = List.map fst columns; aligns = List.map snd columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Table.add_row: wrong number of cells";
+  t.rows <- Cells cells :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  let measure cells =
+    List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells
+  in
+  measure t.headers;
+  List.iter (function Cells c -> measure c | Rule -> ()) rows;
+  let buf = Buffer.create 1024 in
+  let pad align width s =
+    let fill = width - String.length s in
+    if fill <= 0 then s
+    else
+      match align with
+      | Left -> s ^ String.make fill ' '
+      | Right -> String.make fill ' ' ^ s
+  in
+  let emit_cells aligns cells =
+    Buffer.add_string buf "| ";
+    List.iteri
+      (fun i (a, c) ->
+        if i > 0 then Buffer.add_string buf " | ";
+        Buffer.add_string buf (pad a widths.(i) c))
+      (List.combine aligns cells);
+    Buffer.add_string buf " |\n"
+  in
+  let rule_line () =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  (match t.title with
+  | Some title ->
+      Buffer.add_string buf title;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  rule_line ();
+  emit_cells (List.map (fun _ -> Left) t.headers) t.headers;
+  rule_line ();
+  List.iter
+    (function
+      | Cells c -> emit_cells t.aligns c
+      | Rule -> rule_line ())
+    rows;
+  rule_line ();
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  print_newline ()
+
+let fmt_f ?(dec = 2) x = Printf.sprintf "%.*f" dec x
+
+let fmt_pct ?(dec = 2) x = Printf.sprintf "%.*f%%" dec x
+
+let fmt_x ?(dec = 1) x = Printf.sprintf "%.*fx" dec x
+
+let fmt_int n =
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let buf = Buffer.create (len + (len / 3) + 1) in
+  if n < 0 then Buffer.add_char buf '-';
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let csv_cell c =
+  if String.exists (fun ch -> ch = ',' || ch = '"' || ch = '\n') c then begin
+    let buf = Buffer.create (String.length c + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun ch ->
+        if ch = '"' then Buffer.add_string buf "\"\""
+        else Buffer.add_char buf ch)
+      c;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else c
+
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  let emit cells =
+    Buffer.add_string buf (String.concat "," (List.map csv_cell cells));
+    Buffer.add_char buf '\n'
+  in
+  emit t.headers;
+  List.iter (function Cells c -> emit c | Rule -> ()) (List.rev t.rows);
+  Buffer.contents buf
+
+let title t = t.title

@@ -1,0 +1,40 @@
+(** Plain-text table rendering for experiment reports.
+
+    The bench harness prints every reproduced table/figure as an aligned
+    text table; this module owns the layout so all reports look alike. *)
+
+type align = Left | Right
+
+type t
+
+val create : ?title:string -> (string * align) list -> t
+(** [create ~title columns] starts a table with the given header cells. *)
+
+val add_row : t -> string list -> unit
+(** Append a data row; must have as many cells as there are columns. *)
+
+val add_rule : t -> unit
+(** Append a horizontal separator (used before summary rows). *)
+
+val render : t -> string
+
+val print : t -> unit
+(** [render] followed by [print_string] and a trailing newline. *)
+
+val to_csv : t -> string
+(** RFC-4180-ish CSV: header row then data rows (rules are skipped);
+    cells containing commas/quotes/newlines are quoted. *)
+
+val title : t -> string option
+
+val fmt_f : ?dec:int -> float -> string
+(** Fixed-point float cell ([dec] decimals, default 2). *)
+
+val fmt_pct : ?dec:int -> float -> string
+(** Percentage cell with a ["%"] suffix. *)
+
+val fmt_x : ?dec:int -> float -> string
+(** Speedup cell with an ["x"] suffix. *)
+
+val fmt_int : int -> string
+(** Integer cell with thousands separators. *)

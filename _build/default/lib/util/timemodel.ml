@@ -1,0 +1,23 @@
+type run_kind = Native | Logging | Whole | Regional
+
+(* Rates calibrated from the paper's own reported figures:
+   - Whole replay: 6873.9 B insns in 213.2 h -> 8.96 M insn/s.
+   - Regional replay: 10.4 B insns in 17.17 min -> 10.09 M insn/s.
+   - Logging: 100-200x slower than native (we use 150x on a 2.5 G insn/s
+     native machine).
+   - Native: nominal single-thread throughput of the paper's Xeon host. *)
+let replay_rate = function
+  | Native -> 2.5e9
+  | Logging -> 2.5e9 /. 150.0
+  | Whole -> 8.956e6
+  | Regional -> 10.09e6
+
+let seconds kind ~paper_insns = paper_insns /. replay_rate kind
+
+let native_seconds ~paper_insns ~cpi ~ghz = paper_insns *. cpi /. (ghz *. 1e9)
+
+let pp_duration ppf s =
+  if s >= 3600.0 then Format.fprintf ppf "%.1f h" (s /. 3600.0)
+  else if s >= 60.0 then Format.fprintf ppf "%.2f min" (s /. 60.0)
+  else if s >= 1.0 then Format.fprintf ppf "%.2f s" s
+  else Format.fprintf ppf "%.1f ms" (s *. 1000.0)

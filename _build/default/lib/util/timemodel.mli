@@ -1,0 +1,33 @@
+(** Execution-time model for the paper's runtime-reduction claims.
+
+    The paper reports wall-clock times measured on the authors' Xeon
+    machines: logging a Whole Pinball is 100-200x slower than native,
+    replaying a Whole Pinball under pintools averaged 213.2 hours per
+    benchmark, and Regional replays averaged 17.17 minutes.  Those times
+    are a function of (a) the dynamic instruction count of the run and
+    (b) a per-run-kind processing rate.  We cannot measure the authors'
+    hardware, so we reproduce the *model*: rates calibrated from the
+    paper's own reported figures, applied to instruction counts that we
+    measure in our pipeline.  Our bench additionally reports the real
+    wall-clock time of our own simulated runs. *)
+
+type run_kind =
+  | Native       (** direct execution of the binary on hardware *)
+  | Logging      (** PinPlay logger creating a Whole Pinball *)
+  | Whole        (** replaying a Whole Pinball under pintools *)
+  | Regional     (** replaying Regional Pinballs under pintools *)
+
+val replay_rate : run_kind -> float
+(** Instructions per second processed for a run kind.  Regional replay is
+    slightly faster than Whole replay (smaller resident footprint, better
+    host-cache locality), matching the paper's 750x time reduction against
+    its 650x instruction reduction. *)
+
+val seconds : run_kind -> paper_insns:float -> float
+(** Wall-clock seconds to process [paper_insns] instructions. *)
+
+val native_seconds : paper_insns:float -> cpi:float -> ghz:float -> float
+(** Native execution time derived from a timing model's CPI. *)
+
+val pp_duration : Format.formatter -> float -> unit
+(** Render seconds as a human duration ("213.2 h", "17.2 min", "3.1 s"). *)

@@ -1,0 +1,1 @@
+lib/vm/asm.ml: Array Hashtbl Isa Printf Program Sp_isa

@@ -1,0 +1,1 @@
+lib/vm/interp.ml: Array Hooks Isa Memory Printf Program Sp_isa Sp_util

@@ -1,0 +1,1 @@
+lib/vm/multicore.ml: Array Hooks Interp List Program

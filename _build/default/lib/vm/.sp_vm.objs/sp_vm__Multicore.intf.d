@@ -1,0 +1,1 @@
+lib/vm/multicore.mli: Hooks Interp Program

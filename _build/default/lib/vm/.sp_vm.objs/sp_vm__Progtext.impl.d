@@ -1,0 +1,1 @@
+lib/vm/progtext.ml: Array Buffer Filename List Printf Program Sp_isa String

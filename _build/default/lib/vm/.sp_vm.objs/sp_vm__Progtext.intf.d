@@ -1,0 +1,1 @@
+lib/vm/progtext.mli: Program

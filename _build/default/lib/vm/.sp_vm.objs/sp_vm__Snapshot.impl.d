@@ -1,0 +1,1 @@
+lib/vm/snapshot.ml: Array Interp Memory

@@ -1,0 +1,108 @@
+open Sp_isa
+
+type label = int
+
+(* Emitted instructions carry either a resolved instruction (non-control)
+   or a control instruction whose int target field holds a label id. *)
+type t = {
+  name : string;
+  buf : Isa.instr array ref;
+  mutable len : int;
+  mutable next_label : int;
+  positions : (label, int) Hashtbl.t;
+  mutable uses_label : bool array;  (* per emitted pc: target is a label *)
+}
+
+let create ?(name = "anon") () =
+  {
+    name;
+    buf = ref (Array.make 256 Isa.Halt);
+    len = 0;
+    next_label = 0;
+    positions = Hashtbl.create 32;
+    uses_label = Array.make 256 false;
+  }
+
+let grow t =
+  let cap = Array.length !(t.buf) in
+  if t.len >= cap then begin
+    let nbuf = Array.make (cap * 2) Isa.Halt in
+    Array.blit !(t.buf) 0 nbuf 0 cap;
+    t.buf := nbuf;
+    let nuses = Array.make (cap * 2) false in
+    Array.blit t.uses_label 0 nuses 0 cap;
+    t.uses_label <- nuses
+  end
+
+let push t ?(uses_label = false) i =
+  grow t;
+  !(t.buf).(t.len) <- i;
+  t.uses_label.(t.len) <- uses_label;
+  t.len <- t.len + 1
+
+let new_label t =
+  let l = t.next_label in
+  t.next_label <- l + 1;
+  l
+
+let place t l =
+  if Hashtbl.mem t.positions l then
+    invalid_arg (Printf.sprintf "Asm.place(%s): label %d placed twice" t.name l);
+  Hashtbl.add t.positions l t.len
+
+let position t = t.len
+
+let here t =
+  let l = new_label t in
+  place t l;
+  l
+
+let instr t i =
+  if Isa.is_control i && i <> Isa.Halt then
+    invalid_arg "Asm.instr: control instruction; use branch/jump/call/ret";
+  push t i
+
+let branch t c r1 r2 l = push t ~uses_label:true (Isa.Branch (c, r1, r2, l))
+let jump t l = push t ~uses_label:true (Isa.Jump l)
+let call t l = push t ~uses_label:true (Isa.Call l)
+let ret t = push t Isa.Ret
+let halt t = push t Isa.Halt
+
+let resolve t l =
+  match Hashtbl.find_opt t.positions l with
+  | Some pos -> pos
+  | None ->
+      invalid_arg (Printf.sprintf "Asm.assemble(%s): unplaced label %d" t.name l)
+
+let assemble ?entry t =
+  let instrs =
+    Array.init t.len (fun pc ->
+        let i = !(t.buf).(pc) in
+        if t.uses_label.(pc) then Isa.map_target (resolve t) i else i)
+  in
+  let entry = match entry with Some l -> resolve t l | None -> 0 in
+  Program.of_instrs ~name:t.name ~entry instrs
+
+let li t rd imm = instr t (Isa.Li (rd, imm))
+let mov t rd rs = instr t (Isa.Mov (rd, rs))
+let alu t op rd r1 r2 = instr t (Isa.Alu (op, rd, r1, r2))
+let alui t op rd r1 imm = instr t (Isa.Alui (op, rd, r1, imm))
+let load t rd rs off = instr t (Isa.Load (rd, rs, off))
+let store t rv rb off = instr t (Isa.Store (rv, rb, off))
+let movs t rd rs = instr t (Isa.Movs (rd, rs))
+let falu t op fd f1 f2 = instr t (Isa.Falu (op, fd, f1, f2))
+let fload t fd rs off = instr t (Isa.Fload (fd, rs, off))
+let fstore t fv rb off = instr t (Isa.Fstore (fv, rb, off))
+let fmovi t fd x = instr t (Isa.Fmovi (fd, x))
+let sys t n rd = instr t (Isa.Sys (n, rd))
+
+let loop_down t ~counter ~from body =
+  li t counter from;
+  let top = here t in
+  body ();
+  alui t Isa.Sub counter counter 1;
+  (* loop while counter > 0: compare against r0-as-zero is not available,
+     so compare with an immediate via a scratch-free trick: bgt counter, rz
+     needs a zero register.  We reserve r15 as an always-zero register by
+     convention (kernels must not clobber it). *)
+  branch t Isa.Gt counter 15 top

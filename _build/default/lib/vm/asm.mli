@@ -1,0 +1,61 @@
+open Sp_isa
+
+(** Assembler DSL used by the workload kernels.
+
+    Control-flow targets are symbolic labels resolved at {!assemble}
+    time, so kernels can branch forward.  The emitters mirror the ISA;
+    control instructions take labels instead of raw indices. *)
+
+type t
+
+type label
+
+val create : ?name:string -> unit -> t
+
+val new_label : t -> label
+(** A fresh, not-yet-placed label. *)
+
+val place : t -> label -> unit
+(** Bind a label to the current position.
+    @raise Invalid_argument if already placed. *)
+
+val here : t -> label
+(** [new_label] + [place] at the current position. *)
+
+val position : t -> int
+(** Current emission position (the pc the next instruction gets). *)
+
+val instr : t -> Isa.instr -> unit
+(** Emit a non-control instruction verbatim.
+    @raise Invalid_argument for control instructions (use the dedicated
+    emitters so their targets are labels). *)
+
+val branch : t -> Isa.cond -> Isa.reg -> Isa.reg -> label -> unit
+val jump : t -> label -> unit
+val call : t -> label -> unit
+val ret : t -> unit
+val halt : t -> unit
+
+val assemble : ?entry:label -> t -> Program.t
+(** Resolve labels and build the program.
+    @raise Invalid_argument if any referenced label is unplaced. *)
+
+(** Convenience emitters (all forward to {!instr}). *)
+
+val li : t -> Isa.reg -> int -> unit
+val mov : t -> Isa.reg -> Isa.reg -> unit
+val alu : t -> Isa.alu_op -> Isa.reg -> Isa.reg -> Isa.reg -> unit
+val alui : t -> Isa.alu_op -> Isa.reg -> Isa.reg -> int -> unit
+val load : t -> Isa.reg -> Isa.reg -> int -> unit
+val store : t -> Isa.reg -> Isa.reg -> int -> unit
+val movs : t -> Isa.reg -> Isa.reg -> unit
+val falu : t -> Isa.falu_op -> Isa.freg -> Isa.freg -> Isa.freg -> unit
+val fload : t -> Isa.freg -> Isa.reg -> int -> unit
+val fstore : t -> Isa.freg -> Isa.reg -> int -> unit
+val fmovi : t -> Isa.freg -> float -> unit
+val sys : t -> int -> Isa.reg -> unit
+
+val loop_down : t -> counter:Isa.reg -> from:int -> (unit -> unit) -> unit
+(** [loop_down t ~counter ~from body] emits a counted loop running [body]
+    [from] times, decrementing [counter] from [from] to 1.  [body] must
+    preserve [counter]. *)

@@ -1,0 +1,44 @@
+type t = {
+  on_block : int -> unit;
+  on_instr : int -> int -> unit;
+  on_read : int -> unit;
+  on_write : int -> unit;
+  on_branch : int -> bool -> unit;
+}
+
+let ignore1 (_ : int) = ()
+let ignore2 (_ : int) (_ : int) = ()
+let ignore_branch (_ : int) (_ : bool) = ()
+
+let nil =
+  {
+    on_block = ignore1;
+    on_instr = ignore2;
+    on_read = ignore1;
+    on_write = ignore1;
+    on_branch = ignore_branch;
+  }
+
+let seq a b =
+  let pick1 fa fb =
+    if fa == ignore1 then fb
+    else if fb == ignore1 then fa
+    else fun x -> fa x; fb x
+  in
+  {
+    on_block = pick1 a.on_block b.on_block;
+    on_instr =
+      (if a.on_instr == ignore2 then b.on_instr
+       else if b.on_instr == ignore2 then a.on_instr
+       else fun x y -> a.on_instr x y; b.on_instr x y);
+    on_read = pick1 a.on_read b.on_read;
+    on_write = pick1 a.on_write b.on_write;
+    on_branch =
+      (if a.on_branch == ignore_branch then b.on_branch
+       else if b.on_branch == ignore_branch then a.on_branch
+       else fun x y -> a.on_branch x y; b.on_branch x y);
+  }
+
+let seq_all = function
+  | [] -> nil
+  | h :: tl -> List.fold_left seq h tl

@@ -1,0 +1,25 @@
+(** Instrumentation hooks: the VM-side half of the Pin-style API.
+
+    The interpreter invokes these callbacks while executing; the
+    {!Sp_pin} framework builds hook records out of pintools.  Callbacks
+    are plain (non-labelled) closures so the dispatch cost in the
+    interpreter's hot loop stays at one indirect call each. *)
+
+type t = {
+  on_block : int -> unit;
+      (** block id, at entry to each dynamic basic block *)
+  on_instr : int -> int -> unit;
+      (** [pc, kind_code] for every retired instruction *)
+  on_read : int -> unit;  (** data byte address of each memory read *)
+  on_write : int -> unit;  (** data byte address of each memory write *)
+  on_branch : int -> bool -> unit;
+      (** [pc, taken] for every conditional branch *)
+}
+
+val nil : t
+(** No-op hooks; the interpreter runs at full speed. *)
+
+val seq : t -> t -> t
+(** Run both hook sets, first argument first. *)
+
+val seq_all : t list -> t

@@ -1,0 +1,165 @@
+open Sp_isa
+
+type machine = {
+  regs : int array;
+  fregs : float array;
+  mutable pc : int;
+  callstack : int array;
+  mutable sp : int;
+  mem : Memory.t;
+  mutable icount : int;
+}
+
+type status = Halted | Out_of_fuel
+
+exception Stack_error of string
+
+let stack_depth = 4096
+
+let create ?mem ~entry () =
+  let mem = match mem with Some m -> m | None -> Memory.create () in
+  {
+    regs = Array.make Isa.num_regs 0;
+    fregs = Array.make Isa.num_fregs 0.0;
+    pc = entry;
+    callstack = Array.make stack_depth 0;
+    sp = 0;
+    mem;
+    icount = 0;
+  }
+
+let default_syscall n = Sp_util.Rng.hash_string (string_of_int n) land 0xFFFF
+
+let exec_alu op a b =
+  match (op : Isa.alu_op) with
+  | Add -> a + b
+  | Sub -> a - b
+  | Mul -> a * b
+  | Div -> if b = 0 then 0 else a / b
+  | Rem -> if b = 0 then 0 else a mod b
+  | And -> a land b
+  | Or -> a lor b
+  | Xor -> a lxor b
+  | Shl -> a lsl (b land 63)
+  | Shr -> a lsr (b land 63)
+
+let exec_falu op a b =
+  match (op : Isa.falu_op) with
+  | Fadd -> a +. b
+  | Fsub -> a -. b
+  | Fmul -> a *. b
+  | Fdiv -> if b = 0.0 then 0.0 else a /. b
+
+let eval_cond c a b =
+  match (c : Isa.cond) with
+  | Eq -> a = b
+  | Ne -> a <> b
+  | Lt -> a < b
+  | Le -> a <= b
+  | Gt -> a > b
+  | Ge -> a >= b
+
+let run ?(hooks = Hooks.nil) ?(syscall = default_syscall) ?(fuel = max_int)
+    (prog : Program.t) (m : machine) =
+  let instrs = prog.instrs in
+  let kinds = prog.kinds in
+  let is_leader = prog.is_leader in
+  let bb_of_pc = prog.bb_of_pc in
+  let regs = m.regs in
+  let fregs = m.fregs in
+  let mem = m.mem in
+  let on_block = hooks.Hooks.on_block in
+  let on_instr = hooks.Hooks.on_instr in
+  let on_read = hooks.Hooks.on_read in
+  let on_write = hooks.Hooks.on_write in
+  let on_branch = hooks.Hooks.on_branch in
+  let remaining = ref fuel in
+  let status = ref Out_of_fuel in
+  let running = ref (fuel > 0) in
+  while !running do
+    let pc = m.pc in
+    if Array.unsafe_get is_leader pc then on_block (Array.unsafe_get bb_of_pc pc);
+    on_instr pc (Array.unsafe_get kinds pc);
+    m.icount <- m.icount + 1;
+    decr remaining;
+    (match Array.unsafe_get instrs pc with
+    | Alu (op, rd, r1, r2) ->
+        Array.unsafe_set regs rd
+          (exec_alu op (Array.unsafe_get regs r1) (Array.unsafe_get regs r2));
+        m.pc <- pc + 1
+    | Alui (op, rd, r1, imm) ->
+        Array.unsafe_set regs rd (exec_alu op (Array.unsafe_get regs r1) imm);
+        m.pc <- pc + 1
+    | Li (rd, imm) ->
+        Array.unsafe_set regs rd imm;
+        m.pc <- pc + 1
+    | Mov (rd, rs) ->
+        Array.unsafe_set regs rd (Array.unsafe_get regs rs);
+        m.pc <- pc + 1
+    | Load (rd, rs, off) ->
+        let a = Array.unsafe_get regs rs + off in
+        on_read a;
+        Array.unsafe_set regs rd (Memory.load mem a);
+        m.pc <- pc + 1
+    | Store (rv, rb, off) ->
+        let a = Array.unsafe_get regs rb + off in
+        on_write a;
+        Memory.store mem a (Array.unsafe_get regs rv);
+        m.pc <- pc + 1
+    | Movs (rdst, rsrc) ->
+        let src = Array.unsafe_get regs rsrc in
+        let dst = Array.unsafe_get regs rdst in
+        on_read src;
+        on_write dst;
+        Memory.store mem dst (Memory.load mem src);
+        m.pc <- pc + 1
+    | Falu (op, fd, f1, f2) ->
+        Array.unsafe_set fregs fd
+          (exec_falu op (Array.unsafe_get fregs f1) (Array.unsafe_get fregs f2));
+        m.pc <- pc + 1
+    | Fload (fd, rs, off) ->
+        let a = Array.unsafe_get regs rs + off in
+        on_read a;
+        Array.unsafe_set fregs fd (Memory.loadf mem a);
+        m.pc <- pc + 1
+    | Fstore (fv, rb, off) ->
+        let a = Array.unsafe_get regs rb + off in
+        on_write a;
+        Memory.storef mem a (Array.unsafe_get fregs fv);
+        m.pc <- pc + 1
+    | Fmovi (fd, x) ->
+        Array.unsafe_set fregs fd x;
+        m.pc <- pc + 1
+    | Cvtif (fd, rs) ->
+        Array.unsafe_set fregs fd (float_of_int (Array.unsafe_get regs rs));
+        m.pc <- pc + 1
+    | Cvtfi (rd, fs) ->
+        Array.unsafe_set regs rd (int_of_float (Array.unsafe_get fregs fs));
+        m.pc <- pc + 1
+    | Branch (c, r1, r2, target) ->
+        let taken =
+          eval_cond c (Array.unsafe_get regs r1) (Array.unsafe_get regs r2)
+        in
+        on_branch pc taken;
+        m.pc <- (if taken then target else pc + 1)
+    | Jump target -> m.pc <- target
+    | Call target ->
+        if m.sp >= stack_depth then
+          raise (Stack_error (Printf.sprintf "call-stack overflow at pc %d" pc));
+        m.callstack.(m.sp) <- pc + 1;
+        m.sp <- m.sp + 1;
+        m.pc <- target
+    | Ret ->
+        if m.sp <= 0 then
+          raise (Stack_error (Printf.sprintf "ret on empty stack at pc %d" pc));
+        m.sp <- m.sp - 1;
+        m.pc <- m.callstack.(m.sp)
+    | Sys (n, rd) ->
+        Array.unsafe_set regs rd (syscall n);
+        m.pc <- pc + 1
+    | Halt ->
+        status := Halted;
+        running := false);
+    if !remaining <= 0 then running := false
+  done;
+  !status

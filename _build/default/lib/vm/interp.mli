@@ -1,0 +1,42 @@
+(** The interpreter: executes a {!Program.t} against a machine state,
+    firing {!Hooks.t} callbacks for instrumentation.
+
+    Execution is resumable: [run] with a [fuel] bound leaves the machine
+    at the next unexecuted instruction, so callers (slicers, regional
+    replayers) can execute exact instruction intervals. *)
+
+type machine = {
+  regs : int array;       (** 16 integer registers; r15 is zero by convention *)
+  fregs : float array;    (** 16 FP registers *)
+  mutable pc : int;
+  callstack : int array;
+  mutable sp : int;       (** next free call-stack slot *)
+  mem : Memory.t;
+  mutable icount : int;   (** instructions retired since creation *)
+}
+
+type status =
+  | Halted       (** executed a [Halt] *)
+  | Out_of_fuel  (** fuel exhausted; machine is resumable *)
+
+val create : ?mem:Memory.t -> entry:int -> unit -> machine
+(** Fresh machine with zeroed registers, positioned at [entry]. *)
+
+val default_syscall : int -> int
+(** Deterministic syscall used when none is supplied: channel [n] returns
+    a fixed hash of [n] — the "recorded input" of a default environment. *)
+
+val run :
+  ?hooks:Hooks.t ->
+  ?syscall:(int -> int) ->
+  ?fuel:int ->
+  Program.t ->
+  machine ->
+  status
+(** Execute until [Halt] or until [fuel] instructions have retired.
+
+    Semantics notes: integer division/remainder by zero yields 0 (the
+    machine never traps); shift counts are masked to 6 bits; call-stack
+    depth is bounded (overflow raises [Failure]). *)
+
+exception Stack_error of string

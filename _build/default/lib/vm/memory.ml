@@ -1,0 +1,74 @@
+let page_words_log2 = 12
+let page_words = 1 lsl page_words_log2
+let word_bytes = 8
+let page_bytes = page_words * word_bytes
+let offset_mask = page_words - 1
+
+(* 38-bit byte address space; keeps indices positive even on buggy input. *)
+let addr_mask = (1 lsl 38) - 1
+
+type t = {
+  int_pages : (int, int array) Hashtbl.t;
+  float_pages : (int, float array) Hashtbl.t;
+}
+
+let create () = { int_pages = Hashtbl.create 64; float_pages = Hashtbl.create 16 }
+
+let int_page t idx =
+  match Hashtbl.find_opt t.int_pages idx with
+  | Some p -> p
+  | None ->
+      let p = Array.make page_words 0 in
+      Hashtbl.add t.int_pages idx p;
+      p
+
+let float_page t idx =
+  match Hashtbl.find_opt t.float_pages idx with
+  | Some p -> p
+  | None ->
+      let p = Array.make page_words 0.0 in
+      Hashtbl.add t.float_pages idx p;
+      p
+
+let load t addr =
+  let w = (addr land addr_mask) lsr 3 in
+  let idx = w lsr page_words_log2 in
+  match Hashtbl.find_opt t.int_pages idx with
+  | Some p -> Array.unsafe_get p (w land offset_mask)
+  | None -> 0
+
+let store t addr v =
+  let w = (addr land addr_mask) lsr 3 in
+  let p = int_page t (w lsr page_words_log2) in
+  Array.unsafe_set p (w land offset_mask) v
+
+let loadf t addr =
+  let w = (addr land addr_mask) lsr 3 in
+  let idx = w lsr page_words_log2 in
+  match Hashtbl.find_opt t.float_pages idx with
+  | Some p -> Array.unsafe_get p (w land offset_mask)
+  | None -> 0.0
+
+let storef t addr v =
+  let w = (addr land addr_mask) lsr 3 in
+  let p = float_page t (w lsr page_words_log2) in
+  Array.unsafe_set p (w land offset_mask) v
+
+let footprint_bytes t =
+  (Hashtbl.length t.int_pages + Hashtbl.length t.float_pages) * page_bytes
+
+let copy t =
+  let dup tbl = Hashtbl.fold (fun k v acc -> (k, Array.copy v) :: acc) tbl [] in
+  let restore pairs =
+    let tbl = Hashtbl.create (List.length pairs * 2) in
+    List.iter (fun (k, v) -> Hashtbl.add tbl k v) pairs;
+    tbl
+  in
+  {
+    int_pages = restore (dup t.int_pages);
+    float_pages = restore (dup t.float_pages);
+  }
+
+let clear t =
+  Hashtbl.reset t.int_pages;
+  Hashtbl.reset t.float_pages

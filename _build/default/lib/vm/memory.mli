@@ -1,0 +1,38 @@
+(** Sparse paged memory for the virtual machine.
+
+    The address space is byte-addressed but all accesses are 8-byte words
+    (the cache simulators see the byte addresses; the interpreter sees
+    words).  Pages are allocated lazily on first touch, so a workload with
+    a multi-gigabyte *address* range costs only its actual footprint.
+
+    Integer and floating-point data live in parallel page views: loads
+    and stores of one view at an address do not alias the other.  Our
+    workloads never reinterpret bytes across the two, and keeping the
+    views separate lets both sides use unboxed OCaml arrays. *)
+
+type t
+
+val create : unit -> t
+
+val load : t -> int -> int
+(** [load mem addr] reads the word at byte address [addr] (0 if untouched). *)
+
+val store : t -> int -> int -> unit
+(** [store mem addr v] writes the word at byte address [addr]. *)
+
+val loadf : t -> int -> float
+val storef : t -> int -> float -> unit
+
+val word_bytes : int
+(** Bytes per word (8). *)
+
+val page_bytes : int
+(** Bytes per page. *)
+
+val footprint_bytes : t -> int
+(** Total bytes of pages touched so far (int + float views). *)
+
+val copy : t -> t
+(** Deep copy; the result shares nothing with the source. *)
+
+val clear : t -> unit

@@ -1,0 +1,53 @@
+type core = {
+  program : Program.t;
+  machine : Interp.machine;
+  hooks : Hooks.t;
+  mutable halted : bool;
+}
+
+type t = { cores : core array }
+
+let create specs =
+  if specs = [] then invalid_arg "Multicore.create: no cores";
+  {
+    cores =
+      Array.of_list
+        (List.map
+           (fun ((prog : Program.t), hooks) ->
+             {
+               program = prog;
+               machine = Interp.create ~entry:prog.Program.entry ();
+               hooks;
+               halted = false;
+             })
+           specs);
+  }
+
+let run ?(quantum = 1000) ?syscall ?(fuel = max_int) t =
+  if quantum < 1 then invalid_arg "Multicore.run: quantum < 1";
+  let live = ref (Array.length t.cores) in
+  while !live > 0 do
+    live := 0;
+    Array.iter
+      (fun core ->
+        if (not core.halted) && core.machine.Interp.icount < fuel then begin
+          let budget = min quantum (fuel - core.machine.Interp.icount) in
+          (match
+             Interp.run ~hooks:core.hooks ?syscall ~fuel:budget core.program
+               core.machine
+           with
+          | Interp.Halted -> core.halted <- true
+          | Interp.Out_of_fuel -> ());
+          if (not core.halted) && core.machine.Interp.icount < fuel then
+            incr live
+        end)
+      t.cores
+  done
+
+let cores t = Array.length t.cores
+
+let retired t = Array.map (fun c -> c.machine.Interp.icount) t.cores
+
+let halted t = Array.map (fun c -> c.halted) t.cores
+
+let machine t i = t.cores.(i).machine

@@ -1,0 +1,29 @@
+(** Round-robin multi-program execution: the substrate for SPECrate-
+    style throughput runs (N concurrent copies of a benchmark) and, more
+    generally, for any study that interleaves independent instruction
+    streams over shared resources.
+
+    Cores are plain {!Interp} machines with their own programs, memories
+    and hooks; the scheduler rotates between live cores every [quantum]
+    retired instructions.  There is no inter-core communication — rate
+    copies are share-nothing by construction. *)
+
+type t
+
+val create : (Program.t * Hooks.t) list -> t
+(** One core per (program, hooks) pair, each on a fresh machine at its
+    program's entry.
+    @raise Invalid_argument on an empty list. *)
+
+val run : ?quantum:int -> ?syscall:(int -> int) -> ?fuel:int -> t -> unit
+(** Interleave execution until every core halts (or each has retired
+    [fuel] instructions).  [quantum] defaults to 1000 instructions. *)
+
+val cores : t -> int
+
+val retired : t -> int array
+(** Instructions retired per core. *)
+
+val halted : t -> bool array
+
+val machine : t -> int -> Interp.machine

@@ -1,0 +1,80 @@
+open Sp_isa
+
+type block = { id : int; start_pc : int; len : int }
+
+type t = {
+  name : string;
+  instrs : Isa.instr array;
+  kinds : int array;
+  bb_of_pc : int array;
+  is_leader : bool array;
+  blocks : block array;
+  entry : int;
+  code_base : int;
+}
+
+let of_instrs ?(name = "anon") ?(entry = 0) ?(code_base = 0x40_0000) instrs =
+  let n = Array.length instrs in
+  if n = 0 then invalid_arg "Program.of_instrs: empty program";
+  if entry < 0 || entry >= n then invalid_arg "Program.of_instrs: bad entry";
+  let leader = Array.make n false in
+  leader.(0) <- true;
+  leader.(entry) <- true;
+  Array.iteri
+    (fun pc i ->
+      (match Isa.branch_target i with
+      | Some t ->
+          if t < 0 || t >= n then
+            invalid_arg
+              (Printf.sprintf "Program.of_instrs(%s): target %d out of range at pc %d"
+                 name t pc)
+          else leader.(t) <- true
+      | None -> ());
+      if Isa.is_control i && pc + 1 < n then leader.(pc + 1) <- true)
+    instrs;
+  let bb_of_pc = Array.make n 0 in
+  let blocks = ref [] in
+  let nblocks = ref 0 in
+  let start = ref 0 in
+  let close_block last =
+    let id = !nblocks in
+    incr nblocks;
+    blocks := { id; start_pc = !start; len = last - !start + 1 } :: !blocks;
+    for pc = !start to last do
+      bb_of_pc.(pc) <- id
+    done
+  in
+  for pc = 0 to n - 1 do
+    if pc > !start && leader.(pc) then begin
+      close_block (pc - 1);
+      start := pc
+    end
+  done;
+  close_block (n - 1);
+  let kinds = Array.map (fun i -> Isa.kind_code (Isa.kind i)) instrs in
+  {
+    name;
+    instrs;
+    kinds;
+    bb_of_pc;
+    is_leader = leader;
+    blocks = Array.of_list (List.rev !blocks);
+    entry;
+    code_base;
+  }
+
+let num_blocks t = Array.length t.blocks
+
+let fetch_addr t pc = t.code_base + (pc * Isa.bytes_per_instr)
+
+let block_at t pc = t.blocks.(t.bb_of_pc.(pc))
+
+let pp_listing ppf t =
+  Format.fprintf ppf "; program %s: %d instrs, %d blocks@." t.name
+    (Array.length t.instrs) (Array.length t.blocks);
+  Array.iteri
+    (fun pc i ->
+      if t.is_leader.(pc) then
+        Format.fprintf ppf "BB%d:@." t.bb_of_pc.(pc);
+      Format.fprintf ppf "  %4d: %a@." pc Isa.pp i)
+    t.instrs

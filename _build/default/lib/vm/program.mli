@@ -1,0 +1,39 @@
+open Sp_isa
+
+(** Executable program: instruction array plus the static basic-block
+    structure the SimPoint methodology observes.
+
+    Basic blocks are computed exactly as a binary-instrumentation engine
+    would: a leader is the entry point, any static control-transfer
+    target, or the instruction following a control transfer; a block runs
+    from a leader to the next leader (exclusive) or a control
+    instruction (inclusive). *)
+
+type block = { id : int; start_pc : int; len : int }
+
+type t = private {
+  name : string;
+  instrs : Isa.instr array;
+  kinds : int array;        (** [Isa.kind_code] per pc, for hot-loop dispatch *)
+  bb_of_pc : int array;     (** enclosing block id per pc *)
+  is_leader : bool array;   (** true at each block's first pc *)
+  blocks : block array;
+  entry : int;
+  code_base : int;          (** byte address of pc 0, for i-fetch addresses *)
+}
+
+val of_instrs : ?name:string -> ?entry:int -> ?code_base:int -> Isa.instr array -> t
+(** Builds the program and its block table.
+    @raise Invalid_argument if a static target is out of range or the
+    instruction array is empty. *)
+
+val num_blocks : t -> int
+
+val fetch_addr : t -> int -> int
+(** Instruction-fetch byte address of a pc. *)
+
+val block_at : t -> int -> block
+(** Block containing a pc. *)
+
+val pp_listing : Format.formatter -> t -> unit
+(** Disassembly listing with block boundaries, for debugging. *)

@@ -1,0 +1,48 @@
+let print (p : Program.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "# program %s\n" p.Program.name);
+  Array.iter
+    (fun i ->
+      Buffer.add_string buf (Sp_isa.Isa.to_string i);
+      Buffer.add_char buf '\n')
+    p.Program.instrs;
+  Buffer.contents buf
+
+let parse ?(name = "text") source =
+  let lines = String.split_on_char '\n' source in
+  let instrs = ref [] in
+  let error = ref None in
+  List.iteri
+    (fun lineno line ->
+      if !error = None then begin
+        let line =
+          match String.index_opt line '#' with
+          | Some i -> String.sub line 0 i
+          | None -> line
+        in
+        let line = String.trim line in
+        if line <> "" then
+          match Sp_isa.Isa.of_string line with
+          | Some i -> instrs := i :: !instrs
+          | None ->
+              error := Some (Printf.sprintf "line %d: cannot parse %S" (lineno + 1) line)
+      end)
+    lines;
+  match !error with
+  | Some e -> Error e
+  | None -> (
+      let instrs = Array.of_list (List.rev !instrs) in
+      if Array.length instrs = 0 then Error "empty program"
+      else
+        match Program.of_instrs ~name instrs with
+        | p -> Ok p
+        | exception Invalid_argument msg -> Error msg)
+
+let load path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      let n = in_channel_length ic in
+      let source = really_input_string ic n in
+      close_in ic;
+      parse ~name:(Filename.basename path) source

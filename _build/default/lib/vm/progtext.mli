@@ -1,0 +1,17 @@
+(** Whole-program text format: one instruction per line in the
+    {!Sp_isa.Isa.to_string} syntax, with ['#'] comments and blank lines
+    ignored.  Control-flow targets are absolute instruction indices
+    (["@12"]), counting only instruction lines.
+
+    This makes the VM usable as a standalone tool: write a program by
+    hand, run it under any pintool, checkpoint it — without going
+    through the OCaml assembler API. *)
+
+val print : Program.t -> string
+(** One instruction per line, with a comment header. *)
+
+val parse : ?name:string -> string -> (Program.t, string) result
+(** Parse a whole program.  Errors carry the offending line number. *)
+
+val load : string -> (Program.t, string) result
+(** [parse] the contents of a file. *)

@@ -1,0 +1,35 @@
+type t = {
+  regs : int array;
+  fregs : float array;
+  pc : int;
+  callstack : int array;
+  sp : int;
+  mem : Memory.t;
+  icount : int;
+}
+
+let capture (m : Interp.machine) =
+  {
+    regs = Array.copy m.regs;
+    fregs = Array.copy m.fregs;
+    pc = m.pc;
+    callstack = Array.copy m.callstack;
+    sp = m.sp;
+    mem = Memory.copy m.mem;
+    icount = m.icount;
+  }
+
+let restore t : Interp.machine =
+  {
+    regs = Array.copy t.regs;
+    fregs = Array.copy t.fregs;
+    pc = t.pc;
+    callstack = Array.copy t.callstack;
+    sp = t.sp;
+    mem = Memory.copy t.mem;
+    icount = t.icount;
+  }
+
+let icount t = t.icount
+let pc t = t.pc
+let mem_bytes t = Memory.footprint_bytes t.mem

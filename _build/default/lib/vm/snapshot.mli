@@ -1,0 +1,23 @@
+(** Architectural-state snapshots: the raw material of Pinballs.
+
+    A snapshot deep-copies everything the interpreter needs to resume an
+    execution at an exact dynamic instruction count — registers, PC, call
+    stack and the full (sparse) memory image.  Restoring yields a fresh
+    machine that replays identically, independent of the machine the
+    snapshot was taken from. *)
+
+type t
+
+val capture : Interp.machine -> t
+
+val restore : t -> Interp.machine
+(** A fresh machine; shares no mutable state with the snapshot, so a
+    snapshot can be restored many times. *)
+
+val icount : t -> int
+(** Dynamic instruction count at capture time. *)
+
+val pc : t -> int
+
+val mem_bytes : t -> int
+(** Size of the captured memory image. *)

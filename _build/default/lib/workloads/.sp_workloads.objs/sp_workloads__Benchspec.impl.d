@@ -1,0 +1,1 @@
+lib/workloads/benchspec.ml: Array Asm Float Interp Kernel List Program Rtl Schedule Sp_util Sp_vm Weights

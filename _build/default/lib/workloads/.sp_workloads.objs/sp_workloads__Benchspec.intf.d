@@ -1,0 +1,1 @@
+lib/workloads/benchspec.mli: Kernel Program Schedule Sp_vm

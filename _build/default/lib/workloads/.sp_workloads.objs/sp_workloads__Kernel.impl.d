@@ -1,0 +1,1 @@
+lib/workloads/kernel.ml: Array Asm List Rtl Sp_vm

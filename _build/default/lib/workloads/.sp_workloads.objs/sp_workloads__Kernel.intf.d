@@ -1,0 +1,1 @@
+lib/workloads/kernel.mli: Asm Rtl Sp_vm

@@ -1,0 +1,1 @@
+lib/workloads/rtl.ml: Asm Isa Sp_isa Sp_vm

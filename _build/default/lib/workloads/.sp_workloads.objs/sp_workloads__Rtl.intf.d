@@ -1,0 +1,1 @@
+lib/workloads/rtl.mli: Asm Sp_vm

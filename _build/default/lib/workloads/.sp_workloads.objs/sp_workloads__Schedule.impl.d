@@ -1,0 +1,1 @@
+lib/workloads/schedule.ml: Array Float List Sp_util

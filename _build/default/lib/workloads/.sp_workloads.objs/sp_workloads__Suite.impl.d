@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: Array Benchspec Kernel List Sp_util String

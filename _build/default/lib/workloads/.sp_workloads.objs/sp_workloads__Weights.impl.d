@@ -1,0 +1,1 @@
+lib/workloads/weights.ml: Array Float List Sp_util

@@ -1,0 +1,254 @@
+open Sp_vm
+
+type suite_class = Int_rate | Int_speed | Fp_rate | Fp_speed
+
+let suite_class_name = function
+  | Int_rate -> "SPECrate INT"
+  | Int_speed -> "SPECspeed INT"
+  | Fp_rate -> "SPECrate FP"
+  | Fp_speed -> "SPECspeed FP"
+
+type footprint = Small | Medium | Large | Xlarge
+
+(* Sized against the *scaled* simulation hierarchy (Table I / 32:
+   L1 1 kB, L2 64 kB, L3 512 kB); see Sp_cache.Config.sim_scale. *)
+let footprint_bytes = function
+  | Small -> 512
+  | Medium -> 16 * 1024
+  | Large -> 160 * 1024
+  | Xlarge -> 640 * 1024
+
+type t = {
+  name : string;
+  suite_class : suite_class;
+  planted_phases : int;
+  planted_n90 : int;
+  reduction_hint : float;
+  palette : Kernel.t list;
+  footprints : footprint list;
+  weight_override : float array option;
+  seed : int;
+}
+
+type phase = {
+  index : int;
+  kernel : Kernel.t;
+  params : Kernel.params;
+  weight : float;
+  call_cost : float;
+      (** dynamic instructions per driver call, including the call/loop
+          overhead; analytic for most kernels, measured for kernels with
+          data-dependent inner loops *)
+}
+
+type built = {
+  spec : t;
+  program : Program.t;
+  phases : phase array;
+  schedule : Schedule.segment list;
+  total_slices : int;
+  slice_insns : int;
+  expected_insns : float;
+  phase_of_pc : int array;
+  roi_start_pc : int;
+}
+
+let default_slice_insns =
+  Sp_util.Scale.of_minsn Sp_util.Scale.default_slice_minsn
+
+let data_base = 0x2000_0000
+
+let round_up n align = (n + align - 1) / align * align
+
+(* Pointer-chasing kernels space entries one cache line apart so the
+   footprint translates into distinct lines. *)
+let stride_for (kernel : Kernel.t) =
+  if kernel.Kernel.name = "pointer_chase" then 4 else 1
+
+(* Approximate per-work-item dynamic cost, from the kernel's own model. *)
+let per_item_cost (kernel : Kernel.t) params =
+  let at chunk = kernel.Kernel.body_insns { params with Kernel.chunk } in
+  Float.max 0.5 ((at 1028 -. at 4) /. 1024.0)
+
+let target_body_insns = 280.0
+
+(* Per-call cost measured empirically: assemble the phase in isolation
+   and difference the dynamic counts of a 1-call and a 3-call run. *)
+let measure_call_cost (kernel : Kernel.t) params =
+  let run calls =
+    let a = Asm.create () in
+    Asm.li a 15 0;
+    let rtl = Rtl.emit a in
+    kernel.Kernel.emit_init a rtl params;
+    let fn = Asm.new_label a in
+    Asm.li a 12 calls;
+    let top = Asm.here a in
+    Asm.call a fn;
+    Asm.alui a Sub 12 12 1;
+    Asm.branch a Gt 12 15 top;
+    Asm.halt a;
+    Asm.place a fn;
+    kernel.Kernel.emit_body a params;
+    Asm.ret a;
+    let prog = Asm.assemble a in
+    let m = Interp.create ~entry:prog.Program.entry () in
+    ignore (Interp.run ~fuel:50_000_000 prog m);
+    m.Interp.icount
+  in
+  float_of_int (run 3 - run 1) /. 2.0
+
+let elaborate_phases spec ~weights =
+  let rng = Sp_util.Rng.create (spec.seed lxor 0xBE9C) in
+  let palette = Array.of_list spec.palette in
+  let footprints = Array.of_list spec.footprints in
+  assert (Array.length palette > 0 && Array.length footprints > 0);
+  let base = ref data_base in
+  Array.mapi
+    (fun i w ->
+      let kernel = palette.(i mod Array.length palette) in
+      let fp = footprints.(i mod Array.length footprints) in
+      let jitter = 0.75 +. Sp_util.Rng.float rng 0.6 in
+      let stride = stride_for kernel in
+      let bytes =
+        int_of_float (float_of_int (footprint_bytes fp) *. jitter)
+      in
+      (* btree_search initialises its full (sorted) array, so its
+         footprint is bounded to keep init cost negligible *)
+      let bytes =
+        if kernel.Kernel.name = "btree_search" then min bytes (8 * 1024)
+        else bytes
+      in
+      let elems = max 64 (bytes / (8 * stride)) in
+      let params =
+        Kernel.normalize
+          {
+            Kernel.base = !base;
+            elems;
+            stride;
+            chunk = 64;
+            seed = spec.seed + (i * 7919) + 13;
+          }
+      in
+      let per_item = per_item_cost kernel params in
+      let chunk =
+        min 4096 (max 4 (int_of_float (target_body_insns /. per_item)))
+      in
+      let params = Kernel.normalize { params with Kernel.chunk } in
+      base :=
+        round_up (!base + Kernel.footprint_bytes params) (64 * 1024)
+        + (64 * 1024);
+      let call_cost =
+        if kernel.Kernel.calibrate then measure_call_cost kernel params
+        else kernel.Kernel.body_insns params +. 4.0
+      in
+      { index = i; kernel; params; weight = w; call_cost })
+    weights
+
+let phase_fn_cost (p : phase) = p.call_cost
+
+let build ?(slice_insns = default_slice_insns) ?(slices_scale = 1.0) spec =
+  if spec.planted_phases < 1 then invalid_arg "Benchspec.build: no phases";
+  if spec.planted_n90 < 1 || spec.planted_n90 > spec.planted_phases then
+    invalid_arg "Benchspec.build: bad n90";
+  let weights =
+    match spec.weight_override with
+    | Some w ->
+        if Array.length w <> spec.planted_phases then
+          invalid_arg "Benchspec.build: override length mismatch";
+        Weights.explicit (Array.to_list w)
+    | None -> Weights.fit ~n:spec.planted_phases ~n90:spec.planted_n90
+  in
+  let phases = elaborate_phases spec ~weights in
+  (* Benchmarks with very few phases still run long whole executions
+     (that is what makes their reduction factors so large), so the
+     driver length is floored at eight phases' worth of slices. *)
+  let total_slices =
+    max spec.planted_phases
+      (int_of_float
+         (Float.round
+            (spec.reduction_hint
+            *. float_of_int (max 8 spec.planted_phases)
+            *. slices_scale)))
+  in
+  let schedule =
+    Schedule.make ~seed:spec.seed ~total_slices ~weights
+  in
+  let a = Asm.create ~name:spec.name () in
+  (* entry: r15 is the conventional zero register (machines start zeroed,
+     but make the invariant explicit) *)
+  Asm.li a 15 0;
+  (* the shared runtime library (guarded by an internal jump) *)
+  let rtl = Rtl.emit a in
+  (* phase initialisation, in phase order *)
+  Array.iter (fun p -> p.kernel.Kernel.emit_init a rtl p.params) phases;
+  (* driver: one counted call-loop per schedule segment.  The first
+     driver instruction is the region-of-interest start: everything
+     before it is initialisation (what real PinPoints skips via SSC
+     markers). *)
+  let roi_start_pc = Asm.position a in
+  let fn_labels = Array.map (fun _ -> Asm.new_label a) phases in
+  List.iter
+    (fun (seg : Schedule.segment) ->
+      let p = phases.(seg.Schedule.phase) in
+      let seg_insns = float_of_int (seg.Schedule.slices * slice_insns) in
+      let reps =
+        max 1 (int_of_float (Float.round (seg_insns /. phase_fn_cost p)))
+      in
+      (* each segment consumes one external input (think gettimeofday or
+         a read of segment metadata): exercises PinPlay's record/replay
+         of non-deterministic events inside captured regions *)
+      Asm.sys a 0 13;
+      Asm.li a 12 reps;
+      let top = Asm.here a in
+      Asm.call a fn_labels.(seg.Schedule.phase);
+      Asm.alui a Sub 12 12 1;
+      Asm.branch a Gt 12 15 top)
+    schedule;
+  Asm.halt a;
+  (* phase functions, recording each one's pc range for attribution *)
+  let ranges =
+    Array.map
+      (fun p ->
+        Asm.place a fn_labels.(p.index);
+        let start = Asm.position a in
+        p.kernel.Kernel.emit_body a p.params;
+        Asm.ret a;
+        (start, Asm.position a))
+      phases
+  in
+  let program = Asm.assemble a in
+  let phase_of_pc =
+    Array.init (Array.length program.Program.instrs) (fun pc ->
+        let found = ref (-1) in
+        Array.iteri
+          (fun i (lo, hi) -> if pc >= lo && pc < hi then found := i)
+          ranges;
+        !found)
+  in
+  let init_total =
+    Array.fold_left
+      (fun acc p -> acc +. p.kernel.Kernel.init_insns p.params)
+      0.0 phases
+  in
+  let driver_total =
+    List.fold_left
+      (fun acc (seg : Schedule.segment) ->
+        let p = phases.(seg.Schedule.phase) in
+        let seg_insns = float_of_int (seg.Schedule.slices * slice_insns) in
+        let reps =
+          max 1 (int_of_float (Float.round (seg_insns /. phase_fn_cost p)))
+        in
+        acc +. 2.0 +. (float_of_int reps *. phase_fn_cost p))
+      0.0 schedule
+  in
+  {
+    spec;
+    program;
+    phases;
+    schedule;
+    total_slices;
+    slice_insns;
+    expected_insns = init_total +. driver_total +. 2.0;
+    phase_of_pc;
+    roi_start_pc;
+  }

@@ -1,0 +1,75 @@
+open Sp_vm
+
+(** Benchmark descriptors and the program builder.
+
+    A spec captures everything that defines one synthetic SPEC CPU2017
+    workload: its Table II targets (planted phase count and
+    90th-percentile count), its kernel palette and footprint profile,
+    and its seed.  {!build} elaborates the spec into planted phases and
+    assembles the complete executable program (initialisation, the
+    interleaved phase driver, and one function per phase). *)
+
+type suite_class = Int_rate | Int_speed | Fp_rate | Fp_speed
+
+val suite_class_name : suite_class -> string
+
+(** Data-footprint classes, sized against the capacity-scaled
+    simulation hierarchy ({!Sp_cache.Config.allcache_sim}: L1 1 kB,
+    L2 64 kB, L3 512 kB): [Small] fits L1, [Medium] exceeds L1 but fits
+    L2, [Large] exceeds L2 but fits L3, [Xlarge] exceeds L3, so its
+    whole-run L3 hits become regional-run cold misses. *)
+type footprint = Small | Medium | Large | Xlarge
+
+val footprint_bytes : footprint -> int
+
+type t = {
+  name : string;            (** e.g. ["623.xalancbmk_s"] *)
+  suite_class : suite_class;
+  planted_phases : int;     (** Table II, column 2 *)
+  planted_n90 : int;        (** Table II, column 3 *)
+  reduction_hint : float;
+      (** whole-run length in slices per planted phase; the paper's suite
+          averages ~650 executed slices per simulation point *)
+  palette : Kernel.t list;  (** kernels cycled across phases *)
+  footprints : footprint list; (** footprint classes cycled across phases *)
+  weight_override : float array option;
+      (** explicit phase weights (e.g. bwaves' 60%%-dominant phase) *)
+  seed : int;
+}
+
+type phase = {
+  index : int;
+  kernel : Kernel.t;
+  params : Kernel.params;
+  weight : float;  (** planted weight (share of driver slices) *)
+  call_cost : float;
+      (** dynamic instructions per driver call (analytic, or measured
+          for kernels whose inner loops are data-dependent) *)
+}
+
+type built = {
+  spec : t;
+  program : Program.t;
+  phases : phase array;
+  schedule : Schedule.segment list;
+  total_slices : int;    (** driver slices (excludes initialisation) *)
+  slice_insns : int;     (** simulated instructions per slice *)
+  expected_insns : float; (** analytic estimate of the dynamic count *)
+  phase_of_pc : int array;
+      (** planted phase index per pc; -1 for driver/init/library code.
+          Used by validation to attribute clusters back to phases *)
+  roi_start_pc : int;
+      (** pc of the first driver instruction: the region-of-interest
+          boundary separating initialisation from the workload proper *)
+}
+
+val default_slice_insns : int
+(** The paper's 30 M-instruction slice at the project scale. *)
+
+val build : ?slice_insns:int -> ?slices_scale:float -> t -> built
+(** Elaborate and assemble.  [slices_scale] scales the whole-run length
+    (used by tests and fast mode to shrink executions while keeping the
+    phase structure). *)
+
+val data_base : int
+(** Byte address where the first phase's data region starts. *)

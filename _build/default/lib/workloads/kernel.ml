@@ -1,0 +1,1063 @@
+open Sp_vm
+
+type params = {
+  base : int;
+  elems : int;
+  stride : int;
+  chunk : int;
+  seed : int;
+}
+
+let normalize p =
+  let elems = max 16 (p.elems + 3) / 4 * 4 in
+  let elems = max 16 (elems land lnot 3) in
+  {
+    p with
+    elems;
+    stride = max 1 p.stride;
+    chunk = max 4 (p.chunk + 3) / 4 * 4;
+  }
+
+let span_words p = p.elems * p.stride
+
+let state_addr p = p.base + (span_words p * 8)
+
+let aux_addr p = state_addr p + 64
+
+let footprint_bytes p = (span_words p * 8) + 1024
+
+type t = {
+  name : string;
+  is_fp : bool;
+  emit_init : Asm.t -> Rtl.t -> params -> unit;
+  emit_body : Asm.t -> params -> unit;
+  body_insns : params -> float;
+  init_insns : params -> float;
+  calibrate : bool;
+      (** the analytic [body_insns] is approximate (data-dependent inner
+          loops): measure the real per-call cost when building *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Shared emission helpers.  Register conventions: r15 is zero; bodies
+   and init code use r0-r11 and f0-f7 freely. *)
+
+let lcg_mul = Rtl.lcg_mul
+let lcg_add = Rtl.lcg_add
+let lcg_mask = Rtl.lcg_mask
+
+(* r <- lcg(r) *)
+let emit_lcg a r =
+  Asm.alui a Mul r r lcg_mul;
+  Asm.alui a Add r r lcg_add;
+  Asm.alui a And r r lcg_mask
+
+(* if cur >= limit then cur <- cur - limit   (both registers) *)
+let emit_wrap a ~cur ~limit =
+  let no_wrap = Asm.new_label a in
+  Asm.branch a Lt cur limit no_wrap;
+  Asm.alu a Sub cur cur limit;
+  Asm.place a no_wrap
+
+(* if cur >= limit then cur <- reset_imm *)
+let emit_wrap_to a ~cur ~limit ~reset =
+  let no_wrap = Asm.new_label a in
+  Asm.branch a Lt cur limit no_wrap;
+  Asm.li a cur reset;
+  Asm.place a no_wrap
+
+(* Bulk data fills are capped: cache behaviour depends only on the
+   address stream, and reading never-written words simply yields zero,
+   so initialising a bounded prefix preserves every phase signature
+   while keeping init cost and resident memory proportional to the cap
+   rather than to multi-MB footprints.  Kernels whose *values* shape
+   control flow (btree_search's sorted array) fill their full arrays and
+   are assigned bounded footprints by the suite. *)
+let fill_cap = 65536
+
+(* Call one of the shared fill routines: r0 = base, r1 = groups of four
+   words, r2 = third argument (seed or step). *)
+let emit_call_fill a label ~base ~words ~arg =
+  Asm.li a 0 base;
+  Asm.li a 1 (max 1 ((words + 3) / 4));
+  Asm.li a 2 arg;
+  Asm.call a label
+
+(* Store [value] (immediate) at the phase's state word. Clobbers r0, r1. *)
+let emit_set_state a p value =
+  Asm.li a 0 (state_addr p);
+  Asm.li a 1 value;
+  Asm.store a 1 0 0
+
+let fill_int_cost words = (3.0 *. float_of_int (min words fill_cap)) +. 10.0
+let fill_float_cost words = (3.25 *. float_of_int (min words fill_cap)) +. 12.0
+
+(* Pointer ring over the largest power-of-two prefix of [elems] entries,
+   spaced [stride] words apart; successors follow a full-period LCG
+   permutation, so the chase jumps pseudo-randomly over the footprint. *)
+let ring_entries p =
+  let rec pow2 n = if n * 2 > p.elems then n else pow2 (n * 2) in
+  pow2 16
+
+let emit_ring_init a (rtl : Rtl.t) p =
+  Asm.li a 0 p.base;
+  Asm.li a 1 (ring_entries p);
+  Asm.li a 2 (p.stride * 8);
+  Asm.li a 3 165;
+  Asm.li a 4 (p.seed lor 1);
+  Asm.call a rtl.Rtl.ring;
+  emit_set_state a p p.base
+
+(* Standard body prologue: r0 = state address, r1 = loaded state,
+   r2 = iteration count. *)
+let emit_state_prologue a p ~iters =
+  Asm.li a 0 (state_addr p);
+  Asm.load a 1 0 0;
+  Asm.li a 2 iters
+
+(* Store the state register r1 back through a freshly materialised state
+   address (r0 may have been clobbered by the body). *)
+let emit_store_state a p =
+  Asm.li a 0 (state_addr p);
+  Asm.store a 1 0 0
+
+(* Counted loop on r2 ending with the back-branch. *)
+let emit_count_loop a body =
+  let top = Asm.here a in
+  body ();
+  Asm.alui a Sub 2 2 1;
+  Asm.branch a Gt 2 15 top
+
+(* ------------------------------------------------------------------ *)
+(* Integer kernels *)
+
+let stream_sum =
+  let emit_body a p =
+    let iters = max 1 (p.chunk / 4) in
+    emit_state_prologue a p ~iters;
+    Asm.li a 3 p.base;
+    Asm.li a 7 (p.elems * 8);
+    emit_count_loop a (fun () ->
+        Asm.alu a Add 4 3 1;
+        for u = 0 to 3 do
+          Asm.load a 5 4 (u * 8);
+          Asm.alu a Add 6 6 5
+        done;
+        Asm.alui a Add 1 1 32;
+        emit_wrap a ~cur:1 ~limit:7);
+    emit_store_state a p
+  in
+  let emit_init a (rtl : Rtl.t) p =
+    emit_call_fill a rtl.Rtl.fill_int ~base:p.base ~words:(min p.elems fill_cap)
+      ~arg:(p.seed land lcg_mask lor 1);
+    emit_set_state a p 0
+  in
+  {
+    name = "stream_sum";
+    is_fp = false;
+    emit_init;
+    emit_body;
+    body_insns = (fun p -> 8.0 +. (float_of_int (max 1 (p.chunk / 4)) *. 13.1));
+    init_insns = (fun p -> 8.0 +. fill_int_cost p.elems);
+    calibrate = false;
+  }
+
+let stride_walk =
+  let emit_body a p =
+    let iters = max 1 (p.chunk / 2) in
+    let step = 2 * p.stride * 8 in
+    emit_state_prologue a p ~iters;
+    Asm.li a 3 p.base;
+    Asm.li a 7 (span_words p * 8);
+    emit_count_loop a (fun () ->
+        Asm.alu a Add 4 3 1;
+        Asm.load a 5 4 0;
+        Asm.alu a Add 6 6 5;
+        Asm.load a 5 4 (p.stride * 8);
+        Asm.alu a Add 6 6 5;
+        Asm.alui a Add 1 1 step;
+        emit_wrap a ~cur:1 ~limit:7);
+    emit_store_state a p
+  in
+  let emit_init a (rtl : Rtl.t) p =
+    emit_call_fill a rtl.Rtl.fill_int ~base:p.base
+      ~words:(min (span_words p) fill_cap)
+      ~arg:(p.seed land lcg_mask lor 1);
+    emit_set_state a p 0
+  in
+  {
+    name = "stride_walk";
+    is_fp = false;
+    emit_init;
+    emit_body;
+    body_insns = (fun p -> 8.0 +. (float_of_int (max 1 (p.chunk / 2)) *. 9.1));
+    init_insns = (fun p -> 8.0 +. fill_int_cost (span_words p));
+    calibrate = false;
+  }
+
+let pointer_chase =
+  let emit_body a p =
+    emit_state_prologue a p ~iters:p.chunk;
+    emit_count_loop a (fun () -> Asm.load a 1 1 0);
+    emit_store_state a p
+  in
+  {
+    name = "pointer_chase";
+    is_fp = false;
+    emit_init = emit_ring_init;
+    emit_body;
+    body_insns = (fun p -> 6.0 +. (float_of_int p.chunk *. 3.0));
+    init_insns = (fun p -> 10.0 +. (float_of_int (ring_entries p) *. 11.0));
+    calibrate = false;
+  }
+
+let random_access =
+  let emit_body a p =
+    emit_state_prologue a p ~iters:p.chunk;
+    Asm.li a 3 p.base;
+    Asm.li a 7 p.elems;
+    emit_count_loop a (fun () ->
+        emit_lcg a 1;
+        Asm.alu a Rem 4 1 7;
+        Asm.alui a Mul 4 4 (p.stride * 8);
+        Asm.alu a Add 4 4 3;
+        Asm.load a 5 4 0;
+        Asm.alui a Add 5 5 1;
+        Asm.store a 5 4 0);
+    emit_store_state a p
+  in
+  let emit_init a (rtl : Rtl.t) p =
+    emit_call_fill a rtl.Rtl.fill_int ~base:p.base
+      ~words:(min (span_words p) fill_cap)
+      ~arg:(p.seed land lcg_mask lor 1);
+    emit_set_state a p (p.seed land lcg_mask lor 1)
+  in
+  {
+    name = "random_access";
+    is_fp = false;
+    emit_init;
+    emit_body;
+    body_insns = (fun p -> 8.0 +. (float_of_int p.chunk *. 11.0));
+    init_insns = (fun p -> 8.0 +. fill_int_cost (span_words p));
+    calibrate = false;
+  }
+
+let store_stream =
+  let emit_body a p =
+    let iters = max 1 (p.chunk / 4) in
+    emit_state_prologue a p ~iters;
+    Asm.li a 3 p.base;
+    Asm.li a 7 (p.elems * 8);
+    emit_count_loop a (fun () ->
+        Asm.alu a Add 4 3 1;
+        for u = 0 to 3 do
+          Asm.store a 2 4 (u * 8)
+        done;
+        Asm.alui a Add 1 1 32;
+        emit_wrap a ~cur:1 ~limit:7);
+    emit_store_state a p
+  in
+  {
+    name = "store_stream";
+    is_fp = false;
+    emit_init = (fun a _rtl p -> emit_set_state a p 0);
+    emit_body;
+    body_insns = (fun p -> 8.0 +. (float_of_int (max 1 (p.chunk / 4)) *. 9.1));
+    init_insns = (fun _ -> 3.0);
+    calibrate = false;
+  }
+
+let memcpy_movs =
+  let emit_body a p =
+    let half = p.elems / 2 * 8 in
+    emit_state_prologue a p ~iters:p.chunk;
+    Asm.li a 3 p.base;
+    Asm.li a 4 (p.base + half);
+    Asm.li a 7 half;
+    emit_count_loop a (fun () ->
+        Asm.alu a Add 5 3 1;
+        Asm.alu a Add 6 4 1;
+        Asm.movs a 6 5;
+        Asm.alui a Add 1 1 8;
+        emit_wrap a ~cur:1 ~limit:7);
+    emit_store_state a p
+  in
+  let emit_init a (rtl : Rtl.t) p =
+    emit_call_fill a rtl.Rtl.fill_int ~base:p.base
+      ~words:(min (p.elems / 2) fill_cap)
+      ~arg:(p.seed land lcg_mask lor 1);
+    emit_set_state a p 0
+  in
+  {
+    name = "memcpy_movs";
+    is_fp = false;
+    emit_init;
+    emit_body;
+    body_insns = (fun p -> 9.0 +. (float_of_int p.chunk *. 8.1));
+    init_insns = (fun p -> 8.0 +. fill_int_cost (p.elems / 2));
+    calibrate = false;
+  }
+
+let hash_mix =
+  let emit_body a p =
+    emit_state_prologue a p ~iters:p.chunk;
+    Asm.li a 3 p.base;
+    Asm.li a 7 (p.elems * 8);
+    emit_count_loop a (fun () ->
+        Asm.alu a Add 4 3 1;
+        Asm.load a 5 4 0;
+        Asm.alui a Mul 5 5 0x9E3779B1;
+        Asm.alui a Shr 6 5 13;
+        Asm.alu a Xor 5 5 6;
+        (* hashed table lookup: a recurring address within the footprint,
+           giving the phase real temporal locality across slices.  The
+           multiply may overflow negative; mask before Rem (OCaml's mod
+           keeps the dividend's sign) so the offset stays in-region *)
+        Asm.alui a And 8 5 lcg_mask;
+        Asm.alu a Rem 8 8 7;
+        Asm.alui a And 8 8 (lnot 7);
+        Asm.alu a Add 8 8 3;
+        Asm.load a 6 8 0;
+        Asm.alu a Xor 5 5 6;
+        Asm.alui a Mul 5 5 97;
+        Asm.alui a And 6 2 1;
+        let skip = Asm.new_label a in
+        Asm.branch a Eq 6 15 skip;
+        Asm.store a 5 8 0;
+        Asm.place a skip;
+        Asm.alui a Add 1 1 8;
+        emit_wrap a ~cur:1 ~limit:7);
+    emit_store_state a p
+  in
+  let emit_init a (rtl : Rtl.t) p =
+    emit_call_fill a rtl.Rtl.fill_int ~base:p.base ~words:(min p.elems fill_cap)
+      ~arg:(p.seed land lcg_mask lor 1);
+    emit_set_state a p 0
+  in
+  {
+    name = "hash_mix";
+    is_fp = false;
+    emit_init;
+    emit_body;
+    body_insns = (fun p -> 8.0 +. (float_of_int p.chunk *. 16.1));
+    init_insns = (fun p -> 8.0 +. fill_int_cost p.elems);
+    calibrate = false;
+  }
+
+let btree_search =
+  let emit_body a p =
+    (* keys restart from the phase seed every call: calls are identical,
+       so per-slice BBVs within the phase are stable at any slice size *)
+    Asm.li a 1 (p.seed land lcg_mask lor 1);
+    Asm.li a 2 p.chunk;
+    Asm.li a 3 p.base;
+    Asm.li a 7 p.elems;
+    Asm.li a 8 (p.elems * 13);
+    emit_count_loop a (fun () ->
+        emit_lcg a 1;
+        Asm.alu a Rem 4 1 8;
+        Asm.mov a 5 15;
+        Asm.mov a 6 7;
+        let inner = Asm.here a in
+        Asm.alu a Add 9 5 6;
+        Asm.alui a Shr 9 9 1;
+        Asm.alui a Mul 10 9 8;
+        Asm.alu a Add 10 10 3;
+        Asm.load a 11 10 0;
+        Asm.load a 10 10 8;
+        Asm.alu a Add 10 10 11;
+        let go_hi = Asm.new_label a in
+        let cont = Asm.new_label a in
+        Asm.branch a Gt 11 4 go_hi;
+        Asm.alui a Add 5 9 1;
+        Asm.jump a cont;
+        Asm.place a go_hi;
+        Asm.mov a 6 9;
+        Asm.place a cont;
+        Asm.branch a Lt 5 6 inner)
+  in
+  let emit_init a (rtl : Rtl.t) p =
+    emit_call_fill a rtl.Rtl.fill_sorted ~base:p.base ~words:p.elems ~arg:13;
+    emit_set_state a p 0
+  in
+  let log2f n = log (float_of_int (max 2 n)) /. log 2.0 in
+  {
+    name = "btree_search";
+    is_fp = false;
+    emit_init;
+    emit_body;
+    body_insns =
+      (fun p ->
+        8.0 +. (float_of_int p.chunk *. (7.0 +. (log2f p.elems *. 12.0))));
+    init_insns = (fun p -> 8.0 +. (float_of_int p.elems *. 3.0));
+    calibrate = false;
+  }
+
+let branchy =
+  let emit_body a p =
+    emit_state_prologue a p ~iters:p.chunk;
+    Asm.li a 3 p.base;
+    Asm.li a 7 (p.elems * 8);
+    emit_count_loop a (fun () ->
+        Asm.alu a Add 4 3 1;
+        Asm.load a 5 4 0;
+        Asm.alu a Add 9 9 5;
+        (* a recurring lookup keyed on the loaded value: revisits the
+           footprint with a short reuse distance, like real table code *)
+        Asm.alui a Mul 8 5 0x9E3779B1;
+        Asm.alui a And 8 8 lcg_mask;
+        Asm.alu a Rem 8 8 7;
+        Asm.alui a And 8 8 (lnot 7);
+        Asm.alu a Add 8 8 3;
+        Asm.load a 8 8 0;
+        Asm.alu a Add 9 9 8;
+        for bit = 0 to 3 do
+          let else_b = Asm.new_label a in
+          let end_b = Asm.new_label a in
+          Asm.alui a And 6 2 (1 lsl bit);
+          Asm.branch a Eq 6 15 else_b;
+          Asm.alui a Add 9 9 3;
+          Asm.jump a end_b;
+          Asm.place a else_b;
+          Asm.alui a Sub 9 9 1;
+          Asm.place a end_b
+        done;
+        Asm.alui a Add 1 1 8;
+        emit_wrap a ~cur:1 ~limit:7);
+    emit_store_state a p
+  in
+  let emit_init a (rtl : Rtl.t) p =
+    emit_call_fill a rtl.Rtl.fill_int ~base:p.base ~words:(min p.elems fill_cap)
+      ~arg:(p.seed land lcg_mask lor 1);
+    emit_set_state a p 0
+  in
+  {
+    name = "branchy";
+    is_fp = false;
+    emit_init;
+    emit_body;
+    body_insns = (fun p -> 8.0 +. (float_of_int p.chunk *. 28.5));
+    init_insns = (fun p -> 8.0 +. fill_int_cost p.elems);
+    calibrate = false;
+  }
+
+(* Binary recursion rec(n) = rec(n-1); rec(n-2) with an explicit memory
+   stack in the aux area.  The recursion depth is [6 + seed mod 3]. *)
+let rec_depth p = 6 + (p.seed mod 3)
+
+let recursive_calls =
+  let emit_body a p =
+    let depth = rec_depth p in
+    let after_rec = Asm.new_label a in
+    let rec_fn = Asm.new_label a in
+    Asm.jump a after_rec;
+    Asm.place a rec_fn;
+    (* rec: n in r0, const 1 in r1, stack ptr in r2; clobbers r4, r5 *)
+    let nonleaf = Asm.new_label a in
+    Asm.branch a Gt 0 1 nonleaf;
+    Asm.alui a Mul 4 0 17;
+    Asm.alui a Add 4 4 3;
+    Asm.ret a;
+    Asm.place a nonleaf;
+    Asm.store a 0 2 0;
+    Asm.alui a Add 2 2 8;
+    Asm.alui a Sub 0 0 1;
+    Asm.call a rec_fn;
+    Asm.alui a Sub 2 2 8;
+    Asm.load a 0 2 0;
+    Asm.store a 0 2 0;
+    Asm.alui a Add 2 2 8;
+    Asm.alui a Sub 0 0 2;
+    let skip2 = Asm.new_label a in
+    Asm.branch a Le 0 15 skip2;
+    Asm.call a rec_fn;
+    Asm.place a skip2;
+    Asm.alui a Sub 2 2 8;
+    Asm.load a 0 2 0;
+    Asm.ret a;
+    Asm.place a after_rec;
+    Asm.li a 3 p.chunk;
+    Asm.li a 1 1;
+    let outer = Asm.here a in
+    Asm.li a 2 (aux_addr p);
+    Asm.li a 0 depth;
+    Asm.call a rec_fn;
+    Asm.alui a Sub 3 3 1;
+    Asm.branch a Gt 3 15 outer
+  in
+  let cost_per_call p =
+    let depth = rec_depth p in
+    let memo = Array.make (depth + 1) 0.0 in
+    for n = 0 to depth do
+      if n <= 1 then memo.(n) <- 4.0
+      else begin
+        let second = if n - 2 >= 1 then memo.(n - 2) +. 1.0 else 1.0 in
+        memo.(n) <- 13.0 +. memo.(n - 1) +. second
+      end
+    done;
+    memo.(depth)
+  in
+  {
+    name = "recursive_calls";
+    is_fp = false;
+    emit_init = (fun a _rtl p -> emit_set_state a p 0);
+    emit_body;
+    body_insns =
+      (fun p -> 4.0 +. (float_of_int p.chunk *. (5.0 +. cost_per_call p)));
+    init_insns = (fun _ -> 3.0);
+    calibrate = false;
+  }
+
+let alu_mix =
+  let emit_body a p =
+    Asm.li a 2 p.chunk;
+    Asm.li a 4 (p.seed land lcg_mask lor 1);
+    emit_count_loop a (fun () ->
+        Asm.alui a Mul 4 4 29;
+        Asm.alui a Add 4 4 7;
+        Asm.alui a Xor 5 4 12345;
+        Asm.alui a Shr 6 5 3;
+        Asm.alu a Add 4 4 6;
+        Asm.alui a Mul 5 5 13;
+        Asm.alu a Xor 4 4 5;
+        Asm.alui a And 4 4 lcg_mask)
+  in
+  {
+    name = "alu_mix";
+    is_fp = false;
+    emit_init = (fun a _rtl p -> emit_set_state a p 0);
+    emit_body;
+    body_insns = (fun p -> 2.0 +. (float_of_int p.chunk *. 10.0));
+    init_insns = (fun _ -> 3.0);
+    calibrate = false;
+  }
+
+let matrix_traverse =
+  let dim_of p = max 8 (int_of_float (sqrt (float_of_int p.elems))) in
+  let emit_body a p =
+    let dim = dim_of p in
+    emit_state_prologue a p ~iters:p.chunk;
+    Asm.li a 3 p.base;
+    Asm.li a 7 dim;
+    emit_count_loop a (fun () ->
+        Asm.alui a Mul 4 1 (dim * 8);
+        Asm.alu a Add 4 4 3;
+        Asm.mov a 5 15;
+        Asm.mov a 6 15;
+        let inner = Asm.here a in
+        Asm.load a 8 4 0;
+        Asm.alu a Add 6 6 8;
+        Asm.alui a Add 4 4 8;
+        Asm.alui a Add 5 5 1;
+        Asm.branch a Lt 5 7 inner;
+        Asm.alui a Sub 4 4 (dim * 8);
+        Asm.store a 6 4 0;
+        Asm.alui a Add 1 1 1;
+        let no_row = Asm.new_label a in
+        Asm.branch a Lt 1 7 no_row;
+        Asm.mov a 1 15;
+        Asm.place a no_row);
+    emit_store_state a p
+  in
+  let emit_init a (rtl : Rtl.t) p =
+    let dim = dim_of p in
+    emit_call_fill a rtl.Rtl.fill_int ~base:p.base
+      ~words:(min (dim * dim) fill_cap)
+      ~arg:(p.seed land lcg_mask lor 1);
+    emit_set_state a p 0
+  in
+  {
+    name = "matrix_traverse";
+    is_fp = false;
+    emit_init;
+    emit_body;
+    body_insns =
+      (fun p ->
+        let dim = float_of_int (dim_of p) in
+        8.0 +. (float_of_int p.chunk *. (11.0 +. (dim *. 5.0))));
+    init_insns = (fun p -> 8.0 +. fill_int_cost (dim_of p * dim_of p));
+    calibrate = false;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Floating-point kernels *)
+
+let daxpy =
+  let emit_body a p =
+    let half = p.elems / 2 * 8 in
+    let iters = max 1 (p.chunk / 2) in
+    emit_state_prologue a p ~iters;
+    Asm.li a 3 p.base;
+    Asm.li a 4 (p.base + half);
+    Asm.li a 7 half;
+    Asm.fmovi a 0 1.000001;
+    emit_count_loop a (fun () ->
+        Asm.alu a Add 5 3 1;
+        Asm.alu a Add 6 4 1;
+        for u = 0 to 1 do
+          Asm.fload a 1 5 (u * 8);
+          Asm.fload a 2 6 (u * 8);
+          Asm.falu a Fmul 3 1 0;
+          Asm.falu a Fadd 2 2 3;
+          Asm.fstore a 2 6 (u * 8)
+        done;
+        Asm.alui a Add 1 1 16;
+        emit_wrap a ~cur:1 ~limit:7);
+    emit_store_state a p
+  in
+  let emit_init a (rtl : Rtl.t) p =
+    emit_call_fill a rtl.Rtl.fill_float ~base:p.base
+      ~words:(min p.elems fill_cap)
+      ~arg:(p.seed land lcg_mask lor 1);
+    emit_set_state a p 0
+  in
+  {
+    name = "daxpy";
+    is_fp = true;
+    emit_init;
+    emit_body;
+    body_insns = (fun p -> 9.0 +. (float_of_int (max 1 (p.chunk / 2)) *. 17.1));
+    init_insns = (fun p -> 8.0 +. fill_float_cost p.elems);
+    calibrate = false;
+  }
+
+let stencil3 =
+  let emit_body a p =
+    emit_state_prologue a p ~iters:p.chunk;
+    Asm.li a 3 p.base;
+    Asm.li a 7 ((p.elems - 1) * 8);
+    Asm.fmovi a 0 (1.0 /. 3.0);
+    emit_count_loop a (fun () ->
+        Asm.alu a Add 4 3 1;
+        Asm.fload a 1 4 (-8);
+        Asm.fload a 2 4 0;
+        Asm.fload a 3 4 8;
+        Asm.falu a Fadd 1 1 2;
+        Asm.falu a Fadd 1 1 3;
+        Asm.falu a Fmul 1 1 0;
+        Asm.fstore a 1 4 0;
+        Asm.alui a Add 1 1 8;
+        emit_wrap_to a ~cur:1 ~limit:7 ~reset:8);
+    emit_store_state a p
+  in
+  let emit_init a (rtl : Rtl.t) p =
+    emit_call_fill a rtl.Rtl.fill_float ~base:p.base
+      ~words:(min p.elems fill_cap)
+      ~arg:(p.seed land lcg_mask lor 1);
+    emit_set_state a p 8
+  in
+  {
+    name = "stencil3";
+    is_fp = true;
+    emit_init;
+    emit_body;
+    body_insns = (fun p -> 9.0 +. (float_of_int p.chunk *. 13.1));
+    init_insns = (fun p -> 8.0 +. fill_float_cost p.elems);
+    calibrate = false;
+  }
+
+let fp_reduce =
+  let emit_body a p =
+    let half = p.elems / 2 * 8 in
+    let iters = max 1 (p.chunk / 2) in
+    emit_state_prologue a p ~iters;
+    Asm.li a 3 p.base;
+    Asm.li a 4 (p.base + half);
+    Asm.li a 7 half;
+    emit_count_loop a (fun () ->
+        Asm.alu a Add 5 3 1;
+        Asm.alu a Add 6 4 1;
+        for u = 0 to 1 do
+          Asm.fload a 1 5 (u * 8);
+          Asm.fload a 2 6 (u * 8);
+          Asm.falu a Fmul 3 1 2;
+          Asm.falu a Fadd 4 4 3
+        done;
+        Asm.alui a Add 1 1 16;
+        emit_wrap a ~cur:1 ~limit:7);
+    emit_store_state a p
+  in
+  let emit_init a (rtl : Rtl.t) p =
+    emit_call_fill a rtl.Rtl.fill_float ~base:p.base
+      ~words:(min p.elems fill_cap)
+      ~arg:(p.seed land lcg_mask lor 1);
+    emit_set_state a p 0
+  in
+  {
+    name = "fp_reduce";
+    is_fp = true;
+    emit_init;
+    emit_body;
+    body_insns = (fun p -> 8.0 +. (float_of_int (max 1 (p.chunk / 2)) *. 15.1));
+    init_insns = (fun p -> 8.0 +. fill_float_cost p.elems);
+    calibrate = false;
+  }
+
+let fp_poly =
+  let emit_body a p =
+    emit_state_prologue a p ~iters:p.chunk;
+    Asm.li a 3 p.base;
+    Asm.li a 7 (p.elems * 8);
+    Asm.fmovi a 1 0.9231;
+    Asm.fmovi a 2 (-0.3171);
+    Asm.fmovi a 3 0.0871;
+    Asm.fmovi a 4 1.1113;
+    emit_count_loop a (fun () ->
+        Asm.alu a Add 4 3 1;
+        Asm.fload a 0 4 0;
+        Asm.falu a Fadd 5 0 1;
+        for step = 0 to 5 do
+          Asm.falu a Fmul 5 5 0;
+          Asm.falu a Fadd 5 5 (1 + (step mod 4))
+        done;
+        Asm.alui a Add 1 1 8;
+        emit_wrap a ~cur:1 ~limit:7);
+    emit_store_state a p
+  in
+  let emit_init a (rtl : Rtl.t) p =
+    emit_call_fill a rtl.Rtl.fill_float ~base:p.base
+      ~words:(min p.elems fill_cap)
+      ~arg:(p.seed land lcg_mask lor 1);
+    emit_set_state a p 0
+  in
+  {
+    name = "fp_poly";
+    is_fp = true;
+    emit_init;
+    emit_body;
+    body_insns = (fun p -> 12.0 +. (float_of_int p.chunk *. 19.1));
+    init_insns = (fun p -> 8.0 +. fill_float_cost p.elems);
+    calibrate = false;
+  }
+
+let stencil2d =
+  let dim_of p = max 8 (int_of_float (sqrt (float_of_int p.elems))) in
+  let emit_body a p =
+    let dim = dim_of p in
+    let row_bytes = dim * 8 in
+    emit_state_prologue a p ~iters:p.chunk;
+    Asm.li a 3 p.base;
+    Asm.li a 7 (((dim * dim) - dim - 1) * 8);
+    Asm.fmovi a 0 0.2;
+    emit_count_loop a (fun () ->
+        Asm.alu a Add 4 3 1;
+        Asm.fload a 1 4 (-row_bytes);
+        Asm.fload a 2 4 (-8);
+        Asm.fload a 3 4 0;
+        Asm.fload a 4 4 8;
+        Asm.fload a 5 4 row_bytes;
+        Asm.falu a Fadd 1 1 2;
+        Asm.falu a Fadd 1 1 3;
+        Asm.falu a Fadd 1 1 4;
+        Asm.falu a Fadd 1 1 5;
+        Asm.falu a Fmul 1 1 0;
+        Asm.fstore a 1 4 0;
+        Asm.alui a Add 1 1 8;
+        emit_wrap_to a ~cur:1 ~limit:7 ~reset:((dim + 1) * 8));
+    emit_store_state a p
+  in
+  let emit_init a (rtl : Rtl.t) p =
+    let dim = dim_of p in
+    emit_call_fill a rtl.Rtl.fill_float ~base:p.base
+      ~words:(min (dim * dim) fill_cap)
+      ~arg:(p.seed land lcg_mask lor 1);
+    emit_set_state a p ((dim + 1) * 8)
+  in
+  {
+    name = "stencil2d";
+    is_fp = true;
+    emit_init;
+    emit_body;
+    body_insns = (fun p -> 10.0 +. (float_of_int p.chunk *. 18.1));
+    init_insns = (fun p -> 8.0 +. fill_float_cost (dim_of p * dim_of p));
+    calibrate = false;
+  }
+
+
+(* ------------------------------------------------------------------ *)
+(* Additional kernels (used by the extended suite) *)
+
+(* Selection sort of a fixed window copied out of the data region:
+   exactly (K^2)/2 comparisons regardless of values, so the cost model
+   is exact and every call is identical. *)
+let sort_window = 24
+
+let selection_sort =
+  let k = sort_window in
+  let emit_body a p =
+    let scratch = aux_addr p + 128 in
+    (* copy K words from the region start into scratch *)
+    Asm.li a 0 p.base;
+    Asm.li a 1 scratch;
+    Asm.li a 2 k;
+    emit_count_loop a (fun () ->
+        Asm.load a 3 0 0;
+        Asm.store a 3 1 0;
+        Asm.alui a Add 0 0 8;
+        Asm.alui a Add 1 1 8);
+    (* selection sort scratch[0..k-1]:
+       r0 = i addr, r1 = j addr, r2 = min addr, r3..r5 scratch *)
+    Asm.li a 0 scratch;
+    Asm.li a 7 (scratch + ((k - 1) * 8));
+    let outer = Asm.here a in
+    Asm.mov a 2 0;
+    Asm.alui a Add 1 0 8;
+    let inner = Asm.here a in
+    Asm.load a 3 1 0;
+    Asm.load a 4 2 0;
+    let no_new_min = Asm.new_label a in
+    Asm.branch a Ge 3 4 no_new_min;
+    Asm.mov a 2 1;
+    Asm.place a no_new_min;
+    Asm.alui a Add 1 1 8;
+    Asm.li a 5 (scratch + (k * 8));
+    Asm.branch a Lt 1 5 inner;
+    (* swap a[i] <-> a[min] *)
+    Asm.load a 3 0 0;
+    Asm.load a 4 2 0;
+    Asm.store a 4 0 0;
+    Asm.store a 3 2 0;
+    Asm.alui a Add 0 0 8;
+    Asm.branch a Lt 0 7 outer
+  in
+  let emit_init a (rtl : Rtl.t) p =
+    emit_call_fill a rtl.Rtl.fill_int ~base:p.base ~words:(min p.elems fill_cap)
+      ~arg:(p.seed land lcg_mask lor 1);
+    emit_set_state a p 0
+  in
+  {
+    name = "selection_sort";
+    is_fp = false;
+    emit_init;
+    emit_body;
+    body_insns =
+      (fun _ ->
+        let kf = float_of_int k in
+        (* copy: 4 + 6K; outer: K * ~10; inner: K(K-1)/2 * ~7 *)
+        4.0 +. (6.0 *. kf) +. (10.0 *. kf)
+        +. (kf *. (kf -. 1.0) /. 2.0 *. 7.0));
+    init_insns = (fun p -> 8.0 +. fill_int_cost p.elems);
+    calibrate = true;
+  }
+
+(* Heapsort of a fixed window: build a max-heap with sift-downs, then
+   pop repeatedly — priority-queue churn like discrete-event simulators.
+   The comparison count is data-dependent, so the kernel is calibrated
+   empirically at build time. *)
+let heap_window = 32
+
+let priority_queue =
+  let k = heap_window in
+  let emit_body a p =
+    let heap = aux_addr p + 128 in
+    (* copy k words from the region start into the heap area *)
+    Asm.li a 0 p.base;
+    Asm.li a 1 heap;
+    Asm.li a 2 k;
+    emit_count_loop a (fun () ->
+        Asm.load a 3 0 0;
+        Asm.store a 3 1 0;
+        Asm.alui a Add 0 0 8;
+        Asm.alui a Add 1 1 8);
+    (* sift_down(start=r0 index, end=r1 index); indices are word offsets.
+       registers: r0 root, r1 end, r2 child, r3/r4 values, r5/r6 addrs *)
+    let sift = Asm.new_label a in
+    let after_sift = Asm.new_label a in
+    Asm.jump a after_sift;
+    Asm.place a sift;
+    let sift_loop = Asm.here a in
+    let sift_done = Asm.new_label a in
+    (* child = 2*root + 1 *)
+    Asm.alui a Mul 2 0 2;
+    Asm.alui a Add 2 2 1;
+    Asm.branch a Gt 2 1 sift_done;
+    (* pick the larger child *)
+    Asm.alui a Mul 5 2 8;
+    Asm.alui a Add 5 5 heap;
+    Asm.load a 3 5 0;
+    let no_right = Asm.new_label a in
+    Asm.branch a Ge 2 1 no_right;
+    Asm.load a 4 5 8;
+    Asm.branch a Ge 3 4 no_right;
+    Asm.alui a Add 2 2 1;
+    Asm.alui a Add 5 5 8;
+    Asm.mov a 3 4;
+    Asm.place a no_right;
+    (* compare root value with child value *)
+    Asm.alui a Mul 6 0 8;
+    Asm.alui a Add 6 6 heap;
+    Asm.load a 4 6 0;
+    Asm.branch a Ge 4 3 sift_done;
+    (* swap and descend *)
+    Asm.store a 3 6 0;
+    Asm.store a 4 5 0;
+    Asm.mov a 0 2;
+    Asm.jump a sift_loop;
+    Asm.place a sift_done;
+    Asm.ret a;
+    Asm.place a after_sift;
+    (* heapify: for i = k/2 - 1 downto 0: sift(i, k-1) *)
+    Asm.li a 8 ((k / 2) - 1);
+    let heapify = Asm.here a in
+    Asm.mov a 0 8;
+    Asm.li a 1 (k - 1);
+    Asm.call a sift;
+    Asm.alui a Sub 8 8 1;
+    Asm.branch a Ge 8 15 heapify;
+    (* drain: for e = k-1 downto 1: swap a[0], a[e]; sift(0, e-1) *)
+    Asm.li a 8 (k - 1);
+    let drain = Asm.here a in
+    Asm.alui a Mul 5 8 8;
+    Asm.alui a Add 5 5 heap;
+    Asm.li a 6 heap;
+    Asm.load a 3 5 0;
+    Asm.load a 4 6 0;
+    Asm.store a 4 5 0;
+    Asm.store a 3 6 0;
+    Asm.mov a 0 15;
+    Asm.alui a Sub 1 8 1;
+    Asm.call a sift;
+    Asm.alui a Sub 8 8 1;
+    Asm.branch a Gt 8 15 drain
+  in
+  let emit_init a (rtl : Rtl.t) p =
+    emit_call_fill a rtl.Rtl.fill_int ~base:p.base ~words:(min p.elems fill_cap)
+      ~arg:(p.seed land lcg_mask lor 1);
+    emit_set_state a p 0
+  in
+  {
+    name = "priority_queue";
+    is_fp = false;
+    emit_init;
+    emit_body;
+    body_insns =
+      (fun _ ->
+        let kf = float_of_int k in
+        (* rough: copy 6K + ~1.5 K log2 K sift steps x ~14 *)
+        4.0 +. (6.0 *. kf)
+        +. (1.5 *. kf *. (log kf /. log 2.0) *. 14.0));
+    init_insns = (fun p -> 8.0 +. fill_int_cost p.elems);
+    calibrate = true;
+  }
+
+(* CSR-flavoured sparse gather: integer column indices drive float
+   gathers — the access pattern of sparse linear algebra (parest). *)
+let sparse_matvec =
+  let emit_body a p =
+    let half = p.elems / 2 * 8 in
+    let xmask =
+      (* power-of-two bound below elems/2 for masked column indices *)
+      let rec pow2 n = if n * 2 > p.elems / 2 then n else pow2 (n * 2) in
+      pow2 16 - 1
+    in
+    emit_state_prologue a p ~iters:p.chunk;
+    Asm.li a 3 p.base;
+    Asm.li a 4 (p.base + half);
+    Asm.li a 7 half;
+    emit_count_loop a (fun () ->
+        Asm.alu a Add 5 3 1;
+        Asm.load a 6 5 0;
+        (* column index *)
+        Asm.alui a And 6 6 xmask;
+        Asm.alui a Mul 6 6 8;
+        Asm.alu a Add 6 6 4;
+        Asm.fload a 1 5 0;
+        (* value (float view of the same stream) *)
+        Asm.fload a 2 6 0;
+        (* x[col] *)
+        Asm.falu a Fmul 3 1 2;
+        Asm.falu a Fadd 4 4 3;
+        Asm.alui a Add 1 1 8;
+        emit_wrap a ~cur:1 ~limit:7);
+    emit_store_state a p
+  in
+  let emit_init a (rtl : Rtl.t) p =
+    let half = p.elems / 2 in
+    emit_call_fill a rtl.Rtl.fill_int ~base:p.base ~words:(min half fill_cap)
+      ~arg:(p.seed land lcg_mask lor 1);
+    emit_call_fill a rtl.Rtl.fill_float ~base:(p.base + (half * 8))
+      ~words:(min half fill_cap)
+      ~arg:(p.seed land lcg_mask lor 3);
+    emit_set_state a p 0
+  in
+  {
+    name = "sparse_matvec";
+    is_fp = true;
+    emit_init;
+    emit_body;
+    body_insns = (fun p -> 8.0 +. (float_of_int p.chunk *. 13.1));
+    init_insns =
+      (fun p ->
+        10.0 +. fill_int_cost (p.elems / 2) +. fill_float_cost (p.elems / 2));
+    calibrate = false;
+  }
+
+(* Streaming histogram: read-modify-write into a small table indexed by
+   the data (imagick-style): streaming reads plus correlated scattered
+   updates. *)
+let histogram_buckets = 1024
+
+let histogram =
+  let emit_body a p =
+    let table = p.base in
+    let stream = p.base + (histogram_buckets * 8) in
+    let stream_words = max 256 (p.elems - histogram_buckets) in
+    emit_state_prologue a p ~iters:p.chunk;
+    Asm.li a 3 stream;
+    Asm.li a 4 table;
+    Asm.li a 7 (stream_words * 8);
+    emit_count_loop a (fun () ->
+        Asm.alu a Add 5 3 1;
+        Asm.load a 6 5 0;
+        Asm.alui a Shr 6 6 4;
+        Asm.alui a And 6 6 (histogram_buckets - 1);
+        Asm.alui a Mul 6 6 8;
+        Asm.alu a Add 6 6 4;
+        Asm.load a 8 6 0;
+        Asm.alui a Add 8 8 1;
+        Asm.store a 8 6 0;
+        Asm.alui a Add 1 1 8;
+        emit_wrap a ~cur:1 ~limit:7);
+    emit_store_state a p
+  in
+  let emit_init a (rtl : Rtl.t) p =
+    emit_call_fill a rtl.Rtl.fill_int ~base:p.base ~words:(min p.elems fill_cap)
+      ~arg:(p.seed land lcg_mask lor 1);
+    emit_set_state a p 0
+  in
+  {
+    name = "histogram";
+    is_fp = false;
+    emit_init;
+    emit_body;
+    body_insns = (fun p -> 8.0 +. (float_of_int p.chunk *. 12.1));
+    init_insns = (fun p -> 8.0 +. fill_int_cost p.elems);
+    calibrate = false;
+  }
+
+let all =
+  [
+    stream_sum;
+    stride_walk;
+    pointer_chase;
+    random_access;
+    store_stream;
+    memcpy_movs;
+    hash_mix;
+    btree_search;
+    branchy;
+    recursive_calls;
+    alu_mix;
+    matrix_traverse;
+    daxpy;
+    stencil3;
+    fp_reduce;
+    fp_poly;
+    stencil2d;
+    selection_sort;
+    priority_queue;
+    sparse_matvec;
+    histogram;
+  ]
+
+let by_name name = List.find (fun k -> k.name = name) all

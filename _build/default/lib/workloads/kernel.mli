@@ -1,0 +1,112 @@
+open Sp_vm
+
+(** The computational-kernel catalogue.
+
+    Every synthetic SPEC CPU2017 benchmark is assembled from these
+    kernels: each planted phase of a benchmark instantiates one kernel
+    with its own data region and parameters, and emits its own copy of
+    the kernel's code (so phases have disjoint basic blocks, exactly the
+    property SimPoint clusters on).
+
+    A kernel contributes three things: initialisation code (run once in
+    the benchmark prologue), a function body (called repeatedly by the
+    benchmark driver; each call performs [chunk] work items), and static
+    metadata (approximate dynamic instructions per call, footprint).
+
+    Register conventions: [r15] is always zero; [r12]-[r14] belong to
+    the driver and are preserved; kernel bodies and init code may use
+    [r0]-[r11] and all FP registers.  Each phase owns a state word in
+    its data region so successive calls continue where the previous call
+    stopped (cursors, LCG states, chase pointers). *)
+
+type params = {
+  base : int;   (** byte address of the phase's data region *)
+  elems : int;  (** number of data elements (8-byte words) *)
+  stride : int; (** element spacing in words (sparse layouts); >= 1 *)
+  chunk : int;  (** work items per body call *)
+  seed : int;   (** per-phase constant randomising data *)
+}
+
+val normalize : params -> params
+(** Round [elems] to the even multiple of four the emitters assume, and
+    enforce minima.  Applied by {!Benchspec}; emitters require it. *)
+
+val span_words : params -> int
+(** Data words covered by the region ([elems * stride]). *)
+
+val state_addr : params -> int
+(** Address of the phase's persistent state word (just past the data). *)
+
+val aux_addr : params -> int
+(** Start of the phase's auxiliary area (e.g. recursion stacks). *)
+
+val footprint_bytes : params -> int
+(** Bytes of address space the phase may touch, including state/aux. *)
+
+type t = {
+  name : string;
+  is_fp : bool;  (** uses the FP pipeline (for FP-suite benchmarks) *)
+  emit_init : Asm.t -> Rtl.t -> params -> unit;
+      (** per-phase init stub: loads arguments and calls the shared
+          {!Rtl} routines, then initialises the phase's state word *)
+  emit_body : Asm.t -> params -> unit;
+      (** the function body, without the trailing [ret] *)
+  body_insns : params -> float;
+      (** approximate dynamic instructions per body call *)
+  init_insns : params -> float;
+  calibrate : bool;
+      (** true when [body_insns] is approximate enough that the builder
+          should measure the real per-call cost empirically *)
+}
+
+(** {1 Integer kernels} *)
+
+val stream_sum : t      (** sequential unrolled loads; streaming reads *)
+
+val stride_walk : t     (** strided loads; poor spatial locality *)
+
+val pointer_chase : t   (** dependent load chain around a pointer ring *)
+
+val random_access : t   (** LCG-indexed read-modify-write gather/scatter *)
+
+val store_stream : t    (** sequential unrolled stores *)
+
+val memcpy_movs : t     (** memory-to-memory copy; MEM_RW instructions *)
+
+val hash_mix : t        (** load + integer mixing + conditional stores *)
+
+val btree_search : t    (** binary search; data-dependent branches *)
+
+val branchy : t         (** bit-test ladders over loaded data *)
+
+val recursive_calls : t (** binary recursion with an explicit memory stack *)
+
+val alu_mix : t         (** pure register arithmetic *)
+
+val matrix_traverse : t (** row-major sweep with per-row writebacks *)
+
+(** {1 Floating-point kernels} *)
+
+val daxpy : t           (** y \[i\] += a * x\[i\] *)
+
+val stencil3 : t        (** 1-D 3-point stencil *)
+
+val fp_reduce : t       (** dot-product reduction *)
+
+val fp_poly : t         (** Horner polynomial; compute-dense *)
+
+val stencil2d : t       (** 2-D 5-point stencil over a square grid *)
+
+(** {1 Additional kernels} (used by the extended suite) *)
+
+val selection_sort : t  (** fixed-window selection sort; exact cost *)
+
+val priority_queue : t  (** heapsort churn (discrete-event-queue flavour) *)
+
+val sparse_matvec : t   (** CSR-style float gather via integer indices *)
+
+val histogram : t       (** streaming reads + read-modify-write table *)
+
+val all : t list
+val by_name : string -> t
+(** @raise Not_found for an unknown kernel name. *)

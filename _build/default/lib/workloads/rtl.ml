@@ -1,0 +1,94 @@
+open Sp_isa
+open Sp_vm
+
+type t = {
+  fill_int : Asm.label;
+  fill_float : Asm.label;
+  fill_sorted : Asm.label;
+  ring : Asm.label;
+}
+
+let lcg_mul = 1103515245
+let lcg_add = 12345
+let lcg_mask = 0x3FFFFFFF
+
+let insns_per_fill_group = 12.0
+let insns_per_ring_entry = 11.0
+
+let emit_lcg a r =
+  Asm.alui a Mul r r lcg_mul;
+  Asm.alui a Add r r lcg_add;
+  Asm.alui a And r r lcg_mask
+
+let emit a =
+  let skip = Asm.new_label a in
+  Asm.jump a skip;
+  (* fill_int: r0 = base, r1 = groups of 4 words, r2 = seed *)
+  let fill_int = Asm.here a in
+  let top = Asm.here a in
+  emit_lcg a 2;
+  Asm.store a 2 0 0;
+  Asm.alui a Xor 3 2 0x55;
+  Asm.store a 3 0 8;
+  Asm.alui a Add 3 2 0x1234;
+  Asm.store a 3 0 16;
+  Asm.alui a Xor 3 2 0x0F0F;
+  Asm.store a 3 0 24;
+  Asm.alui a Add 0 0 32;
+  Asm.alui a Sub 1 1 1;
+  Asm.branch a Gt 1 15 top;
+  Asm.ret a;
+  (* fill_float: r0 = base, r1 = groups, r2 = seed *)
+  let fill_float = Asm.here a in
+  Asm.fmovi a 1 (1.0 /. float_of_int (lcg_mask + 1));
+  let top = Asm.here a in
+  emit_lcg a 2;
+  Asm.instr a (Isa.Cvtif (0, 2));
+  Asm.falu a Fmul 0 0 1;
+  Asm.fstore a 0 0 0;
+  Asm.fstore a 0 0 8;
+  Asm.falu a Fadd 0 0 1;
+  Asm.fstore a 0 0 16;
+  Asm.fstore a 0 0 24;
+  Asm.alui a Add 0 0 32;
+  Asm.alui a Sub 1 1 1;
+  Asm.branch a Gt 1 15 top;
+  Asm.ret a;
+  (* fill_sorted: r0 = base, r1 = groups, r2 = step *)
+  let fill_sorted = Asm.here a in
+  Asm.mov a 3 15;
+  let top = Asm.here a in
+  Asm.store a 3 0 0;
+  Asm.alu a Add 3 3 2;
+  Asm.store a 3 0 8;
+  Asm.alu a Add 3 3 2;
+  Asm.store a 3 0 16;
+  Asm.alu a Add 3 3 2;
+  Asm.store a 3 0 24;
+  Asm.alu a Add 3 3 2;
+  Asm.alui a Add 0 0 32;
+  Asm.alui a Sub 1 1 1;
+  Asm.branch a Gt 1 15 top;
+  Asm.ret a;
+  (* ring: r0 = base, r1 = entries (a power of two), r2 = entry bytes,
+     r3 = LCG multiplier (=1 mod 4), r4 = LCG increment (odd);
+     entry i <- address of entry (a*i + c) mod entries.  A full-period
+     LCG permutation scatters successors pseudo-randomly — a fixed-hop
+     ring would degenerate into strided streams the caches love. *)
+  let ring = Asm.here a in
+  Asm.alui a Sub 5 1 1;
+  Asm.mov a 6 15;
+  let top = Asm.here a in
+  Asm.alu a Mul 7 6 3;
+  Asm.alu a Add 7 7 4;
+  Asm.alu a And 7 7 5;
+  Asm.alu a Mul 8 7 2;
+  Asm.alu a Add 8 8 0;
+  Asm.alu a Mul 9 6 2;
+  Asm.alu a Add 9 9 0;
+  Asm.store a 8 9 0;
+  Asm.alui a Add 6 6 1;
+  Asm.branch a Lt 6 1 top;
+  Asm.ret a;
+  Asm.place a skip;
+  { fill_int; fill_float; fill_sorted; ring }

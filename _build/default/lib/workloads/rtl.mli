@@ -1,0 +1,42 @@
+open Sp_vm
+
+(** The benchmarks' shared runtime library: parameterised data-
+    initialisation routines emitted once per program and called by every
+    phase's init stub.
+
+    Sharing matters for fidelity, not just size: if each phase emitted
+    its own fill loop, a 20-phase benchmark would plant ~20 extra
+    initialisation code signatures and SimPoint would dutifully report
+    them all as phases.  With one shared routine, initialisation shows
+    up as (at most) a couple of low-weight clusters, like the startup
+    phases of real benchmarks.
+
+    Calling conventions (callee clobbers its argument registers and
+    r0-r6 / f0-f1):
+    - [fill_int]: r0 = base, r1 = word count / 4, r2 = seed
+    - [fill_float]: r0 = base, r1 = word count / 4, r2 = seed
+    - [fill_sorted]: r0 = base, r1 = word count / 4, r2 = value step
+    - [ring]: r0 = base, r1 = entries (power of two), r2 = entry
+      bytes, r3 = LCG multiplier, r4 = LCG increment *)
+
+type t = {
+  fill_int : Asm.label;
+  fill_float : Asm.label;
+  fill_sorted : Asm.label;
+  ring : Asm.label;
+}
+
+val emit : Asm.t -> t
+(** Emit the four routines at the current position, guarded by a jump
+    over them, and return their entry labels. *)
+
+val lcg_mul : int
+val lcg_add : int
+val lcg_mask : int
+(** The shared linear-congruential generator constants (kernels use the
+    same recurrence inline for per-item index generation). *)
+
+val insns_per_fill_group : float
+val insns_per_ring_entry : float
+(** Cost-model constants for the routines, used by kernel
+    [init_insns] estimates. *)

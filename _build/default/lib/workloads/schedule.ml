@@ -1,0 +1,37 @@
+type segment = { phase : int; slices : int }
+
+let max_segments = 8
+
+let make ~seed ~total_slices ~weights =
+  let n = Array.length weights in
+  if n = 0 then invalid_arg "Schedule.make: no weights";
+  if total_slices < 1 then invalid_arg "Schedule.make: total_slices < 1";
+  let rng = Sp_util.Rng.create (seed lxor 0x5EED5) in
+  let budget =
+    Array.map
+      (fun w ->
+        max 1 (int_of_float (Float.round (w *. float_of_int total_slices))))
+      weights
+  in
+  let segments = ref [] in
+  Array.iteri
+    (fun phase slices ->
+      let nseg =
+        max 1 (min max_segments (int_of_float (sqrt (float_of_int slices))))
+      in
+      let base = slices / nseg and rem = slices mod nseg in
+      for s = 0 to nseg - 1 do
+        let len = base + (if s < rem then 1 else 0) in
+        if len > 0 then segments := { phase; slices = len } :: !segments
+      done)
+    budget;
+  let arr = Array.of_list !segments in
+  Sp_util.Rng.shuffle rng arr;
+  Array.to_list arr
+
+let total segs = List.fold_left (fun acc s -> acc + s.slices) 0 segs
+
+let slices_of_phase segs phase =
+  List.fold_left
+    (fun acc s -> if s.phase = phase then acc + s.slices else acc)
+    0 segs

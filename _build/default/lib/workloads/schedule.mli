@@ -1,0 +1,25 @@
+(** Phase schedules: how a benchmark's planted phases are laid out over
+    its execution.
+
+    SimPoint exploits the fact that real programs revisit phases; a
+    schedule therefore splits each phase's slice budget into several
+    contiguous segments and interleaves segments of different phases
+    deterministically (per-benchmark seed). *)
+
+type segment = { phase : int; slices : int }
+
+val make :
+  seed:int -> total_slices:int -> weights:float array -> segment list
+(** [make ~seed ~total_slices ~weights] allots
+    [round (weights.(i) *. total_slices)] slices to phase [i] (at least
+    one), splits each allotment into up to {!max_segments} segments and
+    shuffles the segment order.
+    @raise Invalid_argument if [weights] is empty or [total_slices < 1]. *)
+
+val max_segments : int
+(** Cap on segments per phase. *)
+
+val total : segment list -> int
+(** Total slices across segments. *)
+
+val slices_of_phase : segment list -> int -> int

@@ -1,0 +1,35 @@
+(** The synthetic SPEC CPU2017 suite: the 29 workloads of the paper's
+    Table II, each calibrated to its reported simulation-point counts.
+
+    The paper profiles 19 INT workloads (rate and speed) and 10 FP rate
+    workloads; the remaining CPU2017 FP benchmarks could not finish
+    Whole-Pinball logging on the authors' machines and are likewise out
+    of scope here. *)
+
+val all : Benchspec.t list
+(** All 29 specs, in Table II order. *)
+
+val names : string list
+
+val find : string -> Benchspec.t
+(** Lookup by full name ("505.mcf_r") or short name ("mcf_r").
+    @raise Not_found for unknown names. *)
+
+val table2_reference : (string * int * int) list
+(** The paper's Table II rows: (benchmark, simulation points,
+    90th-percentile simulation points).  Used by EXPERIMENTS.md
+    comparisons and tests. *)
+
+val int_benchmarks : Benchspec.t list
+val fp_benchmarks : Benchspec.t list
+
+val extended : Benchspec.t list
+(** The 14 CPU2017 workloads the paper could not finish logging
+    ("we present a subset ... and keep the rest for future work"):
+    523.xalancbmk_r, 521.wrf_r, 527.cam4_r, 554.roms_r and the ten
+    SPECspeed FP benchmarks.  Their phase counts have no Table II
+    reference; they are set from their rate/speed counterparts or from
+    the domain character the paper describes. *)
+
+val full : Benchspec.t list
+(** [all @ extended]: all 43 CPU2017 workloads. *)

@@ -1,0 +1,49 @@
+let min_weight = 0.0015
+
+let coverage_count weights c =
+  let sorted = Array.copy weights in
+  Array.sort (fun a b -> compare b a) sorted;
+  let rec go i acc =
+    if i >= Array.length sorted then i
+    else if acc >= c then i
+    else go (i + 1) (acc +. sorted.(i))
+  in
+  go 0 0.0
+
+(* Floored geometric weights with ratio r, normalised and sorted
+   descending. *)
+let geometric n r =
+  let raw = Array.init n (fun i -> Float.max (r ** float_of_int i) 1e-9) in
+  let w = Sp_util.Stats.normalize raw in
+  let w = Array.map (Float.max min_weight) w in
+  let w = Sp_util.Stats.normalize w in
+  Array.sort (fun a b -> compare b a) w;
+  w
+
+let fit ~n ~n90 =
+  if n90 < 1 || n90 > n then invalid_arg "Weights.fit: need 1 <= n90 <= n";
+  if n = 1 then [| 1.0 |]
+  else begin
+    (* coverage_count(geometric n r) is non-decreasing in r: flatter
+       distributions need more entries to reach 0.9.  Binary-search the
+       boundary where the count first exceeds n90, then take the flattest
+       ratio still achieving n90 (flatter = healthier tail weights). *)
+    let count r = coverage_count (geometric n r) 0.9 in
+    let lo = ref 0.01 and hi = ref 0.9999 in
+    if count !lo > n90 then geometric n !lo
+    else if count !hi <= n90 then geometric n !hi
+    else begin
+      for _ = 1 to 60 do
+        let mid = (!lo +. !hi) /. 2.0 in
+        if count mid <= n90 then lo := mid else hi := mid
+      done;
+      geometric n !lo
+    end
+  end
+
+let explicit ws =
+  if ws = [] then invalid_arg "Weights.explicit: empty";
+  List.iter (fun w -> if w <= 0.0 then invalid_arg "Weights.explicit: w <= 0") ws;
+  let w = Sp_util.Stats.normalize (Array.of_list ws) in
+  Array.sort (fun a b -> compare b a) w;
+  w

@@ -1,0 +1,28 @@
+(** Phase-weight calibration.
+
+    Table II of the paper reports, per benchmark, both the total number
+    of simulation points and how many of them cover 90%% of execution.
+    The ratio of the two pins down how skewed the phase-weight
+    distribution must be.  This module fits a floored geometric
+    distribution to those two targets, so each synthetic benchmark's
+    planted phases reproduce its row of Table II. *)
+
+val fit : n:int -> n90:int -> float array
+(** [fit ~n ~n90] returns [n] weights, sorted descending, summing to 1,
+    such that the minimal number of highest-weight entries whose sum
+    reaches 0.9 is exactly [n90] (or as close as the discrete family
+    allows).  Every weight is at least {!min_weight} up to the final
+    renormalisation (within a percent of the floor).
+    @raise Invalid_argument unless [1 <= n90 <= n]. *)
+
+val min_weight : float
+(** Floor guaranteeing every phase occupies at least a few slices. *)
+
+val coverage_count : float array -> float -> int
+(** [coverage_count weights c]: minimal number of largest weights whose
+    sum reaches [c] (weights need not be sorted). *)
+
+val explicit : float list -> float array
+(** Normalise an explicit weight list (used for benchmarks the paper
+    singles out, like 503.bwaves_r's 60%%-dominant phase).
+    @raise Invalid_argument if empty or non-positive. *)

@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Cache Config Gen Hierarchy List QCheck QCheck_alcotest Sp_cache

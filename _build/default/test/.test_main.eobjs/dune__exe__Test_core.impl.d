@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Astring_contains Experiments Lazy List Pipeline Printf Runstats Sp_cache Sp_perf Sp_pin Sp_simpoint Sp_util Sp_workloads Specrepro String

@@ -1,0 +1,1 @@
+test/test_coverage.ml: Alcotest Array Asm Astring_contains Float Format Interp List Memory Printf Program Sp_cache Sp_isa Sp_pin Sp_pinball Sp_simpoint Sp_util Sp_vm Sp_workloads Specrepro

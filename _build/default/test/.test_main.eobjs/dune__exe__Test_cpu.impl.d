@@ -1,0 +1,1 @@
+test/test_cpu.ml: Alcotest Array Asm Astring_contains Branch_predictor Core_config Format Interp Interval_core List Printf Program Sp_cache Sp_cpu Sp_util Sp_vm Sp_workloads

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Asm Cache Config Filename Float Hierarchy Hooks Interp List Program Reuse Sp_cache Sp_cpu Sp_isa Sp_pin Sp_simpoint Sp_util Sp_vm Sys Tlb

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Gen Isa List QCheck QCheck_alcotest Sp_isa Test

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array Asm Astring_contains Interp Memory Printf Program QCheck QCheck_alcotest Sp_cpu Sp_isa Sp_pin Sp_util Sp_vm Sp_workloads Specrepro

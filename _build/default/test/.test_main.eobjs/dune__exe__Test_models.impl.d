@@ -1,0 +1,1 @@
+test/test_models.ml: Alcotest Array Asm Astring_contains Hooks Interp List Multicore Printf Program Shared_hierarchy Sp_cache Sp_cpu Sp_util Sp_vm Sp_workloads Specrepro String

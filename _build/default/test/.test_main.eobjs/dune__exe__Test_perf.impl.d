@@ -1,0 +1,1 @@
+test/test_perf.ml: Alcotest Array Asm Astring_contains Float Format Interp List Native Perf_counters Printf Program Sp_cpu Sp_isa Sp_perf Sp_vm

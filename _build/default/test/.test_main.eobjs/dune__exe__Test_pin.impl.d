@@ -1,0 +1,1 @@
+test/test_pin.ml: Alcotest Allcache_tool Array Asm Bbv_tool Inscount Isa Ldstmix List Mix Pin Sp_cache Sp_isa Sp_pin Sp_vm Tracer

@@ -1,0 +1,1 @@
+test/test_pinball.ml: Alcotest Array Asm Filename Hooks Interp Isa List Logger Memory Pinball Replayer Sp_isa Sp_pin Sp_pinball Sp_simpoint Sp_util Sp_vm Store Sys

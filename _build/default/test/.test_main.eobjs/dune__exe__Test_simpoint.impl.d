@@ -1,0 +1,1 @@
+test/test_simpoint.ml: Aggregate Alcotest Array Bic Kmeans Printf Projection QCheck QCheck_alcotest Simpoints Sp_pin Sp_simpoint Sp_util Variance

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Astring_contains Float Format Gen List QCheck QCheck_alcotest Rng Scale Sp_util Stats String Table Timemodel

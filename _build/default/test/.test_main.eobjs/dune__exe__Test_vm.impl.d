@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Array Asm Hooks Interp Isa List Memory Printf Program QCheck QCheck_alcotest Snapshot Sp_isa Sp_vm

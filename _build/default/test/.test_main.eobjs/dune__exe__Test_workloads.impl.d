@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Asm Benchspec Float Hashtbl Hooks Interp Kernel List Printf Program Rtl Schedule Sp_cache Sp_isa Sp_pin Sp_util Sp_vm Sp_workloads Suite Weights

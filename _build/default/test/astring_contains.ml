@@ -1,0 +1,15 @@
+(* Tiny substring helper shared by the test modules (no external string
+   library is vendored). *)
+
+let contains haystack needle =
+  let hn = String.length haystack and nn = String.length needle in
+  if nn = 0 then true
+  else begin
+    let found = ref false in
+    let i = ref 0 in
+    while (not !found) && !i + nn <= hn do
+      if String.sub haystack !i nn = needle then found := true;
+      incr i
+    done;
+    !found
+  end

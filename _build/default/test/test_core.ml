@@ -1,0 +1,235 @@
+(* Integration tests for the Specrepro pipeline and experiment
+   machinery, on a shrunken benchmark so the whole flow stays fast. *)
+
+open Specrepro
+
+let tiny_options =
+  {
+    Pipeline.default_options with
+    slices_scale = 0.05;
+    collect_variance = true;
+    variance_ks = [ 3; 8 ];
+    progress = false;
+  }
+
+(* one pipeline run shared by the tests below *)
+let result =
+  lazy (Pipeline.run_benchmark ~options:tiny_options (Sp_workloads.Suite.find "620.omnetpp_s"))
+
+let test_pipeline_basics () =
+  let r = Lazy.force result in
+  Alcotest.(check bool) "instructions executed" true (r.Pipeline.whole_insns > 100_000);
+  Alcotest.(check bool) "points found" true
+    (Array.length r.Pipeline.selection.points > 0);
+  Alcotest.(check (float 1e-6)) "weights sum to 1" 1.0
+    (Array.fold_left
+       (fun acc (p : Sp_simpoint.Simpoints.point) -> acc +. p.weight)
+       0.0 r.Pipeline.selection.points);
+  Alcotest.(check int) "cold stats per point"
+    (Array.length r.Pipeline.selection.points)
+    (List.length r.Pipeline.point_stats);
+  Alcotest.(check int) "warm stats per point"
+    (Array.length r.Pipeline.selection.points)
+    (List.length r.Pipeline.warm_point_stats)
+
+let test_regional_mix_matches_whole () =
+  let r = Lazy.force result in
+  let reg = Pipeline.regional r in
+  let err = Runstats.mix_error_pp ~reference:r.Pipeline.whole reg in
+  Alcotest.(check bool)
+    (Printf.sprintf "mix error %.2fpp < 3pp" err)
+    true (err < 3.0)
+
+let test_reduced_subset () =
+  let r = Lazy.force result in
+  let n = Array.length r.Pipeline.selection.points in
+  let n90 = Pipeline.reduced_count r in
+  Alcotest.(check bool) "reduced smaller" true (n90 <= n);
+  let red = Pipeline.reduced r in
+  let reg = Pipeline.regional r in
+  Alcotest.(check bool) "fewer instructions" true
+    (red.Runstats.insns <= reg.Runstats.insns);
+  (* coverage sweep is monotone in kept instructions *)
+  let i50 = (Pipeline.reduced ~coverage:0.5 r).Runstats.insns in
+  Alcotest.(check bool) "50th percentile smaller" true (i50 <= red.Runstats.insns)
+
+let test_variance_collected () =
+  let r = Lazy.force result in
+  Alcotest.(check int) "sweep points" 2 (List.length r.Pipeline.variance);
+  match r.Pipeline.variance with
+  | [ a; b ] ->
+      Alcotest.(check bool) "variance decreases in k" true
+        (a.Sp_simpoint.Variance.avg_variance >= b.Sp_simpoint.Variance.avg_variance)
+  | _ -> Alcotest.fail "expected 2"
+
+let test_native_sample () =
+  let r = Lazy.force result in
+  let cpi = Sp_perf.Perf_counters.cpi r.Pipeline.native in
+  Alcotest.(check bool) "plausible CPI" true (cpi > 0.1 && cpi < 20.0);
+  (* native CPI close to the whole-run model CPI (same model + noise) *)
+  let err =
+    Sp_util.Stats.rel_error_pct ~reference:r.Pipeline.whole.Runstats.cpi cpi
+  in
+  Alcotest.(check bool) (Printf.sprintf "err %.1f%%" err) true (err < 20.0)
+
+(* ------------------------------------------------------------------ *)
+(* Runstats aggregation *)
+
+let mk_point ~cluster ~weight ~insns ~misses ~accesses ~cpi =
+  let level ~misses ~accesses =
+    {
+      Sp_cache.Hierarchy.accesses;
+      misses;
+      miss_rate =
+        (if accesses = 0 then 0.0
+         else float_of_int misses /. float_of_int accesses);
+    }
+  in
+  {
+    Runstats.cluster;
+    weight;
+    insns;
+    mix = Sp_pin.Mix.zero;
+    cache =
+      {
+        Sp_cache.Hierarchy.l1i = level ~misses:0 ~accesses:0;
+        l1d = level ~misses ~accesses;
+        l2 = level ~misses ~accesses;
+        l3 = level ~misses ~accesses;
+      };
+    cpi;
+  }
+
+let test_of_points_rate_aggregation () =
+  (* two equal-weight points: one with many accesses at low miss rate,
+     one with few accesses at 100%.  The aggregate must be the
+     access-density-weighted ratio, not the average of the two rates. *)
+  let p1 = mk_point ~cluster:0 ~weight:0.5 ~insns:1000 ~misses:10 ~accesses:1000 ~cpi:1.0 in
+  let p2 = mk_point ~cluster:1 ~weight:0.5 ~insns:1000 ~misses:10 ~accesses:10 ~cpi:3.0 in
+  let agg = Runstats.of_points ~label:"t" [ p1; p2 ] in
+  (* pooled: (10+10) misses over (1000+10) accesses *)
+  Alcotest.(check (float 1e-9)) "pooled rate" (20.0 /. 1010.0) agg.Runstats.l1d_miss;
+  Alcotest.(check (float 1e-9)) "cpi weighted" 2.0 agg.Runstats.cpi;
+  Alcotest.(check (float 1e-9)) "insns summed" 2000.0 agg.Runstats.insns
+
+let test_of_points_weight_renormalised () =
+  (* a 90th-percentile subset keeps absolute weights; aggregation must
+     renormalise internally *)
+  let p1 = mk_point ~cluster:0 ~weight:0.6 ~insns:100 ~misses:0 ~accesses:100 ~cpi:1.0 in
+  let p2 = mk_point ~cluster:1 ~weight:0.3 ~insns:100 ~misses:0 ~accesses:100 ~cpi:2.0 in
+  let agg = Runstats.of_points ~label:"t" [ p1; p2 ] in
+  Alcotest.(check (float 1e-9)) "renormalised cpi"
+    ((0.6 *. 1.0 /. 0.9) +. (0.3 *. 2.0 /. 0.9))
+    agg.Runstats.cpi
+
+let test_miss_rate_error () =
+  let whole =
+    Runstats.of_whole ~label:"w" ~insns:100 ~mix:Sp_pin.Mix.zero
+      ~cache:
+        {
+          Sp_cache.Hierarchy.l1i = { accesses = 0; misses = 0; miss_rate = 0.0 };
+          l1d = { accesses = 100; misses = 10; miss_rate = 0.1 };
+          l2 = { accesses = 10; misses = 5; miss_rate = 0.5 };
+          l3 = { accesses = 5; misses = 1; miss_rate = 0.2 };
+        }
+      ~cpi:1.0
+  in
+  let other = { whole with Runstats.l1d_miss = 0.2; l3_miss = 0.3 } in
+  let l1d, l2, l3 = Runstats.miss_rate_error_pct ~reference:whole other in
+  Alcotest.(check (float 1e-9)) "l1d +100%" 100.0 l1d;
+  Alcotest.(check (float 1e-9)) "l2 0%" 0.0 l2;
+  Alcotest.(check (float 1e-9)) "l3 +50%" 50.0 l3
+
+(* ------------------------------------------------------------------ *)
+(* Experiments (static parts) *)
+
+let test_table1_renders () =
+  let s = Sp_util.Table.render (Experiments.table1 ()) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) needle true (Astring_contains.contains s needle))
+    [ "L1I"; "L3"; "direct-mapped"; "16384kB" ]
+
+let test_table3_renders () =
+  let s = Experiments.table3 () in
+  Alcotest.(check bool) "has model" true
+    (Astring_contains.contains s "Intel i7-3770")
+
+let test_table2_and_headlines () =
+  let r = Lazy.force result in
+  let t = Sp_util.Table.render (Experiments.table2 [ r ]) in
+  Alcotest.(check bool) "benchmark row" true
+    (Astring_contains.contains t "620.omnetpp_s");
+  let hs = Experiments.headlines [ r ] in
+  Alcotest.(check bool) "headlines populated" true (List.length hs >= 8);
+  List.iter
+    (fun (h : Experiments.headline) ->
+      Alcotest.(check bool) (h.metric ^ " measured") true
+        (String.length h.measured > 0))
+    hs
+
+let test_fig_tables_render () =
+  let r = Lazy.force result in
+  List.iter
+    (fun (name, table) ->
+      let s = Sp_util.Table.render table in
+      Alcotest.(check bool) (name ^ " mentions benchmark") true
+        (Astring_contains.contains s "620.omnetpp_s"))
+    [
+      ("fig4", Experiments.fig4 [ r ]);
+      ("fig5", Experiments.fig5 [ r ]);
+      ("fig6", Experiments.fig6 [ r ]);
+      ("fig7", Experiments.fig7 [ r ]);
+      ("fig8", Experiments.fig8 [ r ]);
+      ("fig10", Experiments.fig10 [ r ]);
+      ("fig12", Experiments.fig12 [ r ]);
+    ];
+  (* the cpistack extension table *)
+  let sk = Sp_util.Table.render (Experiments.cpistack [ r ]) in
+  Alcotest.(check bool) "cpistack row" true
+    (Astring_contains.contains sk "620.omnetpp_s");
+  (* figure-shape charts render *)
+  Alcotest.(check bool) "fig9 chart" true
+    (String.length (Experiments.fig9_chart [ r ]) > 100);
+  (* fig9 rows are percentiles, not benchmarks *)
+  let s9 =
+    Sp_util.Table.render (Experiments.fig9 ~percentiles:[ 100; 50 ] [ r ])
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("fig9 " ^ needle) true
+        (Astring_contains.contains s9 needle))
+    [ "100"; "50"; "CPI err" ]
+
+let test_pipeline_deterministic () =
+  (* bit-for-bit reproducibility: the whole pipeline is seeded *)
+  let run () =
+    let r =
+      Pipeline.run_benchmark ~options:tiny_options
+        (Sp_workloads.Suite.find "648.exchange2_s")
+    in
+    ( r.Pipeline.whole_insns,
+      r.Pipeline.selection.chosen_k,
+      Array.map (fun (p : Sp_simpoint.Simpoints.point) -> (p.slice_index, p.weight))
+        r.Pipeline.selection.points,
+      (Pipeline.regional r).Runstats.cpi,
+      (Pipeline.warmup_regional r).Runstats.l3_miss )
+  in
+  Alcotest.(check bool) "identical reruns" true (run () = run ())
+
+let suite =
+  [
+    Alcotest.test_case "pipeline basics" `Quick test_pipeline_basics;
+    Alcotest.test_case "regional mix matches whole" `Quick test_regional_mix_matches_whole;
+    Alcotest.test_case "reduced subset" `Quick test_reduced_subset;
+    Alcotest.test_case "variance collected" `Quick test_variance_collected;
+    Alcotest.test_case "native sample" `Quick test_native_sample;
+    Alcotest.test_case "of_points rate aggregation" `Quick test_of_points_rate_aggregation;
+    Alcotest.test_case "of_points renormalises" `Quick test_of_points_weight_renormalised;
+    Alcotest.test_case "miss rate error" `Quick test_miss_rate_error;
+    Alcotest.test_case "table1 renders" `Quick test_table1_renders;
+    Alcotest.test_case "table3 renders" `Quick test_table3_renders;
+    Alcotest.test_case "table2 + headlines" `Quick test_table2_and_headlines;
+    Alcotest.test_case "figure tables render" `Quick test_fig_tables_render;
+    Alcotest.test_case "pipeline deterministic" `Quick test_pipeline_deterministic;
+  ]

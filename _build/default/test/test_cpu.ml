@@ -1,0 +1,206 @@
+(* Tests for Sp_cpu: branch prediction, core configs and the interval
+   timing model. *)
+
+open Sp_vm
+open Sp_cpu
+
+(* ------------------------------------------------------------------ *)
+(* Branch predictor *)
+
+let test_bp_learns_bias () =
+  let bp = Branch_predictor.create () in
+  for _ = 1 to 1000 do
+    ignore (Branch_predictor.predict_and_update bp ~pc:100 ~taken:true)
+  done;
+  Alcotest.(check bool) "biased branch learned" true
+    (Branch_predictor.mispredict_rate bp < 0.02)
+
+let test_bp_learns_alternation () =
+  let bp = Branch_predictor.create () in
+  for i = 1 to 4000 do
+    ignore (Branch_predictor.predict_and_update bp ~pc:7 ~taken:(i mod 2 = 0))
+  done;
+  (* gshare history resolves a strict alternation *)
+  Alcotest.(check bool)
+    (Printf.sprintf "alternation learned (%.3f)" (Branch_predictor.mispredict_rate bp))
+    true
+    (Branch_predictor.mispredict_rate bp < 0.10)
+
+let test_bp_random_is_hard () =
+  let bp = Branch_predictor.create () in
+  let rng = Sp_util.Rng.create 21 in
+  for _ = 1 to 4000 do
+    ignore (Branch_predictor.predict_and_update bp ~pc:3 ~taken:(Sp_util.Rng.bool rng))
+  done;
+  Alcotest.(check bool) "random near 50%" true
+    (Branch_predictor.mispredict_rate bp > 0.35)
+
+let test_bp_observe_and_reset () =
+  let bp = Branch_predictor.create () in
+  Branch_predictor.observe bp ~pc:1 ~taken:true;
+  Alcotest.(check int) "observe not counted" 0 (Branch_predictor.lookups bp);
+  ignore (Branch_predictor.predict_and_update bp ~pc:1 ~taken:true);
+  Branch_predictor.reset_stats bp;
+  Alcotest.(check int) "stats reset" 0 (Branch_predictor.lookups bp)
+
+(* ------------------------------------------------------------------ *)
+(* Config *)
+
+let test_config_table3 () =
+  let c = Core_config.i7_3770 in
+  Alcotest.(check (float 0.0)) "3.4 GHz" 3.4 c.Core_config.freq_ghz;
+  Alcotest.(check int) "ROB" 168 c.Core_config.rob_entries;
+  Alcotest.(check int) "mispredict penalty" 8 c.Core_config.branch_penalty;
+  let rendered = Format.asprintf "%a" Core_config.pp c in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) needle true (Astring_contains.contains rendered needle))
+    [ "i7-3770"; "19 stage"; "168 entries"; "8 cycles"; "8 MB" ]
+
+let test_config_sim_scaled () =
+  let sim = Core_config.i7_3770_sim in
+  Alcotest.(check int) "scaled L3"
+    (8 * 1024 * 1024 / Sp_cache.Config.sim_scale)
+    sim.Core_config.caches.Sp_cache.Config.l3.size_bytes;
+  (* non-cache parameters unchanged *)
+  Alcotest.(check int) "ROB unchanged" 168 sim.Core_config.rob_entries
+
+(* ------------------------------------------------------------------ *)
+(* Interval core *)
+
+let alu_loop_program ~iters =
+  let a = Asm.create () in
+  Asm.li a 1 iters;
+  let top = Asm.here a in
+  Asm.alui a Add 2 2 3;
+  Asm.alui a Xor 3 2 5;
+  Asm.alui a Add 4 4 1;
+  Asm.alui a Sub 1 1 1;
+  Asm.branch a Gt 1 15 top;
+  Asm.halt a;
+  Asm.assemble a
+
+let chase_program ~entries ~iters =
+  (* dependent loads over an LCG ring, via the workload kernel *)
+  let k = Sp_workloads.Kernel.pointer_chase in
+  let p =
+    Sp_workloads.Kernel.normalize
+      { Sp_workloads.Kernel.base = 0x40_0000; elems = entries; stride = 8;
+        chunk = iters; seed = 3 }
+  in
+  let a = Asm.create () in
+  Asm.li a 15 0;
+  let rtl = Sp_workloads.Rtl.emit a in
+  k.Sp_workloads.Kernel.emit_init a rtl p;
+  let fn = Asm.new_label a in
+  Asm.li a 12 4;
+  let top = Asm.here a in
+  Asm.call a fn;
+  Asm.alui a Sub 12 12 1;
+  Asm.branch a Gt 12 15 top;
+  Asm.halt a;
+  Asm.place a fn;
+  k.Sp_workloads.Kernel.emit_body a p;
+  Asm.ret a;
+  Asm.assemble a
+
+let time_program prog =
+  let core = Interval_core.create ~config:Core_config.i7_3770_sim prog in
+  let m = Interp.create ~entry:prog.Program.entry () in
+  ignore (Interp.run ~hooks:(Interval_core.hooks core) prog m);
+  core
+
+let test_alu_cpi_near_dispatch () =
+  let core = time_program (alu_loop_program ~iters:5000) in
+  let cpi = Interval_core.cpi core in
+  (* 4-wide dispatch: pure ALU code should run near 0.25 CPI *)
+  Alcotest.(check bool) (Printf.sprintf "alu CPI %.3f" cpi) true
+    (cpi > 0.2 && cpi < 0.45)
+
+let test_memory_bound_cpi_higher () =
+  let alu = time_program (alu_loop_program ~iters:5000) in
+  let mem = time_program (chase_program ~entries:4096 ~iters:1000) in
+  Alcotest.(check bool)
+    (Printf.sprintf "chase CPI %.2f > alu CPI %.2f"
+       (Interval_core.cpi mem) (Interval_core.cpi alu))
+    true
+    (Interval_core.cpi mem > 2.0 *. Interval_core.cpi alu)
+
+let test_stats_components_sum () =
+  let core = time_program (chase_program ~entries:1024 ~iters:500) in
+  let s = Interval_core.stats core in
+  Alcotest.(check (float 1e-6)) "components sum"
+    s.Interval_core.cycles
+    (s.Interval_core.base_cycles +. s.Interval_core.branch_stall_cycles
+   +. s.Interval_core.memory_stall_cycles);
+  Alcotest.(check bool) "level hits recorded" true
+    (Array.fold_left ( + ) 0 s.Interval_core.level_hits > 0)
+
+let test_warming_excluded () =
+  let prog = alu_loop_program ~iters:1000 in
+  let core = Interval_core.create ~config:Core_config.i7_3770_sim prog in
+  Interval_core.set_warming core true;
+  let m = Interp.create ~entry:prog.Program.entry () in
+  ignore (Interp.run ~hooks:(Interval_core.hooks core) ~fuel:500 prog m);
+  Alcotest.(check int) "warming counts nothing" 0 (Interval_core.instructions core);
+  Alcotest.(check (float 0.0)) "no cycles" 0.0 (Interval_core.cycles core);
+  Interval_core.set_warming core false;
+  ignore (Interp.run ~hooks:(Interval_core.hooks core) ~fuel:500 prog m);
+  Alcotest.(check int) "measured after warmup" 500 (Interval_core.instructions core)
+
+let test_reset_state () =
+  let prog = alu_loop_program ~iters:100 in
+  let core = time_program prog in
+  Interval_core.reset_state core;
+  Alcotest.(check int) "instructions zeroed" 0 (Interval_core.instructions core);
+  Alcotest.(check (float 0.0)) "cpi zero" 0.0 (Interval_core.cpi core)
+
+let test_seconds () =
+  let core = time_program (alu_loop_program ~iters:1000) in
+  let s = Interval_core.seconds core in
+  Alcotest.(check (float 1e-12)) "seconds = cycles/freq"
+    (Interval_core.cycles core /. 3.4e9)
+    s
+
+let test_branch_penalty_counted () =
+  (* a data-dependent 50/50 branch: mispredicts must show up as stalls *)
+  let a = Asm.create () in
+  Asm.li a 1 4000;
+  Asm.li a 4 (0x5DEECE66D land 0x3FFFFFFF);
+  let top = Asm.here a in
+  Asm.alui a Mul 4 4 1103515245;
+  Asm.alui a Add 4 4 12345;
+  Asm.alui a And 4 4 0x3FFFFFFF;
+  Asm.alui a Shr 5 4 7;
+  Asm.alui a And 5 5 1;
+  let skip = Asm.new_label a in
+  Asm.branch a Eq 5 15 skip;
+  Asm.alui a Add 6 6 1;
+  Asm.place a skip;
+  Asm.alui a Sub 1 1 1;
+  Asm.branch a Gt 1 15 top;
+  Asm.halt a;
+  let prog = Asm.assemble a in
+  let core = time_program prog in
+  let s = Interval_core.stats core in
+  Alcotest.(check bool) "mispredicts seen" true (s.Interval_core.branch_mispredicts > 500);
+  Alcotest.(check bool) "stall cycles accrued" true
+    (s.Interval_core.branch_stall_cycles
+    >= float_of_int s.Interval_core.branch_mispredicts *. 8.0 -. 1.0)
+
+let suite =
+  [
+    Alcotest.test_case "bp learns bias" `Quick test_bp_learns_bias;
+    Alcotest.test_case "bp learns alternation" `Quick test_bp_learns_alternation;
+    Alcotest.test_case "bp random hard" `Quick test_bp_random_is_hard;
+    Alcotest.test_case "bp observe/reset" `Quick test_bp_observe_and_reset;
+    Alcotest.test_case "Table III config" `Quick test_config_table3;
+    Alcotest.test_case "scaled sim config" `Quick test_config_sim_scaled;
+    Alcotest.test_case "alu CPI near dispatch" `Quick test_alu_cpi_near_dispatch;
+    Alcotest.test_case "memory-bound CPI higher" `Quick test_memory_bound_cpi_higher;
+    Alcotest.test_case "stats components sum" `Quick test_stats_components_sum;
+    Alcotest.test_case "warming excluded" `Quick test_warming_excluded;
+    Alcotest.test_case "reset state" `Quick test_reset_state;
+    Alcotest.test_case "seconds" `Quick test_seconds;
+    Alcotest.test_case "branch penalty counted" `Quick test_branch_penalty_counted;
+  ]

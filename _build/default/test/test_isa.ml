@@ -1,0 +1,163 @@
+(* Tests for Sp_isa: classification, codes, control-flow helpers. *)
+
+open Sp_isa
+
+let all_sample_instrs =
+  [
+    Isa.Alu (Isa.Add, 0, 1, 2);
+    Isa.Alu (Isa.Mul, 0, 1, 2);
+    Isa.Alu (Isa.Div, 0, 1, 2);
+    Isa.Alu (Isa.Rem, 0, 1, 2);
+    Isa.Alui (Isa.Xor, 0, 1, 5);
+    Isa.Li (3, 42);
+    Isa.Mov (4, 5);
+    Isa.Load (0, 1, 8);
+    Isa.Store (0, 1, 8);
+    Isa.Movs (0, 1);
+    Isa.Falu (Isa.Fadd, 0, 1, 2);
+    Isa.Falu (Isa.Fmul, 0, 1, 2);
+    Isa.Falu (Isa.Fdiv, 0, 1, 2);
+    Isa.Fload (0, 1, 0);
+    Isa.Fstore (0, 1, 0);
+    Isa.Fmovi (0, 1.5);
+    Isa.Cvtif (0, 1);
+    Isa.Cvtfi (0, 1);
+    Isa.Branch (Isa.Eq, 0, 1, 7);
+    Isa.Jump 3;
+    Isa.Call 9;
+    Isa.Ret;
+    Isa.Sys (0, 2);
+    Isa.Halt;
+  ]
+
+let test_mem_class () =
+  let check i cls =
+    Alcotest.(check string)
+      (Isa.to_string i) (Isa.mem_class_name cls)
+      (Isa.mem_class_name (Isa.mem_class i))
+  in
+  check (Isa.Load (0, 1, 0)) Isa.Mem_r;
+  check (Isa.Fload (0, 1, 0)) Isa.Mem_r;
+  check (Isa.Store (0, 1, 0)) Isa.Mem_w;
+  check (Isa.Fstore (0, 1, 0)) Isa.Mem_w;
+  check (Isa.Movs (0, 1)) Isa.Mem_rw;
+  check (Isa.Alu (Isa.Add, 0, 1, 2)) Isa.No_mem;
+  check (Isa.Branch (Isa.Eq, 0, 1, 0)) Isa.No_mem;
+  check Isa.Halt Isa.No_mem
+
+let test_mem_class_codes () =
+  List.iter
+    (fun cls ->
+      Alcotest.(check string)
+        "roundtrip" (Isa.mem_class_name cls)
+        (Isa.mem_class_name (Isa.mem_class_of_code (Isa.mem_class_code cls))))
+    Isa.all_mem_classes;
+  Alcotest.check_raises "bad code"
+    (Invalid_argument "Isa.mem_class_of_code: 9") (fun () ->
+      ignore (Isa.mem_class_of_code 9))
+
+let test_kind_codes () =
+  List.iter
+    (fun i ->
+      let k = Isa.kind i in
+      let code = Isa.kind_code k in
+      Alcotest.(check bool) "in range" true (code >= 0 && code < Isa.num_kinds);
+      Alcotest.(check bool) "roundtrip" true (Isa.kind_of_code code = k))
+    all_sample_instrs
+
+let test_kind_classification () =
+  Alcotest.(check bool) "mul" true (Isa.kind (Isa.Alu (Isa.Mul, 0, 0, 0)) = Isa.K_mul);
+  Alcotest.(check bool) "div" true (Isa.kind (Isa.Alui (Isa.Div, 0, 0, 1)) = Isa.K_div);
+  Alcotest.(check bool) "rem is div-class" true
+    (Isa.kind (Isa.Alu (Isa.Rem, 0, 0, 0)) = Isa.K_div);
+  Alcotest.(check bool) "fmul" true (Isa.kind (Isa.Falu (Isa.Fmul, 0, 0, 0)) = Isa.K_fmul);
+  Alcotest.(check bool) "call is jump-class" true (Isa.kind (Isa.Call 0) = Isa.K_jump);
+  Alcotest.(check bool) "ret is jump-class" true (Isa.kind Isa.Ret = Isa.K_jump)
+
+let test_control () =
+  let controls = [ Isa.Branch (Isa.Lt, 0, 1, 2); Isa.Jump 0; Isa.Call 0; Isa.Ret; Isa.Halt ] in
+  List.iter
+    (fun i -> Alcotest.(check bool) (Isa.to_string i) true (Isa.is_control i))
+    controls;
+  Alcotest.(check bool) "load not control" false (Isa.is_control (Isa.Load (0, 1, 0)));
+  Alcotest.(check bool) "branch target" true
+    (Isa.branch_target (Isa.Branch (Isa.Eq, 0, 0, 17)) = Some 17);
+  Alcotest.(check bool) "ret has no static target" true (Isa.branch_target Isa.Ret = None)
+
+let test_map_target () =
+  let f t = t + 100 in
+  Alcotest.(check bool) "jump remapped" true
+    (Isa.map_target f (Isa.Jump 1) = Isa.Jump 101);
+  Alcotest.(check bool) "call remapped" true
+    (Isa.map_target f (Isa.Call 2) = Isa.Call 102);
+  Alcotest.(check bool) "branch remapped" true
+    (Isa.map_target f (Isa.Branch (Isa.Ge, 1, 2, 3)) = Isa.Branch (Isa.Ge, 1, 2, 103));
+  let load = Isa.Load (0, 1, 2) in
+  Alcotest.(check bool) "non-control unchanged" true (Isa.map_target f load = load)
+
+let test_disassembly () =
+  let check i expect = Alcotest.(check string) expect expect (Isa.to_string i) in
+  check (Isa.Alu (Isa.Add, 3, 1, 2)) "add r3, r1, r2";
+  check (Isa.Li (4, -7)) "li r4, -7";
+  check (Isa.Load (2, 5, 16)) "ld r2, 16(r5)";
+  check (Isa.Branch (Isa.Gt, 1, 15, 9)) "bgt r1, r15, @9";
+  check Isa.Halt "halt"
+
+let test_parse_roundtrip () =
+  List.iter
+    (fun i ->
+      match Isa.of_string (Isa.to_string i) with
+      | Some parsed ->
+          Alcotest.(check string) (Isa.to_string i) (Isa.to_string i)
+            (Isa.to_string parsed)
+      | None -> Alcotest.fail ("unparseable: " ^ Isa.to_string i))
+    all_sample_instrs
+
+let prop_parse_roundtrip =
+  let open QCheck in
+  let reg = Gen.int_range 0 15 in
+  let gen =
+    Gen.oneof
+      [
+        Gen.map3 (fun op a (b, c) -> Isa.Alu (op, a, b, c))
+          (Gen.oneofl [ Isa.Add; Isa.Mul; Isa.Shr; Isa.Rem ])
+          reg (Gen.pair reg reg);
+        Gen.map3 (fun op a (b, imm) -> Isa.Alui (op, a, b, imm))
+          (Gen.oneofl [ Isa.Sub; Isa.Xor; Isa.And ])
+          reg
+          (Gen.pair reg (Gen.int_range (-100000) 100000));
+        Gen.map2 (fun a imm -> Isa.Li (a, imm)) reg (Gen.int_range (-1000000) 1000000);
+        Gen.map3 (fun a b off -> Isa.Load (a, b, off)) reg reg (Gen.int_range (-512) 512);
+        Gen.map3 (fun a b off -> Isa.Fstore (a, b, off)) reg reg (Gen.int_range (-512) 512);
+        Gen.map2 (fun a b -> Isa.Movs (a, b)) reg reg;
+        Gen.map3 (fun c (a, b) t -> Isa.Branch (c, a, b, t))
+          (Gen.oneofl [ Isa.Eq; Isa.Ne; Isa.Lt; Isa.Le; Isa.Gt; Isa.Ge ])
+          (Gen.pair reg reg) (Gen.int_range 0 100000);
+        Gen.map2 (fun fd q -> Isa.Fmovi (fd, float_of_int q /. 4.0))
+          reg (Gen.int_range (-1000) 1000);
+        Gen.map (fun t -> Isa.Jump t) (Gen.int_range 0 100000);
+        Gen.map2 (fun n r -> Isa.Sys (n, r)) (Gen.int_range 0 63) reg;
+      ]
+  in
+  Test.make ~name:"disassembly parse roundtrip" ~count:500 (make gen)
+    (fun i -> Isa.of_string (Isa.to_string i) = Some i)
+
+let test_parse_rejects_garbage () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) s true (Isa.of_string s = None))
+    [ ""; "nop"; "add r1, r2"; "ld r99, 0(r1)"; "beq r1, r2, 7"; "li rx, 3" ]
+
+let suite =
+  [
+    Alcotest.test_case "mem_class" `Quick test_mem_class;
+    Alcotest.test_case "mem_class codes" `Quick test_mem_class_codes;
+    Alcotest.test_case "kind codes" `Quick test_kind_codes;
+    Alcotest.test_case "kind classification" `Quick test_kind_classification;
+    Alcotest.test_case "control helpers" `Quick test_control;
+    Alcotest.test_case "map_target" `Quick test_map_target;
+    Alcotest.test_case "disassembly" `Quick test_disassembly;
+    Alcotest.test_case "parse roundtrip (samples)" `Quick test_parse_roundtrip;
+    QCheck_alcotest.to_alcotest prop_parse_roundtrip;
+    Alcotest.test_case "parse rejects garbage" `Quick test_parse_rejects_garbage;
+  ]

@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "specrepro"
+    [
+      ("util", Test_util.suite);
+      ("isa", Test_isa.suite);
+      ("vm", Test_vm.suite);
+      ("cache", Test_cache.suite);
+      ("pin", Test_pin.suite);
+      ("simpoint", Test_simpoint.suite);
+      ("pinball", Test_pinball.suite);
+      ("workloads", Test_workloads.suite);
+      ("cpu", Test_cpu.suite);
+      ("perf", Test_perf.suite);
+      ("core", Test_core.suite);
+      ("extensions", Test_extensions.suite);
+      ("properties", Test_properties.suite);
+      ("models", Test_models.suite);
+      ("misc", Test_misc.suite);
+      ("coverage", Test_coverage.suite);
+    ]

@@ -1,0 +1,103 @@
+(* Tests for Sp_perf: counter samples and the native-machine model. *)
+
+open Sp_vm
+open Sp_perf
+
+let small_program () =
+  let a = Asm.create ~name:"perf-test" () in
+  Asm.li a 1 100_000;
+  let top = Asm.here a in
+  Asm.li a 2 0x1000;
+  Asm.load a 3 2 0;
+  Asm.alu a Sp_isa.Isa.Add 4 4 3;
+  Asm.alui a Sp_isa.Isa.Sub 1 1 1;
+  Asm.branch a Sp_isa.Isa.Gt 1 15 top;
+  Asm.halt a;
+  Asm.assemble a
+
+let test_cpi_ipc () =
+  let s =
+    {
+      Perf_counters.cpu_cycles = 200.0;
+      instructions = 100;
+      cache_references = 10;
+      cache_misses = 5;
+      branch_instructions = 20;
+      branch_misses = 2;
+      task_clock_seconds = 1.0;
+    }
+  in
+  Alcotest.(check (float 1e-9)) "cpi" 2.0 (Perf_counters.cpi s);
+  Alcotest.(check (float 1e-9)) "ipc" 0.5 (Perf_counters.ipc s);
+  let zero = { s with Perf_counters.instructions = 0; cpu_cycles = 0.0 } in
+  Alcotest.(check (float 0.0)) "cpi zero insns" 0.0 (Perf_counters.cpi zero);
+  Alcotest.(check (float 0.0)) "ipc zero cycles" 0.0 (Perf_counters.ipc zero)
+
+let test_pp_sample () =
+  let prog = small_program () in
+  let s = Native.run prog in
+  let rendered = Format.asprintf "%a" Perf_counters.pp s in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) needle true (Astring_contains.contains rendered needle))
+    [ "cpu-cycles"; "instructions"; "branch-misses"; "task-clock" ]
+
+let test_native_run_deterministic () =
+  let prog = small_program () in
+  let a = Native.run ~run_index:0 prog in
+  let b = Native.run ~run_index:0 prog in
+  Alcotest.(check (float 0.0)) "same run same cycles" a.Perf_counters.cpu_cycles
+    b.Perf_counters.cpu_cycles
+
+let test_native_runs_vary () =
+  let prog = small_program () in
+  let a = Native.run ~run_index:0 prog in
+  let b = Native.run ~run_index:1 prog in
+  Alcotest.(check bool) "noise differs across runs" true
+    (a.Perf_counters.cpu_cycles <> b.Perf_counters.cpu_cycles);
+  Alcotest.(check int) "instruction count exact" a.Perf_counters.instructions
+    b.Perf_counters.instructions;
+  (* noise is small: within a few percent *)
+  let rel =
+    Float.abs (a.Perf_counters.cpu_cycles -. b.Perf_counters.cpu_cycles)
+    /. a.Perf_counters.cpu_cycles
+  in
+  Alcotest.(check bool) "noise bounded" true (rel < 0.15)
+
+let test_native_tracks_model () =
+  let prog = small_program () in
+  let core = Sp_cpu.Interval_core.create ~config:Sp_cpu.Core_config.i7_3770_sim prog in
+  let m = Interp.create ~entry:prog.Program.entry () in
+  ignore (Interp.run ~hooks:(Sp_cpu.Interval_core.hooks core) prog m);
+  let sample = Native.run prog in
+  let err =
+    Float.abs (Perf_counters.cpi sample -. Sp_cpu.Interval_core.cpi core)
+    /. Sp_cpu.Interval_core.cpi core
+  in
+  (* noise + startup overhead stay within ~15% on a run this size *)
+  Alcotest.(check bool) (Printf.sprintf "err %.3f" err) true (err < 0.15)
+
+let test_sample_of_stats_consistency () =
+  let prog = small_program () in
+  let core = Sp_cpu.Interval_core.create ~config:Sp_cpu.Core_config.i7_3770_sim prog in
+  let m = Interp.create ~entry:prog.Program.entry () in
+  ignore (Interp.run ~hooks:(Sp_cpu.Interval_core.hooks core) prog m);
+  let stats = Sp_cpu.Interval_core.stats core in
+  let s = Native.sample_of_stats ~name:"perf-test" stats in
+  Alcotest.(check int) "instructions preserved" stats.Sp_cpu.Interval_core.instructions
+    s.Perf_counters.instructions;
+  Alcotest.(check int) "branch counters preserved"
+    stats.Sp_cpu.Interval_core.branch_mispredicts s.Perf_counters.branch_misses;
+  Alcotest.(check int) "LLC misses = memory-level hits"
+    stats.Sp_cpu.Interval_core.level_hits.(3)
+    s.Perf_counters.cache_misses
+
+let suite =
+  [
+    Alcotest.test_case "cpi/ipc" `Quick test_cpi_ipc;
+    Alcotest.test_case "pp sample" `Quick test_pp_sample;
+    Alcotest.test_case "native deterministic" `Quick test_native_run_deterministic;
+    Alcotest.test_case "native runs vary" `Quick test_native_runs_vary;
+    Alcotest.test_case "native tracks model" `Quick test_native_tracks_model;
+    Alcotest.test_case "sample_of_stats" `Quick test_sample_of_stats_consistency;
+  ]

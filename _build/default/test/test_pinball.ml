@@ -1,0 +1,205 @@
+(* Tests for Sp_pinball: logging, replay fidelity, regional capture,
+   the on-disk store. *)
+
+open Sp_isa
+open Sp_vm
+open Sp_pinball
+
+(* a small program with non-deterministic inputs: sums sys values and
+   writes a running pattern to memory *)
+let sys_program ~iters =
+  let a = Asm.create ~name:"syss" () in
+  Asm.li a 1 0x1000;
+  Asm.li a 2 iters;
+  let top = Asm.here a in
+  Asm.sys a 0 3;
+  Asm.alu a Add 4 4 3;
+  Asm.store a 4 1 0;
+  Asm.alui a Add 1 1 8;
+  Asm.alui a Sub 2 2 1;
+  Asm.branch a Gt 2 15 top;
+  Asm.halt a;
+  Asm.assemble a
+
+let noisy_syscall seed =
+  let rng = Sp_util.Rng.create seed in
+  fun (_ : int) -> Sp_util.Rng.int rng 1000
+
+let test_log_whole () =
+  let prog = sys_program ~iters:20 in
+  let whole = Logger.log_whole ~benchmark:"t" prog in
+  Alcotest.(check bool) "counted" true (whole.Logger.total_insns > 100);
+  Alcotest.(check int) "recorded all inputs" 20
+    (Array.length whole.Logger.pinball.Pinball.syscalls);
+  Alcotest.(check int) "whole starts at zero" 0
+    (Pinball.start_icount whole.Logger.pinball);
+  Alcotest.(check (float 0.0)) "whole weight" 1.0
+    (Pinball.weight whole.Logger.pinball)
+
+let test_whole_replay_reproduces () =
+  let prog = sys_program ~iters:25 in
+  (* log with a non-trivial input source *)
+  let whole = Logger.log_whole ~syscall:(noisy_syscall 3) ~benchmark:"t" prog in
+  let result = Replayer.replay whole.Logger.pinball in
+  Alcotest.(check int) "same instruction count" whole.Logger.total_insns
+    result.Replayer.retired;
+  (* re-run natively with the same inputs to get ground-truth state *)
+  let m = Interp.create ~entry:0 () in
+  ignore (Interp.run ~syscall:(noisy_syscall 3) prog m);
+  Alcotest.(check int) "same accumulator" m.Interp.regs.(4)
+    result.Replayer.machine.Interp.regs.(4);
+  Alcotest.(check int) "same memory"
+    (Memory.load m.Interp.mem 0x1008)
+    (Memory.load result.Replayer.machine.Interp.mem 0x1008)
+
+let mk_point cluster slice_index start length weight =
+  { Sp_simpoint.Simpoints.cluster; slice_index; start_icount = start; length; weight }
+
+let test_regional_capture_matches_ground_truth () =
+  let prog = sys_program ~iters:100 in
+  let whole = Logger.log_whole ~syscall:(noisy_syscall 7) ~benchmark:"t" prog in
+  let start = 150 and len = 120 in
+  let points = [| mk_point 0 0 start len 1.0 |] in
+  let regions = Logger.capture_regions whole points in
+  Alcotest.(check int) "one region" 1 (Array.length regions);
+  let mixt = Sp_pin.Ldstmix.create () in
+  let r = Replayer.replay ~tools:[ Sp_pin.Ldstmix.hooks mixt ] regions.(0) in
+  Alcotest.(check int) "exact length" len r.Replayer.retired;
+  (* ground truth: native run, instrument the same interval *)
+  let gt = Sp_pin.Ldstmix.create () in
+  let m = Interp.create ~entry:0 () in
+  let syscall = noisy_syscall 7 in
+  ignore (Interp.run ~syscall ~fuel:start prog m);
+  ignore (Interp.run ~hooks:(Sp_pin.Ldstmix.hooks gt) ~syscall ~fuel:len prog m);
+  List.iter
+    (fun cls ->
+      Alcotest.(check int)
+        (Isa.mem_class_name cls)
+        (Sp_pin.Ldstmix.count gt cls)
+        (Sp_pin.Ldstmix.count mixt cls))
+    Isa.all_mem_classes
+
+let test_region_syscall_injection () =
+  let prog = sys_program ~iters:50 in
+  let whole = Logger.log_whole ~syscall:(noisy_syscall 11) ~benchmark:"t" prog in
+  (* a region that contains syscalls: replaying twice is deterministic *)
+  let points = [| mk_point 0 0 60 90 1.0 |] in
+  let regions = Logger.capture_regions whole points in
+  let run () =
+    let r = Replayer.replay regions.(0) in
+    r.Replayer.machine.Interp.regs.(4)
+  in
+  Alcotest.(check int) "deterministic replay" (run ()) (run ())
+
+let test_replay_divergence () =
+  let prog = sys_program ~iters:10 in
+  let whole = Logger.log_whole ~benchmark:"t" prog in
+  let pb = whole.Logger.pinball in
+  (* corrupt: drop the recorded inputs *)
+  let broken = { pb with Pinball.syscalls = [||] } in
+  try
+    ignore (Replayer.replay broken);
+    Alcotest.fail "expected Divergence"
+  with Replayer.Divergence _ -> ()
+
+let test_scan_matches_capture () =
+  let prog = sys_program ~iters:80 in
+  let whole = Logger.log_whole ~syscall:(noisy_syscall 2) ~benchmark:"t" prog in
+  let points =
+    [| mk_point 1 0 100 50 0.5; mk_point 0 0 300 50 0.5 |]
+  in
+  let captured = Logger.capture_regions whole points in
+  let scanned = ref [] in
+  Logger.scan_regions whole points (fun pb -> scanned := pb :: !scanned);
+  let scanned = List.rev !scanned in
+  Alcotest.(check int) "same count" 2 (List.length scanned);
+  List.iteri
+    (fun i pb ->
+      (* scan order is by start; points were given in start order here *)
+      let ref_pb = captured.(i) in
+      let final pb = (Replayer.replay pb).Replayer.machine.Interp.regs.(4) in
+      Alcotest.(check int) "same replay result" (final ref_pb) (final pb))
+    scanned
+
+let test_scan_warmup_hooks () =
+  let prog = sys_program ~iters:200 in
+  let whole = Logger.log_whole ~benchmark:"t" prog in
+  let points = [| mk_point 0 0 600 100 1.0 |] in
+  let warm_count = ref 0 in
+  let started = ref 0 in
+  let warmup =
+    {
+      Logger.length = 250;
+      hooks = { Hooks.nil with on_instr = (fun _ _ -> incr warm_count) };
+      on_start = (fun () -> incr started);
+    }
+  in
+  Logger.scan_regions ~warmup whole points (fun _ -> ());
+  Alcotest.(check int) "on_start once" 1 !started;
+  Alcotest.(check int) "warm window length" 250 !warm_count
+
+let test_scan_warmup_clamped () =
+  let prog = sys_program ~iters:200 in
+  let whole = Logger.log_whole ~benchmark:"t" prog in
+  let points = [| mk_point 0 0 100 50 1.0 |] in
+  let warm_count = ref 0 in
+  let warmup =
+    {
+      Logger.length = 10_000;
+      hooks = { Hooks.nil with on_instr = (fun _ _ -> incr warm_count) };
+      on_start = ignore;
+    }
+  in
+  Logger.scan_regions ~warmup whole points (fun _ -> ());
+  Alcotest.(check int) "clamped to gap" 100 !warm_count
+
+let test_store_roundtrip () =
+  let dir = Filename.temp_file "spstore" "" in
+  Sys.remove dir;
+  let prog = sys_program ~iters:30 in
+  let whole = Logger.log_whole ~syscall:(noisy_syscall 5) ~benchmark:"bench.x" prog in
+  let path = Store.save ~dir whole.Logger.pinball in
+  Alcotest.(check bool) "file exists" true (Sys.file_exists path);
+  let loaded = Store.load path in
+  Alcotest.(check string) "benchmark name" "bench.x" loaded.Pinball.benchmark;
+  let a = Replayer.replay whole.Logger.pinball in
+  let b = Replayer.replay loaded in
+  Alcotest.(check int) "replays equal"
+    a.Replayer.machine.Interp.regs.(4)
+    b.Replayer.machine.Interp.regs.(4);
+  Alcotest.(check (list string)) "listed"
+    [ path ]
+    (Store.list_dir ~dir);
+  (* bad magic *)
+  let bad = Filename.concat dir "bad.pb" in
+  let oc = open_out_bin bad in
+  output_string oc "NOT-A-PINBALL-AT-ALL";
+  close_out oc;
+  (try
+     ignore (Store.load bad);
+     Alcotest.fail "expected Failure"
+   with Failure _ -> ());
+  Sys.remove bad;
+  Sys.remove path;
+  Sys.rmdir dir
+
+let test_describe () =
+  let prog = sys_program ~iters:5 in
+  let whole = Logger.log_whole ~benchmark:"b" prog in
+  Alcotest.(check string) "whole" "b.whole"
+    (Pinball.describe whole.Logger.pinball)
+
+let suite =
+  [
+    Alcotest.test_case "log whole" `Quick test_log_whole;
+    Alcotest.test_case "whole replay reproduces" `Quick test_whole_replay_reproduces;
+    Alcotest.test_case "regional capture matches ground truth" `Quick
+      test_regional_capture_matches_ground_truth;
+    Alcotest.test_case "region syscall injection" `Quick test_region_syscall_injection;
+    Alcotest.test_case "replay divergence" `Quick test_replay_divergence;
+    Alcotest.test_case "scan matches capture" `Quick test_scan_matches_capture;
+    Alcotest.test_case "scan warmup hooks" `Quick test_scan_warmup_hooks;
+    Alcotest.test_case "scan warmup clamped" `Quick test_scan_warmup_clamped;
+    Alcotest.test_case "store roundtrip" `Quick test_store_roundtrip;
+    Alcotest.test_case "describe" `Quick test_describe;
+  ]

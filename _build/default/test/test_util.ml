@@ -1,0 +1,213 @@
+(* Tests for Sp_util: RNG, statistics, scale, time model, tables. *)
+
+open Sp_util
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_close eps = Alcotest.(check (float eps))
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.int64 a = Rng.int64 b then incr same
+  done;
+  Alcotest.(check bool) "different streams" true (!same < 4)
+
+let test_rng_split () =
+  let a = Rng.create 7 in
+  let b = Rng.split a in
+  (* the split stream must not just replay the parent *)
+  let parent = Array.init 32 (fun _ -> Rng.int64 a) in
+  let child = Array.init 32 (fun _ -> Rng.int64 b) in
+  Alcotest.(check bool) "split differs" true (parent <> child)
+
+let test_rng_copy () =
+  let a = Rng.create 9 in
+  ignore (Rng.int64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy replays" (Rng.int64 a) (Rng.int64 b)
+
+let test_rng_gaussian_moments () =
+  let rng = Rng.create 5 in
+  let n = 20000 in
+  let xs = Array.init n (fun _ -> Rng.gaussian rng ~mu:3.0 ~sigma:2.0) in
+  check_close 0.1 "mean" 3.0 (Stats.mean xs);
+  check_close 0.1 "stddev" 2.0 (Stats.stddev xs)
+
+let prop_int_bounds =
+  QCheck.Test.make ~name:"Rng.int in bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let rng = Rng.create seed in
+      let x = Rng.int rng bound in
+      x >= 0 && x < bound)
+
+let prop_float_bounds =
+  QCheck.Test.make ~name:"Rng.float in bounds" ~count:500
+    QCheck.(pair small_int (float_range 0.001 1e6))
+    (fun (seed, bound) ->
+      let rng = Rng.create seed in
+      let x = Rng.float rng bound in
+      x >= 0.0 && x < bound)
+
+let prop_shuffle_permutes =
+  QCheck.Test.make ~name:"Rng.shuffle preserves multiset" ~count:200
+    QCheck.(pair small_int (list small_int))
+    (fun (seed, xs) ->
+      let rng = Rng.create seed in
+      let a = Array.of_list xs in
+      Rng.shuffle rng a;
+      List.sort compare (Array.to_list a) = List.sort compare xs)
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let test_mean_variance () =
+  let xs = [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+  check_float "mean" 5.0 (Stats.mean xs);
+  check_float "variance" 4.0 (Stats.variance xs);
+  check_float "stddev" 2.0 (Stats.stddev xs)
+
+let test_empty_stats () =
+  check_float "mean []" 0.0 (Stats.mean [||]);
+  check_float "variance [x]" 0.0 (Stats.variance [| 5.0 |])
+
+let test_geomean () =
+  check_float "geomean" 4.0 (Stats.geomean [| 2.0; 8.0 |])
+
+let test_weighted_mean () =
+  check_float "weighted"
+    (10.0 *. 0.75 +. (20.0 *. 0.25))
+    (Stats.weighted_mean ~weights:[| 3.0; 1.0 |] [| 10.0; 20.0 |]);
+  (* zero weights fall back to the plain mean *)
+  check_float "zero weights" 15.0
+    (Stats.weighted_mean ~weights:[| 0.0; 0.0 |] [| 10.0; 20.0 |])
+
+let test_percentile () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  check_float "p0" 1.0 (Stats.percentile xs 0.0);
+  check_float "p100" 4.0 (Stats.percentile xs 100.0);
+  check_float "p50" 2.5 (Stats.percentile xs 50.0)
+
+let test_rel_error () =
+  check_float "basic" 10.0 (Stats.rel_error_pct ~reference:10.0 11.0);
+  check_float "zero ref zero x" 0.0 (Stats.rel_error_pct ~reference:0.0 0.0);
+  check_float "zero ref" 100.0 (Stats.rel_error_pct ~reference:0.0 5.0)
+
+let test_pearson () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  let ys = Array.map (fun x -> (2.0 *. x) +. 1.0 ) xs in
+  check_close 1e-9 "perfect" 1.0 (Stats.pearson xs ys);
+  let zs = Array.map (fun x -> -.x) xs in
+  check_close 1e-9 "anti" (-1.0) (Stats.pearson xs zs);
+  check_float "constant" 0.0 (Stats.pearson xs [| 1.0; 1.0; 1.0; 1.0 |])
+
+let prop_normalize =
+  QCheck.Test.make ~name:"Stats.normalize sums to 1" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 20) (float_range 0.0 100.0))
+    (fun xs ->
+      let a = Stats.normalize (Array.of_list xs) in
+      Float.abs (Stats.sum a -. 1.0) < 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Scale / Timemodel *)
+
+let test_scale () =
+  Alcotest.(check int)
+    "30M slice" (30 * Scale.sim_insns_per_minsn)
+    (Scale.of_minsn 30);
+  check_close 1.0 "roundtrip" 30e6
+    (Scale.paper_insns_of_sim (Scale.of_minsn 30));
+  List.iter
+    (fun m ->
+      Alcotest.(check int) "micro divides" 0 (m mod Scale.micro_slice_minsn))
+    [ 15; 25; 30; 50; 100 ]
+
+let test_timemodel_calibration () =
+  (* the rate model must reproduce the paper's own wall-clock anchors *)
+  let whole_h =
+    Timemodel.seconds Timemodel.Whole ~paper_insns:6873.9e9 /. 3600.0
+  in
+  check_close 2.0 "whole 213.2h" 213.2 whole_h;
+  let regional_min =
+    Timemodel.seconds Timemodel.Regional ~paper_insns:10.4e9 /. 60.0
+  in
+  check_close 0.5 "regional 17.17min" 17.17 regional_min
+
+let test_timemodel_native () =
+  check_close 1e-6 "native" 2.0
+    (Timemodel.native_seconds ~paper_insns:3.4e9 ~cpi:2.0 ~ghz:3.4)
+
+let test_pp_duration () =
+  let s x = Format.asprintf "%a" Timemodel.pp_duration x in
+  Alcotest.(check string) "hours" "2.0 h" (s 7200.0);
+  Alcotest.(check string) "minutes" "2.00 min" (s 120.0);
+  Alcotest.(check string) "seconds" "1.50 s" (s 1.5);
+  Alcotest.(check string) "ms" "12.0 ms" (s 0.012)
+
+(* ------------------------------------------------------------------ *)
+(* Table *)
+
+let test_table_render () =
+  let t =
+    Table.create ~title:"T" [ ("a", Table.Left); ("bb", Table.Right) ]
+  in
+  Table.add_row t [ "x"; "1" ];
+  Table.add_rule t;
+  Table.add_row t [ "longer"; "22" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "has title" true (String.length s > 0 && s.[0] = 'T');
+  List.iter
+    (fun cell ->
+      Alcotest.(check bool)
+        (cell ^ " present") true
+        (Astring_contains.contains s cell))
+    [ "longer"; "22"; "bb" ]
+
+let test_table_wrong_arity () =
+  let t = Table.create [ ("a", Table.Left) ] in
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Table.add_row: wrong number of cells") (fun () ->
+      Table.add_row t [ "x"; "y" ])
+
+let test_fmt () =
+  Alcotest.(check string) "int commas" "1,234,567" (Table.fmt_int 1234567);
+  Alcotest.(check string) "negative" "-1,000" (Table.fmt_int (-1000));
+  Alcotest.(check string) "pct" "12.35%" (Table.fmt_pct 12.345);
+  Alcotest.(check string) "x" "2.0x" (Table.fmt_x 2.0)
+
+let suite =
+  [
+    Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng seed sensitivity" `Quick test_rng_seed_sensitivity;
+    Alcotest.test_case "rng split" `Quick test_rng_split;
+    Alcotest.test_case "rng copy" `Quick test_rng_copy;
+    Alcotest.test_case "rng gaussian moments" `Quick test_rng_gaussian_moments;
+    QCheck_alcotest.to_alcotest prop_int_bounds;
+    QCheck_alcotest.to_alcotest prop_float_bounds;
+    QCheck_alcotest.to_alcotest prop_shuffle_permutes;
+    Alcotest.test_case "mean/variance" `Quick test_mean_variance;
+    Alcotest.test_case "empty stats" `Quick test_empty_stats;
+    Alcotest.test_case "geomean" `Quick test_geomean;
+    Alcotest.test_case "weighted mean" `Quick test_weighted_mean;
+    Alcotest.test_case "percentile" `Quick test_percentile;
+    Alcotest.test_case "relative error" `Quick test_rel_error;
+    Alcotest.test_case "pearson" `Quick test_pearson;
+    QCheck_alcotest.to_alcotest prop_normalize;
+    Alcotest.test_case "scale constants" `Quick test_scale;
+    Alcotest.test_case "timemodel calibration" `Quick test_timemodel_calibration;
+    Alcotest.test_case "timemodel native" `Quick test_timemodel_native;
+    Alcotest.test_case "pp duration" `Quick test_pp_duration;
+    Alcotest.test_case "table render" `Quick test_table_render;
+    Alcotest.test_case "table arity" `Quick test_table_wrong_arity;
+    Alcotest.test_case "formatting" `Quick test_fmt;
+  ]

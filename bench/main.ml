@@ -45,8 +45,13 @@ let all_experiments =
   ]
 
 let usage () =
-  Printf.printf "usage: main.exe [--fast] [--quiet] [--csv DIR] [experiment...]\n";
+  Printf.printf
+    "usage: main.exe [--fast] [--quiet] [--csv DIR] [--jobs N] [experiment...]\n";
   Printf.printf "experiments: %s\n" (String.concat " " all_experiments);
+  Printf.printf
+    "--jobs N: worker domains for the parallel stages (suite fan-out, cold\n\
+    \  regional replays, k-means); 1 = sequential, 0 = hardware default.\n\
+    \  Falls back to $SPECREPRO_JOBS.  Results are identical for every N.\n";
   exit 0
 
 (* ------------------------------------------------------------------ *)
@@ -72,6 +77,24 @@ let micro () =
         (Staged.stage (fun () ->
              let m = Sp_vm.Interp.create ~entry:prog.Sp_vm.Program.entry () in
              ignore (Sp_vm.Interp.run ~fuel:10_000 prog m)));
+      (* hook-dispatch cost in isolation: a seq_all of nil hook sets must
+         collapse onto the interpreter's zero-dispatch fast path... *)
+      Test.make ~name:"hook-dispatch-nil-10k"
+        (Staged.stage
+           (let hooks = Sp_vm.Hooks.seq_all [ Sp_vm.Hooks.nil; Sp_vm.Hooks.nil ] in
+            fun () ->
+              let m = Sp_vm.Interp.create ~entry:prog.Sp_vm.Program.entry () in
+              ignore (Sp_vm.Interp.run ~hooks ~fuel:10_000 prog m)));
+      (* ...while the cheapest real tool pays for dispatch on every
+         retired instruction (the delta over the nil case is the
+         per-instruction hook overhead the fast path avoids) *)
+      Test.make ~name:"hook-dispatch-inscount-10k"
+        (Staged.stage
+           (let tool = Sp_pin.Inscount.create () in
+            let hooks = Sp_vm.Hooks.seq_all [ Sp_pin.Inscount.hooks tool ] in
+            fun () ->
+              let m = Sp_vm.Interp.create ~entry:prog.Sp_vm.Program.entry () in
+              ignore (Sp_vm.Interp.run ~hooks ~fuel:10_000 prog m)));
       Test.make ~name:"interp-10k-insns+allcache"
         (Staged.stage
            (let tool = Sp_pin.Allcache_tool.create prog in
@@ -136,9 +159,23 @@ let () =
     | [] -> None
   in
   let csv_dir = csv_dir args in
+  let jobs =
+    let rec from_args = function
+      | "--jobs" :: n :: _ -> int_of_string_opt n
+      | _ :: rest -> from_args rest
+      | [] -> None
+    in
+    let from_env () =
+      Option.bind (Sys.getenv_opt "SPECREPRO_JOBS") int_of_string_opt
+    in
+    match (from_args args, from_env ()) with
+    | Some n, _ | None, Some n ->
+        if n <= 0 then Sp_util.Pool.default_jobs () else n
+    | None, None -> 1
+  in
   let wanted =
     let rec strip = function
-      | "--csv" :: _ :: rest -> strip rest
+      | "--csv" :: _ :: rest | "--jobs" :: _ :: rest -> strip rest
       | a :: rest when String.length a > 1 && a.[0] = '-' -> strip rest
       | a :: rest -> a :: strip rest
       | [] -> []
@@ -158,6 +195,7 @@ let () =
       Pipeline.default_options with
       slices_scale = (if fast then 0.25 else 1.0);
       progress = not quiet;
+      jobs;
     }
   in
   let suite_results = lazy (Pipeline.run_suite ~options ()) in

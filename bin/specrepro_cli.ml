@@ -30,8 +30,25 @@ let quiet_arg =
   let doc = "Suppress progress output." in
   Arg.(value & flag & info [ "quiet"; "q" ] ~doc)
 
-let options ~scale ~quiet =
-  { Pipeline.default_options with slices_scale = scale; progress = not quiet }
+let jobs_arg =
+  let doc =
+    "Worker domains for the parallel stages (suite fan-out, cold regional \
+     replays, k-means, variance sweep).  1 runs fully sequentially; 0 picks \
+     the hardware's recommended parallelism.  Any value produces identical \
+     results — only wall-clock changes."
+  in
+  let env = Cmd.Env.info "SPECREPRO_JOBS" ~doc:"Default for $(b,--jobs)." in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc ~env)
+
+let resolve_jobs jobs = if jobs <= 0 then Sp_util.Pool.default_jobs () else jobs
+
+let options ~scale ~quiet ~jobs =
+  {
+    Pipeline.default_options with
+    slices_scale = scale;
+    progress = not quiet;
+    jobs = resolve_jobs jobs;
+  }
 
 let find_bench name =
   match Sp_workloads.Suite.find name with
@@ -80,11 +97,11 @@ let list_cmd =
 (* profile *)
 
 let profile_cmd =
-  let run bench scale quiet =
+  let run bench scale quiet jobs =
     match find_bench bench with
     | Error e -> prerr_endline e; exit 1
     | Ok spec ->
-        let options = options ~scale ~quiet in
+        let options = options ~scale ~quiet ~jobs in
         let profile = Pipeline.profile_for_sweep ~options spec in
         let w = profile.Pipeline.sweep_whole_stats in
         Printf.printf "%s: %.0f instructions, %d slices\n"
@@ -103,7 +120,7 @@ let profile_cmd =
   Cmd.v
     (Cmd.info "profile"
        ~doc:"Run one benchmark to completion under the profiling pintools.")
-    Term.(const run $ bench_arg $ scale_arg $ quiet_arg)
+    Term.(const run $ bench_arg $ scale_arg $ quiet_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* simpoints *)
@@ -117,11 +134,11 @@ let simpoints_cmd =
     let doc = "Maximum number of clusters (the paper uses 35)." in
     Arg.(value & opt int 35 & info [ "max-k" ] ~docv:"K" ~doc)
   in
-  let run bench scale quiet max_k out =
+  let run bench scale quiet jobs max_k out =
     match find_bench bench with
     | Error e -> prerr_endline e; exit 1
     | Ok spec ->
-        let options = options ~scale ~quiet in
+        let options = options ~scale ~quiet ~jobs in
         let options =
           {
             options with
@@ -159,7 +176,7 @@ let simpoints_cmd =
     (Cmd.info "simpoints"
        ~doc:"Select simulation points for a benchmark (optionally saving \
              pinballs).")
-    Term.(const run $ bench_arg $ scale_arg $ quiet_arg $ max_k_arg $ out_arg)
+    Term.(const run $ bench_arg $ scale_arg $ quiet_arg $ jobs_arg $ max_k_arg $ out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* replay *)
@@ -293,11 +310,11 @@ let trace_cmd =
     let doc = "Maximum number of events to record." in
     Arg.(value & opt int 1_000_000 & info [ "limit"; "n" ] ~docv:"N" ~doc)
   in
-  let run bench scale quiet out limit =
+  let run bench scale quiet jobs out limit =
     match find_bench bench with
     | Error e -> prerr_endline e; exit 1
     | Ok spec ->
-        let options = options ~scale ~quiet in
+        let options = options ~scale ~quiet ~jobs in
         let built =
           Sp_workloads.Benchspec.build
             ~slice_insns:options.Pipeline.slice_insns
@@ -319,17 +336,17 @@ let trace_cmd =
   Cmd.v
     (Cmd.info "trace"
        ~doc:"Export a benchmark's instrumented event stream as a text trace.")
-    Term.(const run $ bench_arg $ scale_arg $ quiet_arg $ out_arg $ limit_arg)
+    Term.(const run $ bench_arg $ scale_arg $ quiet_arg $ jobs_arg $ out_arg $ limit_arg)
 
 (* ------------------------------------------------------------------ *)
 (* run *)
 
 let run_cmd =
-  let run bench scale quiet =
+  let run bench scale quiet jobs =
     match find_bench bench with
     | Error e -> prerr_endline e; exit 1
     | Ok spec ->
-        let options = options ~scale ~quiet in
+        let options = options ~scale ~quiet ~jobs in
         let r = Pipeline.run_benchmark ~options spec in
         Printf.printf
           "%s: %d points (paper %d), %d cover 90%% (paper %d)\n\n"
@@ -357,7 +374,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run the full pipeline for one benchmark.")
-    Term.(const run $ bench_arg $ scale_arg $ quiet_arg)
+    Term.(const run $ bench_arg $ scale_arg $ quiet_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* suite *)
@@ -367,8 +384,8 @@ let suite_cmd =
     let doc = "Also run the 14 extended (non-Table II) workloads." in
     Arg.(value & flag & info [ "extended" ] ~doc)
   in
-  let run scale quiet extended =
-    let options = options ~scale ~quiet in
+  let run scale quiet jobs extended =
+    let options = options ~scale ~quiet ~jobs in
     let specs =
       if extended then Sp_workloads.Suite.full else Sp_workloads.Suite.all
     in
@@ -392,7 +409,7 @@ let suite_cmd =
     (Cmd.info "suite"
        ~doc:"Run the pipeline over all 29 benchmarks and print Table II plus \
              the headline comparisons.")
-    Term.(const run $ scale_arg $ quiet_arg $ extended_arg)
+    Term.(const run $ scale_arg $ quiet_arg $ jobs_arg $ extended_arg)
 
 (* ------------------------------------------------------------------ *)
 (* experiment *)
@@ -404,8 +421,8 @@ let experiment_cmd =
                (suite-wide figures live in bench/main.exe)." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc)
   in
-  let run name scale quiet =
-    let options = options ~scale ~quiet in
+  let run name scale quiet jobs =
+    let options = options ~scale ~quiet ~jobs in
     match name with
     | "table1" -> Sp_util.Table.print (Experiments.table1 ())
     | "table3" -> print_endline (Experiments.table3 ())
@@ -428,7 +445,7 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a single-benchmark experiment.")
-    Term.(const run $ name_arg $ scale_arg $ quiet_arg)
+    Term.(const run $ name_arg $ scale_arg $ quiet_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 

@@ -87,19 +87,21 @@ let table2_extended ?(options = Pipeline.default_options) () =
         ("Whole insns", Table.Right);
       ]
   in
-  List.iter
-    (fun spec ->
+  (* fourteen independent pipeline runs: compute rows through the
+     domain pool (input order preserved), then lay them down in order *)
+  Sp_util.Pool.parallel_map ~jobs:options.Pipeline.jobs
+    (fun (spec : Benchspec.t) ->
       let r = Pipeline.run_benchmark ~options spec in
-      Table.add_row t
-        [
-          spec.Benchspec.name;
-          Benchspec.suite_class_name spec.Benchspec.suite_class;
-          string_of_int (Array.length r.Pipeline.selection.points);
-          string_of_int (Pipeline.reduced_count r);
-          Format.asprintf "%a" Scale.pp_paper_insns
-            (Pipeline.paper_insns r r.Pipeline.whole);
-        ])
-    Suite.extended;
+      [
+        spec.Benchspec.name;
+        Benchspec.suite_class_name spec.Benchspec.suite_class;
+        string_of_int (Array.length r.Pipeline.selection.points);
+        string_of_int (Pipeline.reduced_count r);
+        Format.asprintf "%a" Scale.pp_paper_insns
+          (Pipeline.paper_insns r r.Pipeline.whole);
+      ])
+    (Array.of_list Suite.extended)
+  |> Array.iter (Table.add_row t);
   t
 
 (* ------------------------------------------------------------------ *)
@@ -774,7 +776,8 @@ let ablation_warmup ?(options = Pipeline.default_options)
       ]
   in
   let profiles =
-    List.map
+    (* one profiling pass per workload, fanned out across the pool *)
+    Sp_util.Pool.parallel_map ~jobs:options.Pipeline.jobs
       (fun spec ->
         let p = Pipeline.profile_for_sweep ~options spec in
         let sel =
@@ -782,7 +785,8 @@ let ablation_warmup ?(options = Pipeline.default_options)
             ~slice_len:options.slice_insns p.Pipeline.sweep_slices
         in
         (p, sel))
-      subset
+      (Array.of_list subset)
+    |> Array.to_list
   in
   List.iter
     (fun minsn ->

@@ -14,6 +14,7 @@ type options = {
   variance_ks : int list;
   collect_variance : bool;
   progress : bool;
+  jobs : int;
 }
 
 let default_options =
@@ -36,7 +37,17 @@ let default_options =
     variance_ks = [ 5; 10; 15; 20; 25; 30; 35 ];
     collect_variance = true;
     progress = true;
+    (* sequential: parallel execution is strictly opt-in (--jobs), and
+       every stage is bit-for-bit identical across job counts anyway *)
+    jobs = 1;
   }
+
+(* the simpoint stages inherit the pipeline-level jobs knob unless the
+   caller tuned their own *)
+let simpoint_config_of options =
+  if options.jobs > 1 then
+    { options.simpoint_config with Sp_simpoint.Simpoints.jobs = options.jobs }
+  else options.simpoint_config
 
 type selection_summary = {
   chosen_k : int;
@@ -100,10 +111,28 @@ let replay_point options (pb : Pinball.t) =
   }
 
 let replay_points options (whole : Logger.whole) points =
-  let acc = ref [] in
-  Logger.scan_regions whole points (fun pb ->
-      acc := replay_point options pb :: !acc);
-  List.rev !acc
+  if options.jobs <= 1 then begin
+    let acc = ref [] in
+    Logger.scan_regions whole points (fun pb ->
+        acc := replay_point options pb :: !acc);
+    List.rev !acc
+  end
+  else begin
+    (* Each cold replay builds fresh tool state and touches nothing
+       shared, so once the regions are captured (one sequential
+       uninstrumented fast-forward over the whole pinball) they fan out
+       across the domain pool.  Points are pre-sorted by start so both
+       the capture scan and the result list match the sequential path's
+       order exactly. *)
+    let sorted = Array.copy points in
+    Array.sort
+      (fun (a : Sp_simpoint.Simpoints.point) b ->
+        compare a.start_icount b.start_icount)
+      sorted;
+    let regions = Logger.capture_regions whole sorted in
+    Sp_util.Pool.parallel_map ~jobs:options.jobs (replay_point options) regions
+    |> Array.to_list
+  end
 
 let warm_replay_points options ~warmup_insns (whole : Logger.whole) points =
   let prog = whole.Logger.pinball.Pinball.program in
@@ -191,14 +220,15 @@ let run_benchmark ?(options = default_options) spec =
   let slices = Bbv_tool.slices bbv in
   progressf options "[%s] %d instructions, %d slices; selecting points...\n%!"
     spec.Benchspec.name whole.Logger.total_insns (Array.length slices);
+  let sp_config = simpoint_config_of options in
   let sel =
-    Sp_simpoint.Simpoints.select ~config:options.simpoint_config
+    Sp_simpoint.Simpoints.select ~config:sp_config
       ~slice_len:options.slice_insns slices
   in
   let variance =
     if options.collect_variance then
-      Sp_simpoint.Variance.sweep ~config:options.simpoint_config
-        ~ks:options.variance_ks slices
+      Sp_simpoint.Variance.sweep ~config:sp_config ~ks:options.variance_ks
+        slices
     else []
   in
   let whole_stats =
@@ -243,8 +273,17 @@ let run_benchmark ?(options = default_options) spec =
     wall_seconds = wall;
   }
 
-let run_suite ?(options = default_options) ?(specs = Suite.all) () =
-  List.map (fun spec -> run_benchmark ~options spec) specs
+(* Whole benchmarks are the coarsest unit of independent work: fan them
+   out across the pool.  Each worker's nested parallelism (replays,
+   k-means) degrades to sequential automatically, so [jobs] is the
+   total domain budget, not a multiplier. *)
+let run_suite ?jobs ?(options = default_options) ?(specs = Suite.all) () =
+  let jobs = match jobs with Some j -> j | None -> options.jobs in
+  let options = { options with jobs } in
+  Sp_util.Pool.parallel_map ~jobs
+    (fun spec -> run_benchmark ~options spec)
+    (Array.of_list specs)
+  |> Array.to_list
 
 let regional r = Runstats.of_points ~label:"Regional" r.point_stats
 
@@ -309,8 +348,7 @@ type sweep_profile = {
 let profile_for_sweep ?(options = default_options) ?slice_insns spec =
   let slice_insns = Option.value ~default:options.slice_insns slice_insns in
   let built =
-    Benchspec.build ~slice_insns:options.slice_insns
-      ~slices_scale:options.slices_scale spec
+    Benchspec.build ~slice_insns ~slices_scale:options.slices_scale spec
   in
   let prog = built.Benchspec.program in
   let bbv = Bbv_tool.create ~slice_len:slice_insns prog in

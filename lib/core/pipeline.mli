@@ -24,6 +24,11 @@ type options = {
   variance_ks : int list;   (** cluster counts for the Figure 4 sweep *)
   collect_variance : bool;
   progress : bool;          (** progress lines on stderr *)
+  jobs : int;
+      (** domain-pool width for the parallel stages (suite fan-out,
+          cold regional replays, k-means, variance sweep).  1 (the
+          default) runs fully sequentially; any value produces
+          bit-for-bit identical results, only wall-clock changes. *)
 }
 
 val default_options : options
@@ -57,9 +62,12 @@ val run_benchmark :
   ?options:options -> Sp_workloads.Benchspec.t -> bench_result
 
 val run_suite :
-  ?options:options -> ?specs:Sp_workloads.Benchspec.t list -> unit ->
-  bench_result list
-(** Defaults to the full 29-benchmark suite. *)
+  ?jobs:int -> ?options:options -> ?specs:Sp_workloads.Benchspec.t list ->
+  unit -> bench_result list
+(** Defaults to the full 29-benchmark suite.  [jobs] (default:
+    [options.jobs]) fans whole benchmarks out across the
+    {!Sp_util.Pool} domain pool; results come back in [specs] order and
+    are identical to a sequential run. *)
 
 (** {1 Aggregations over a result} *)
 

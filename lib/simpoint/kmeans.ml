@@ -26,22 +26,44 @@ let nearest centroids p =
     centroids;
   (!best, !best_d)
 
-let assign ~centroids points = Array.map (fun p -> fst (nearest centroids p)) points
+let assign ?jobs ~centroids points =
+  if Array.length points = 0 then [||]
+  else begin
+    let out = Array.make (Array.length points) 0 in
+    Sp_util.Pool.parallel_for ?jobs ~n:(Array.length points) (fun lo hi ->
+        for i = lo to hi - 1 do
+          out.(i) <- fst (nearest centroids points.(i))
+        done);
+    out
+  end
 
 (* k-means++ seeding: first centroid uniform, then each next centroid
    drawn with probability proportional to squared distance to the
-   nearest chosen centroid. *)
+   nearest chosen centroid.  [total] tracks the sum of [d2]
+   incrementally: entries only ever shrink when a new centroid gets
+   closer, so the running total is adjusted by each delta instead of
+   re-summing the whole array per centroid. *)
 let seed_plus_plus rng k points =
   let n = Array.length points in
   let centroids = Array.make k points.(0) in
   centroids.(0) <- points.(Sp_util.Rng.int rng n);
-  let d2 = Array.map (fun p -> sq_distance p centroids.(0)) points in
+  let total = ref 0.0 in
+  let d2 =
+    Array.map
+      (fun p ->
+        let d = sq_distance p centroids.(0) in
+        total := !total +. d;
+        d)
+      points
+  in
   for j = 1 to k - 1 do
-    let total = Array.fold_left ( +. ) 0.0 d2 in
+    (* the running total can drift a hair below zero once all
+       distances collapse; treat that as exhausted *)
+    let mass = Float.max 0.0 !total in
     let chosen =
-      if total <= 0.0 then Sp_util.Rng.int rng n
+      if mass <= 0.0 then Sp_util.Rng.int rng n
       else begin
-        let target = Sp_util.Rng.float rng total in
+        let target = Sp_util.Rng.float rng mass in
         let acc = ref 0.0 and pick = ref (n - 1) in
         (try
            for i = 0 to n - 1 do
@@ -58,12 +80,15 @@ let seed_plus_plus rng k points =
     centroids.(j) <- points.(chosen);
     for i = 0 to n - 1 do
       let d = sq_distance points.(i) centroids.(j) in
-      if d < d2.(i) then d2.(i) <- d
+      if d < d2.(i) then begin
+        total := !total -. (d2.(i) -. d);
+        d2.(i) <- d
+      end
     done
   done;
   Array.map Array.copy centroids
 
-let fit ?(max_iters = 50) ?(seed = 42) ~k points =
+let fit ?(max_iters = 50) ?(seed = 42) ?(jobs = 1) ~k points =
   let n = Array.length points in
   if n = 0 then invalid_arg "Kmeans.fit: no points";
   if k < 1 then invalid_arg "Kmeans.fit: k < 1";
@@ -77,19 +102,37 @@ let fit ?(max_iters = 50) ?(seed = 42) ~k points =
   let distortion = ref 0.0 in
   let changed = ref true in
   let iters = ref 0 in
+  (* The O(n*k*dim) nearest-centroid search dominates a Lloyd round and
+     is pure per point, so it fans out across the domain pool into
+     per-point [best_j]/[best_d] slots.  The O(n*dim) accumulation of
+     sizes/sums/distortion stays sequential in point order: summing
+     per-domain float partials would round differently per job count,
+     and simulation-point selection must be bit-for-bit identical
+     whether jobs is 1 or 16. *)
+  let best_j = Array.make n 0 in
+  let best_d = Array.make n 0.0 in
+  let search () =
+    Sp_util.Pool.parallel_for ~jobs ~n (fun lo hi ->
+        for i = lo to hi - 1 do
+          let j, d = nearest centroids points.(i) in
+          best_j.(i) <- j;
+          best_d.(i) <- d
+        done)
+  in
   while !changed && !iters < max_iters do
     changed := false;
     incr iters;
     distortion := 0.0;
     Array.fill sizes 0 k 0;
     Array.iter (fun s -> Array.fill s 0 dim 0.0) sums;
+    search ();
     for i = 0 to n - 1 do
-      let j, d = nearest centroids points.(i) in
+      let j = best_j.(i) in
       if assignment.(i) <> j then begin
         assignment.(i) <- j;
         changed := true
       end;
-      distortion := !distortion +. d;
+      distortion := !distortion +. best_d.(i);
       sizes.(j) <- sizes.(j) + 1;
       let s = sums.(j) and p = points.(i) in
       for x = 0 to dim - 1 do
@@ -119,11 +162,12 @@ let fit ?(max_iters = 50) ?(seed = 42) ~k points =
   (* final consistent assignment pass *)
   Array.fill sizes 0 k 0;
   distortion := 0.0;
+  search ();
   for i = 0 to n - 1 do
-    let j, d = nearest centroids points.(i) in
+    let j = best_j.(i) in
     assignment.(i) <- j;
     sizes.(j) <- sizes.(j) + 1;
-    distortion := !distortion +. d
+    distortion := !distortion +. best_d.(i)
   done;
   { k; assignment; centroids; sizes; distortion = !distortion }
 

@@ -10,13 +10,19 @@ type result = {
 }
 
 val fit :
-  ?max_iters:int -> ?seed:int -> k:int -> float array array -> result
+  ?max_iters:int -> ?seed:int -> ?jobs:int -> k:int -> float array array ->
+  result
 (** [fit ~k points] clusters [points] (each a dense vector of equal
     dimension).  [k] is clamped to the number of points.  Empty clusters
-    are repaired by re-seeding on the farthest point.
+    are repaired by re-seeding on the farthest point.  [jobs] (default
+    1) fans the nearest-centroid search of each Lloyd round across the
+    {!Sp_util.Pool} domain pool; the result is bit-for-bit identical
+    for every job count because the floating-point accumulation stays
+    in point order.
     @raise Invalid_argument if [points] is empty or [k < 1]. *)
 
-val assign : centroids:float array array -> float array array -> int array
+val assign :
+  ?jobs:int -> centroids:float array array -> float array array -> int array
 (** Nearest-centroid assignment for a (possibly different) point set —
     used when centroids were fitted on a subsample. *)
 

@@ -5,6 +5,7 @@ type config = {
   kmeans_iters : int;
   sample_cap : int;
   seed : int;
+  jobs : int;
 }
 
 let default_config =
@@ -20,6 +21,7 @@ let default_config =
     kmeans_iters = 50;
     sample_cap = 3000;
     seed = 20190101;
+    jobs = 1;
   }
 
 type point = {
@@ -51,11 +53,14 @@ let subsample cap points =
 (* Fit on the (sub)sample, then produce a full-set clustering result. *)
 let cluster config ~k projected sample =
   let fitted =
-    Kmeans.fit ~max_iters:config.kmeans_iters ~seed:(config.seed + k) ~k sample
+    Kmeans.fit ~max_iters:config.kmeans_iters ~seed:(config.seed + k)
+      ~jobs:config.jobs ~k sample
   in
   if sample == projected then fitted
   else begin
-    let assignment = Kmeans.assign ~centroids:fitted.centroids projected in
+    let assignment =
+      Kmeans.assign ~jobs:config.jobs ~centroids:fitted.centroids projected
+    in
     let sizes = Array.make fitted.k 0 in
     let distortion = ref 0.0 in
     Array.iteri
@@ -126,15 +131,28 @@ let select ?(config = default_config) ~slice_len slices =
   let sample = subsample config.sample_cap projected in
   let max_k = min config.max_k (Array.length slices) in
   let cache = Hashtbl.create 16 in
+  let compute k =
+    let result = cluster config ~k projected sample in
+    (result, Bic.score result projected)
+  in
   let eval k =
     match Hashtbl.find_opt cache k with
     | Some v -> v
     | None ->
-        let result = cluster config ~k projected sample in
-        let bic = Bic.score result projected in
-        Hashtbl.add cache k (result, bic);
-        (result, bic)
+        let v = compute k in
+        Hashtbl.add cache k v;
+        v
   in
+  (* The binary search below is inherently sequential (each probe
+     depends on the previous BIC), but its two anchors k=1 and k=max_k
+     are independent: dispatch them through the pool.  Each [compute]
+     is deterministic in k alone, so warming the cache in parallel
+     changes nothing downstream. *)
+  if config.jobs > 1 && max_k > 1 then
+    Sp_util.Pool.parallel_map ~jobs:config.jobs
+      (fun k -> (k, compute k))
+      [| 1; max_k |]
+    |> Array.iter (fun (k, v) -> Hashtbl.replace cache k v);
   let _, bic_lo = eval 1 in
   let _, bic_hi = eval max_k in
   let target = bic_lo +. (config.bic_threshold *. (bic_hi -. bic_lo)) in

@@ -13,6 +13,9 @@ type config = {
   sample_cap : int;     (** max slices used to fit centroids; the full
                             set is always assigned and weighted *)
   seed : int;           (** master seed for projection and seeding *)
+  jobs : int;           (** domain-pool width for k-means and the BIC
+                            sweep (1 = sequential; results are
+                            identical for every value) *)
 }
 
 val default_config : config

@@ -55,5 +55,10 @@ let at_k ?(config = Simpoints.default_config) ~k slices =
     distortion = result.Kmeans.distortion;
   }
 
+(* Each k is an independent clustering problem; fan the sweep out
+   across the domain pool (input order is preserved). *)
 let sweep ?(config = Simpoints.default_config) ~ks slices =
-  List.map (fun k -> at_k ~config ~k slices) ks
+  Sp_util.Pool.parallel_map ~jobs:config.Simpoints.jobs
+    (fun k -> at_k ~config ~k slices)
+    (Array.of_list ks)
+  |> Array.to_list

@@ -1,0 +1,105 @@
+(* A fixed-size domain pool over OCaml 5 Domains.
+
+   Callers hand us an array of independent work items; we fan them out
+   across [jobs] worker domains and reassemble results in input order,
+   so a parallel map is observationally identical to [Array.map] — the
+   only difference is wall-clock.  With [jobs <= 1] (or one item) we
+   run sequentially on the caller's domain, byte-for-byte the existing
+   behaviour.
+
+   Nesting: a [parallel_map] issued from inside a worker (for example a
+   per-benchmark replay fan-out while the suite itself is fanned out)
+   degrades to sequential execution instead of oversubscribing the
+   machine with [jobs * jobs] domains.  The outer fan-out already owns
+   the cores. *)
+
+let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+
+(* set while executing inside a pool worker; consulted to flatten
+   nested parallelism *)
+let inside_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+exception Worker_exception of exn * Printexc.raw_backtrace
+
+let () =
+  Printexc.register_printer (function
+    | Worker_exception (e, _) ->
+        Some (Printf.sprintf "Sp_util.Pool worker raised: %s" (Printexc.to_string e))
+    | _ -> None)
+
+let sequential_map f arr = Array.map f arr
+
+(* Work-stealing by atomic index: workers race on a shared counter and
+   write into a preallocated result slot, so items are load-balanced
+   regardless of per-item cost and output order is trivially the input
+   order.  The first exception wins; remaining items are abandoned but
+   every domain is joined before it is re-raised. *)
+let pooled_map ~jobs f arr =
+  let n = Array.length arr in
+  let results = Array.make n None in
+  let next = Atomic.make 0 in
+  let failure = Atomic.make None in
+  let worker () =
+    Domain.DLS.set inside_worker true;
+    let continue = ref true in
+    while !continue do
+      let i = Atomic.fetch_and_add next 1 in
+      if i >= n || Atomic.get failure <> None then continue := false
+      else
+        match f arr.(i) with
+        | v -> results.(i) <- Some v
+        | exception e ->
+            let bt = Printexc.get_raw_backtrace () in
+            (* keep the first failure only *)
+            ignore
+              (Atomic.compare_and_set failure None
+                 (Some (Worker_exception (e, bt))));
+            continue := false
+    done
+  in
+  let domains =
+    Array.init (min jobs n) (fun _ -> Domain.spawn worker)
+  in
+  Array.iter Domain.join domains;
+  (match Atomic.get failure with
+  | Some (Worker_exception (e, bt)) -> Printexc.raise_with_backtrace e bt
+  | Some e -> raise e
+  | None -> ());
+  Array.map
+    (function
+      | Some v -> v
+      | None -> assert false (* no failure implies every slot was filled *))
+    results
+
+let parallel_map ?jobs f arr =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  if jobs <= 1 || Array.length arr <= 1 || Domain.DLS.get inside_worker then
+    sequential_map f arr
+  else pooled_map ~jobs f arr
+
+(* Chunked parallel iteration: [body lo hi] covers [lo, hi).  Chunk
+   boundaries depend only on [n] and [chunks], never on [jobs], so any
+   per-chunk accumulation a caller does is deterministic across job
+   counts. *)
+let chunk_bounds ~chunks ~n =
+  let chunks = max 1 (min chunks n) in
+  let base = n / chunks and rem = n mod chunks in
+  Array.init chunks (fun c ->
+      let lo = (c * base) + min c rem in
+      let hi = lo + base + (if c < rem then 1 else 0) in
+      (lo, hi))
+
+let parallel_for ?jobs ?chunks ~n body =
+  if n <= 0 then ()
+  else begin
+    let jobs = match jobs with Some j -> j | None -> default_jobs () in
+    let jobs =
+      if jobs <= 1 || Domain.DLS.get inside_worker then 1 else jobs
+    in
+    let chunks =
+      match chunks with Some c -> max 1 c | None -> max 1 (jobs * 4)
+    in
+    let bounds = chunk_bounds ~chunks ~n in
+    if jobs <= 1 then Array.iter (fun (lo, hi) -> body lo hi) bounds
+    else ignore (pooled_map ~jobs (fun (lo, hi) -> body lo hi) bounds)
+  end

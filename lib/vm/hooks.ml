@@ -19,6 +19,15 @@ let nil =
     on_branch = ignore_branch;
   }
 
+(* Every constructor funnels no-op callbacks through the shared
+   [ignore*] sentinels, so physical equality against them (and [is_nil]
+   against the whole record) is a reliable "nothing installed" test —
+   the interpreter uses it to skip hook dispatch entirely. *)
+let is_nil h =
+  h == nil
+  || (h.on_block == ignore1 && h.on_instr == ignore2 && h.on_read == ignore1
+      && h.on_write == ignore1 && h.on_branch == ignore_branch)
+
 let seq a b =
   let pick1 fa fb =
     if fa == ignore1 then fb
@@ -39,6 +48,48 @@ let seq a b =
        else fun x y -> a.on_branch x y; b.on_branch x y);
   }
 
+(* Fuse a whole chain per field.  Folding [seq] over a list builds a
+   tree of pairwise closures — [((a;b);c);d] — whose inner nodes are
+   re-entered on every event.  Here each field's live callbacks are
+   collected once and dispatched from a flat array, so an n-tool chain
+   costs one closure plus n direct calls instead of n-1 nested
+   closures. *)
+let fuse1 sentinel fs =
+  match List.filter (fun f -> f != sentinel) fs with
+  | [] -> sentinel
+  | [ f ] -> f
+  | [ f; g ] -> fun x -> f x; g x
+  | [ f; g; h ] -> fun x -> f x; g x; h x
+  | fs ->
+      let arr = Array.of_list fs in
+      let n = Array.length arr in
+      fun x ->
+        for i = 0 to n - 1 do
+          (Array.unsafe_get arr i) x
+        done
+
+let fuse2 sentinel fs =
+  match List.filter (fun f -> f != sentinel) fs with
+  | [] -> sentinel
+  | [ f ] -> f
+  | [ f; g ] -> fun x y -> f x y; g x y
+  | [ f; g; h ] -> fun x y -> f x y; g x y; h x y
+  | fs ->
+      let arr = Array.of_list fs in
+      let n = Array.length arr in
+      fun x y ->
+        for i = 0 to n - 1 do
+          (Array.unsafe_get arr i) x y
+        done
+
 let seq_all = function
   | [] -> nil
-  | h :: tl -> List.fold_left seq h tl
+  | [ h ] -> h
+  | hs ->
+      {
+        on_block = fuse1 ignore1 (List.map (fun h -> h.on_block) hs);
+        on_instr = fuse2 ignore2 (List.map (fun h -> h.on_instr) hs);
+        on_read = fuse1 ignore1 (List.map (fun h -> h.on_read) hs);
+        on_write = fuse1 ignore1 (List.map (fun h -> h.on_write) hs);
+        on_branch = fuse2 ignore_branch (List.map (fun h -> h.on_branch) hs);
+      }

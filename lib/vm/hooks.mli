@@ -19,7 +19,17 @@ type t = {
 val nil : t
 (** No-op hooks; the interpreter runs at full speed. *)
 
+val is_nil : t -> bool
+(** [is_nil h] is true when every callback of [h] is a no-op.  All
+    constructors in this module preserve the no-op sentinels, so the
+    interpreter can test this once per run and skip hook dispatch in
+    its inner loop entirely. *)
+
 val seq : t -> t -> t
 (** Run both hook sets, first argument first. *)
 
 val seq_all : t list -> t
+(** Run every hook set, in list order.  Unlike a fold of {!seq}, the
+    chain is flattened: each callback field dispatches through one flat
+    closure over the live (non-no-op) callbacks rather than a tree of
+    nested pair closures. *)

@@ -59,8 +59,100 @@ let eval_cond c a b =
   | Gt -> a > b
   | Ge -> a >= b
 
-let run ?(hooks = Hooks.nil) ?(syscall = default_syscall) ?(fuel = max_int)
-    (prog : Program.t) (m : machine) =
+(* The uninstrumented fast path: the same walk as [run_hooked] below
+   with every hook site deleted.  Replay fast-forwarding (region
+   capture, warmup positioning) spends billions of instructions here,
+   so the duplication buys a loop with zero closure calls — keep the
+   two copies in lockstep when touching either. *)
+let run_plain ~syscall ~fuel (prog : Program.t) (m : machine) =
+  let instrs = prog.instrs in
+  let regs = m.regs in
+  let fregs = m.fregs in
+  let mem = m.mem in
+  let remaining = ref fuel in
+  let status = ref Out_of_fuel in
+  let running = ref (fuel > 0) in
+  while !running do
+    let pc = m.pc in
+    m.icount <- m.icount + 1;
+    decr remaining;
+    (match Array.unsafe_get instrs pc with
+    | Alu (op, rd, r1, r2) ->
+        Array.unsafe_set regs rd
+          (exec_alu op (Array.unsafe_get regs r1) (Array.unsafe_get regs r2));
+        m.pc <- pc + 1
+    | Alui (op, rd, r1, imm) ->
+        Array.unsafe_set regs rd (exec_alu op (Array.unsafe_get regs r1) imm);
+        m.pc <- pc + 1
+    | Li (rd, imm) ->
+        Array.unsafe_set regs rd imm;
+        m.pc <- pc + 1
+    | Mov (rd, rs) ->
+        Array.unsafe_set regs rd (Array.unsafe_get regs rs);
+        m.pc <- pc + 1
+    | Load (rd, rs, off) ->
+        let a = Array.unsafe_get regs rs + off in
+        Array.unsafe_set regs rd (Memory.load mem a);
+        m.pc <- pc + 1
+    | Store (rv, rb, off) ->
+        let a = Array.unsafe_get regs rb + off in
+        Memory.store mem a (Array.unsafe_get regs rv);
+        m.pc <- pc + 1
+    | Movs (rdst, rsrc) ->
+        let src = Array.unsafe_get regs rsrc in
+        let dst = Array.unsafe_get regs rdst in
+        Memory.store mem dst (Memory.load mem src);
+        m.pc <- pc + 1
+    | Falu (op, fd, f1, f2) ->
+        Array.unsafe_set fregs fd
+          (exec_falu op (Array.unsafe_get fregs f1) (Array.unsafe_get fregs f2));
+        m.pc <- pc + 1
+    | Fload (fd, rs, off) ->
+        let a = Array.unsafe_get regs rs + off in
+        Array.unsafe_set fregs fd (Memory.loadf mem a);
+        m.pc <- pc + 1
+    | Fstore (fv, rb, off) ->
+        let a = Array.unsafe_get regs rb + off in
+        Memory.storef mem a (Array.unsafe_get fregs fv);
+        m.pc <- pc + 1
+    | Fmovi (fd, x) ->
+        Array.unsafe_set fregs fd x;
+        m.pc <- pc + 1
+    | Cvtif (fd, rs) ->
+        Array.unsafe_set fregs fd (float_of_int (Array.unsafe_get regs rs));
+        m.pc <- pc + 1
+    | Cvtfi (rd, fs) ->
+        Array.unsafe_set regs rd (int_of_float (Array.unsafe_get fregs fs));
+        m.pc <- pc + 1
+    | Branch (c, r1, r2, target) ->
+        let taken =
+          eval_cond c (Array.unsafe_get regs r1) (Array.unsafe_get regs r2)
+        in
+        m.pc <- (if taken then target else pc + 1)
+    | Jump target -> m.pc <- target
+    | Call target ->
+        if m.sp >= stack_depth then
+          raise (Stack_error (Printf.sprintf "call-stack overflow at pc %d" pc));
+        m.callstack.(m.sp) <- pc + 1;
+        m.sp <- m.sp + 1;
+        m.pc <- target
+    | Ret ->
+        if m.sp <= 0 then
+          raise (Stack_error (Printf.sprintf "ret on empty stack at pc %d" pc));
+        m.sp <- m.sp - 1;
+        m.pc <- m.callstack.(m.sp)
+    | Sys (n, rd) ->
+        Array.unsafe_set regs rd (syscall n);
+        m.pc <- pc + 1
+    | Halt ->
+        status := Halted;
+        running := false);
+    if !remaining <= 0 then running := false
+  done;
+  !status
+[@@inline never]
+
+let run_hooked ~hooks ~syscall ~fuel (prog : Program.t) (m : machine) =
   let instrs = prog.instrs in
   let kinds = prog.kinds in
   let is_leader = prog.is_leader in
@@ -163,3 +255,9 @@ let run ?(hooks = Hooks.nil) ?(syscall = default_syscall) ?(fuel = max_int)
     if !remaining <= 0 then running := false
   done;
   !status
+[@@inline never]
+
+let run ?(hooks = Hooks.nil) ?(syscall = default_syscall) ?(fuel = max_int)
+    (prog : Program.t) (m : machine) =
+  if Hooks.is_nil hooks then run_plain ~syscall ~fuel prog m
+  else run_hooked ~hooks ~syscall ~fuel prog m

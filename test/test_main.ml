@@ -17,4 +17,5 @@ let () =
       ("models", Test_models.suite);
       ("misc", Test_misc.suite);
       ("coverage", Test_coverage.suite);
+      ("parallel", Test_parallel.suite);
     ]

@@ -331,6 +331,69 @@ let test_hooks_seq_order () =
   h.Hooks.on_instr 0 0;
   Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] (List.rev !log)
 
+let test_hooks_seq_all_flat_order () =
+  (* a longer chain exercises the array-dispatch path of seq_all; every
+     field must still fire in list order *)
+  let log = ref [] in
+  let mk tag =
+    {
+      Hooks.on_block = (fun _ -> log := ("b" ^ tag) :: !log);
+      on_instr = (fun _ _ -> log := ("i" ^ tag) :: !log);
+      on_read = (fun _ -> log := ("r" ^ tag) :: !log);
+      on_write = (fun _ -> log := ("w" ^ tag) :: !log);
+      on_branch = (fun _ _ -> log := ("j" ^ tag) :: !log);
+    }
+  in
+  let h = Hooks.seq_all [ mk "1"; mk "2"; mk "3"; mk "4"; mk "5" ] in
+  h.Hooks.on_instr 0 0;
+  h.Hooks.on_read 0;
+  h.Hooks.on_branch 0 true;
+  Alcotest.(check (list string)) "flattened order"
+    [ "i1"; "i2"; "i3"; "i4"; "i5"; "r1"; "r2"; "r3"; "r4"; "r5";
+      "j1"; "j2"; "j3"; "j4"; "j5" ]
+    (List.rev !log)
+
+let test_hooks_nil_detection () =
+  Alcotest.(check bool) "nil is nil" true (Hooks.is_nil Hooks.nil);
+  Alcotest.(check bool) "seq of nils is nil" true
+    (Hooks.is_nil (Hooks.seq Hooks.nil Hooks.nil));
+  Alcotest.(check bool) "seq_all of nils is nil" true
+    (Hooks.is_nil (Hooks.seq_all [ Hooks.nil; Hooks.nil; Hooks.nil ]));
+  Alcotest.(check bool) "seq_all [] is nil" true (Hooks.is_nil (Hooks.seq_all []));
+  let live = { Hooks.nil with Hooks.on_read = (fun _ -> ()) } in
+  Alcotest.(check bool) "live hook is not nil" false (Hooks.is_nil live);
+  Alcotest.(check bool) "seq keeps live hook" false
+    (Hooks.is_nil (Hooks.seq Hooks.nil live))
+
+let test_interp_fast_path_equivalent () =
+  (* the uninstrumented fast path must leave the machine in exactly the
+     state the hooked loop does *)
+  let p =
+    Program.of_instrs
+      [|
+        Isa.Li (1, 0);
+        Isa.Li (2, 100);
+        Isa.Li (3, 0x40);
+        Isa.Store (1, 3, 0);
+        Isa.Load (4, 3, 0);
+        Isa.Alui (Isa.Add, 1, 1, 1);
+        Isa.Branch (Isa.Lt, 1, 2, 3);
+        Isa.Halt;
+      |]
+  in
+  let run hooks =
+    let m = Interp.create ~entry:0 () in
+    let status = Interp.run ~hooks ~fuel:350 p m in
+    (status, m.Interp.pc, m.Interp.icount, Array.copy m.Interp.regs)
+  in
+  let counting = { Hooks.nil with on_instr = (fun _ _ -> ()) } in
+  let s1, pc1, ic1, regs1 = run Hooks.nil in
+  let s2, pc2, ic2, regs2 = run counting in
+  Alcotest.(check bool) "status" true (s1 = s2);
+  Alcotest.(check int) "pc" pc2 pc1;
+  Alcotest.(check int) "icount" ic2 ic1;
+  Alcotest.(check bool) "registers" true (regs1 = regs2)
+
 (* ------------------------------------------------------------------ *)
 (* Snapshot *)
 
@@ -401,6 +464,11 @@ let suite =
     Alcotest.test_case "interp syscall" `Quick test_interp_syscall;
     Alcotest.test_case "hooks fire" `Quick test_hooks_fire;
     Alcotest.test_case "hooks seq order" `Quick test_hooks_seq_order;
+    Alcotest.test_case "hooks seq_all flat order" `Quick
+      test_hooks_seq_all_flat_order;
+    Alcotest.test_case "hooks nil detection" `Quick test_hooks_nil_detection;
+    Alcotest.test_case "interp fast path equivalent" `Quick
+      test_interp_fast_path_equivalent;
     Alcotest.test_case "snapshot determinism" `Quick test_snapshot_determinism;
     Alcotest.test_case "snapshot isolation" `Quick test_snapshot_isolation;
   ]

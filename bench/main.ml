@@ -71,6 +71,22 @@ let micro () =
   in
   let cache = Sp_cache.Cache.create Sp_cache.Config.allcache_table1.l1d in
   let addr = ref 0 in
+  (* A pointer-chase style kernel where 4 of every 7 instructions touch
+     memory, walking a 1 MiB working set: the worst case for the
+     per-access page lookup in [Memory] and the best case for its TLB. *)
+  let ldst_kernel =
+    let a = Sp_vm.Asm.create ~name:"ldst-kernel" () in
+    Sp_vm.Asm.li a 1 0;
+    let top = Sp_vm.Asm.here a in
+    Sp_vm.Asm.store a 1 1 0;
+    Sp_vm.Asm.load a 2 1 64;
+    Sp_vm.Asm.store a 2 1 128;
+    Sp_vm.Asm.load a 3 1 192;
+    Sp_vm.Asm.alui a Sp_isa.Isa.Add 1 1 8;
+    Sp_vm.Asm.alui a Sp_isa.Isa.And 1 1 0xFFFFF;
+    Sp_vm.Asm.jump a top;
+    Sp_vm.Asm.assemble a
+  in
   let tests =
     [
       Test.make ~name:"interp-10k-insns"
@@ -95,6 +111,24 @@ let micro () =
             fun () ->
               let m = Sp_vm.Interp.create ~entry:prog.Sp_vm.Program.entry () in
               ignore (Sp_vm.Interp.run ~hooks ~fuel:10_000 prog m)));
+      (* the instrumented path BBV collection actually runs on: block-level
+         hooks only, so the interpreter may block-step *)
+      Test.make ~name:"interp-10k-bbv"
+        (Staged.stage (fun () ->
+             let bbv = Sp_pin.Bbv_tool.create ~slice_len:1_000 prog in
+             let hooks = Sp_vm.Hooks.seq_all [ Sp_pin.Bbv_tool.hooks bbv ] in
+             let m = Sp_vm.Interp.create ~entry:prog.Sp_vm.Program.entry () in
+             ignore (Sp_vm.Interp.run ~hooks ~fuel:10_000 prog m);
+             Sp_pin.Bbv_tool.finish bbv));
+      Test.make ~name:"interp-10k-ldst"
+        (Staged.stage
+           (* one persistent machine: the kernel never halts, so each run
+              resumes it for another 10k instructions over a stable page
+              set — pure load/store throughput, no page-allocation noise *)
+           (let m =
+              Sp_vm.Interp.create ~entry:ldst_kernel.Sp_vm.Program.entry ()
+            in
+            fun () -> ignore (Sp_vm.Interp.run ~fuel:10_000 ldst_kernel m)));
       Test.make ~name:"interp-10k-insns+allcache"
         (Staged.stage
            (let tool = Sp_pin.Allcache_tool.create prog in
@@ -135,16 +169,37 @@ let micro () =
     Analyze.all ols Instance.monotonic_clock raw
   in
   print_endline "Microbenchmarks (Bechamel, monotonic clock):";
+  let strip_group name =
+    match String.index_opt name '/' with
+    | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+    | None -> name
+  in
+  let measured = ref [] in
   List.iter
     (fun test ->
       let results = benchmark (Test.make_grouped ~name:"g" [ test ]) in
       Hashtbl.iter
         (fun name ols ->
           match Bechamel.Analyze.OLS.estimates ols with
-          | Some [ t ] -> Printf.printf "  %-28s %12.1f ns/run\n%!" name t
+          | Some [ t ] ->
+              Printf.printf "  %-28s %12.1f ns/run\n%!" name t;
+              measured := (strip_group name, t) :: !measured
           | _ -> Printf.printf "  %-28s (no estimate)\n%!" name)
         results)
-    tests
+    tests;
+  (* machine-readable mirror of the report, so the perf trajectory of
+     the interp/BBV/memory micros can be tracked across PRs *)
+  let json_file = "BENCH_micro.json" in
+  let oc = open_out json_file in
+  Printf.fprintf oc "{\n";
+  List.iteri
+    (fun i (name, ns) ->
+      Printf.fprintf oc "  %S: %.1f%s\n" name ns
+        (if i = List.length !measured - 1 then "" else ","))
+    (List.rev !measured);
+  Printf.fprintf oc "}\n";
+  close_out oc;
+  Printf.printf "  (wrote %s: name -> ns/run)\n%!" json_file
 
 (* ------------------------------------------------------------------ *)
 

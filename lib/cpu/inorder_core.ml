@@ -58,6 +58,7 @@ let on_access t ~is_write addr =
 
 let hooks t =
   {
+    Hooks.nil with
     Hooks.on_instr =
       (fun _pc kind ->
         if not t.warming then begin

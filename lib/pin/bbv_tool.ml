@@ -9,7 +9,6 @@ type slice = {
 
 type t = {
   slice_len : int;
-  bb_of_pc : int array;
   counts : int array;          (* per block, current slice *)
   mutable touched : int list;  (* blocks with non-zero count *)
   mutable cur_len : int;
@@ -22,7 +21,6 @@ let create ~slice_len (prog : Program.t) =
   if slice_len <= 0 then invalid_arg "Bbv_tool.create: slice_len <= 0";
   {
     slice_len;
-    bb_of_pc = prog.bb_of_pc;
     counts = Array.make (Program.num_blocks prog) 0;
     touched = [];
     cur_len = 0;
@@ -41,7 +39,7 @@ let close_slice t =
       t.touched
   in
   let bbv = Array.of_list pairs in
-  Array.sort (fun (a, _) (b, _) -> compare a b) bbv;
+  Array.sort (fun ((a : int), _) ((b : int), _) -> Int.compare a b) bbv;
   let s =
     {
       index = t.num_closed;
@@ -56,20 +54,31 @@ let close_slice t =
   t.start_icount <- t.start_icount + t.cur_len;
   t.cur_len <- 0
 
-let hooks t =
-  let counts = t.counts in
-  let bb_of_pc = t.bb_of_pc in
-  {
-    Hooks.nil with
-    on_instr =
-      (fun pc _kind ->
-        let bb = Array.unsafe_get bb_of_pc pc in
-        let c = Array.unsafe_get counts bb in
-        if c = 0 then t.touched <- bb :: t.touched;
-        Array.unsafe_set counts bb (c + 1);
-        t.cur_len <- t.cur_len + 1;
-        if t.cur_len >= t.slice_len then close_slice t);
-  }
+let bump t bb n =
+  let c = Array.unsafe_get t.counts bb in
+  if c = 0 then t.touched <- bb :: t.touched;
+  Array.unsafe_set t.counts bb (c + n)
+
+(* Credit [n] retirements of block [bb], splitting across slice
+   boundaries.  Per-instruction accounting closes a slice the moment its
+   length reaches [slice_len]; crediting [room] instructions here and
+   carrying the remainder into the next slice reproduces that
+   bit-for-bit, whether the engine delivers one instruction or a whole
+   block (or several slices' worth) at a time. *)
+let rec add t bb n =
+  let room = t.slice_len - t.cur_len in
+  if n < room then begin
+    bump t bb n;
+    t.cur_len <- t.cur_len + n
+  end
+  else begin
+    bump t bb room;
+    t.cur_len <- t.slice_len;
+    close_slice t;
+    if n > room then add t bb (n - room)
+  end
+
+let hooks t = { Hooks.nil with on_block_exec = (fun bb n -> add t bb n) }
 
 let finish t = if t.cur_len > 0 then close_slice t
 

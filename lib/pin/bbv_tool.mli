@@ -25,6 +25,11 @@ val create : slice_len:int -> Program.t -> t
 (** @raise Invalid_argument if [slice_len <= 0]. *)
 
 val hooks : t -> Hooks.t
+(** Block-level hooks ([Hooks.on_block_exec] only), so a BBV-only run
+    executes on the interpreter's block-stepping engine.  Slices are
+    bit-identical whether retirements arrive per instruction or per
+    block: block credit that crosses a slice boundary is split at the
+    exact instruction. *)
 
 val finish : t -> unit
 (** Close the trailing partial slice, if any.  Call after the run. *)

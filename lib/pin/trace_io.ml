@@ -6,6 +6,7 @@ type event =
   | Write of int
   | Branch of int * bool
   | Block of int
+  | Block_exec of int * int
 
 module Writer = struct
   type t = {
@@ -27,6 +28,8 @@ module Writer = struct
   let hooks t =
     {
       Hooks.on_block = (fun bb -> emit t (fun oc -> Printf.fprintf oc "L %d\n" bb));
+      on_block_exec =
+        (fun bb len -> emit t (fun oc -> Printf.fprintf oc "X %d %d\n" bb len));
       on_instr =
         (fun pc kind -> emit t (fun oc -> Printf.fprintf oc "I %d %d\n" pc kind));
       on_read = (fun a -> emit t (fun oc -> Printf.fprintf oc "R %d\n" a));
@@ -60,6 +63,10 @@ module Reader = struct
         | _ -> fail ())
     | [ "L"; bb ] -> (
         match int_of_string_opt bb with Some bb -> Block bb | None -> fail ())
+    | [ "X"; bb; len ] -> (
+        match (int_of_string_opt bb, int_of_string_opt len) with
+        | Some bb, Some len -> Block_exec (bb, len)
+        | _ -> fail ())
     | _ -> fail ()
 
   let fold ic ~init ~f =

@@ -14,6 +14,7 @@ open Sp_vm
     W <address>            memory write
     B <pc> <0|1>           conditional branch (taken flag)
     L <block-id>           basic-block entry
+    X <block-id> <n>       n instructions of the block retired
     v} *)
 
 type event =
@@ -22,6 +23,7 @@ type event =
   | Write of int
   | Branch of int * bool
   | Block of int
+  | Block_exec of int * int
 
 module Writer : sig
   type t

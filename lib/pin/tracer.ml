@@ -6,6 +6,7 @@ type event =
   | Write of int
   | Branch of { pc : int; taken : bool }
   | Block of int
+  | Block_exec of { bb : int; len : int }
 
 type t = {
   buf : event option array;
@@ -25,6 +26,7 @@ let push t e =
 let hooks t =
   {
     Hooks.on_block = (fun bb -> push t (Block bb));
+    on_block_exec = (fun bb len -> push t (Block_exec { bb; len }));
     on_instr = (fun pc kind -> push t (Instr { pc; kind = Sp_isa.Isa.kind_of_code kind }));
     on_read = (fun addr -> push t (Read addr));
     on_write = (fun addr -> push t (Write addr));

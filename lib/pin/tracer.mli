@@ -11,6 +11,7 @@ type event =
   | Write of int
   | Branch of { pc : int; taken : bool }
   | Block of int
+  | Block_exec of { bb : int; len : int }
 
 type t
 

@@ -139,14 +139,18 @@ let fit ?(max_iters = 50) ?(seed = 42) ?(jobs = 1) ~k points =
         s.(x) <- s.(x) +. p.(x)
       done
     done;
-    (* recompute centroids; re-seed empty clusters on the farthest point *)
+    (* recompute centroids; re-seed empty clusters on the farthest point.
+       [best_d] already holds each point's squared distance to its
+       nearest centroid from this round's search — reusing it avoids an
+       O(n*dim) rescan and keeps the reseed anchored to the centroids the
+       assignment was actually made against (the rescan measured against
+       centroids partially overwritten earlier in this very loop). *)
     for j = 0 to k - 1 do
       if sizes.(j) = 0 then begin
         let far = ref 0 and far_d = ref neg_infinity in
         for i = 0 to n - 1 do
-          let d = sq_distance points.(i) centroids.(assignment.(i)) in
-          if d > !far_d then begin
-            far_d := d;
+          if best_d.(i) > !far_d then begin
+            far_d := best_d.(i);
             far := i
           end
         done;

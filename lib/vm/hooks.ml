@@ -1,5 +1,6 @@
 type t = {
   on_block : int -> unit;
+  on_block_exec : int -> int -> unit;
   on_instr : int -> int -> unit;
   on_read : int -> unit;
   on_write : int -> unit;
@@ -13,6 +14,7 @@ let ignore_branch (_ : int) (_ : bool) = ()
 let nil =
   {
     on_block = ignore1;
+    on_block_exec = ignore2;
     on_instr = ignore2;
     on_read = ignore1;
     on_write = ignore1;
@@ -25,8 +27,25 @@ let nil =
    the interpreter uses it to skip hook dispatch entirely. *)
 let is_nil h =
   h == nil
-  || (h.on_block == ignore1 && h.on_instr == ignore2 && h.on_read == ignore1
+  || (h.on_block == ignore1 && h.on_block_exec == ignore2
+      && h.on_instr == ignore2 && h.on_read == ignore1
       && h.on_write == ignore1 && h.on_branch == ignore_branch)
+
+(* A hook set is block-level when every per-instruction callback is the
+   sentinel.  [on_block], [on_block_exec] and [on_branch] all fire at
+   most once per basic block, so the interpreter may run such a set on
+   its block-stepping path: enter the block, fire the aggregates, then
+   execute the straight-line body with zero dispatch.
+
+   [on_block_exec bb n] means "n instructions of block [bb] retired".
+   It conveys multiplicity only, not position: the block-stepping engine
+   fires it once per block entry (n = straight-line length, or less at a
+   fuel boundary / mid-block resume), while the per-instruction engine
+   fires it with n = 1 per retired instruction.  Tools attached to it
+   must therefore be insensitive to batching — pure counters like BBV
+   collection, not position-dependent watchers. *)
+let block_level h =
+  h.on_instr == ignore2 && h.on_read == ignore1 && h.on_write == ignore1
 
 let seq a b =
   let pick1 fa fb =
@@ -34,12 +53,15 @@ let seq a b =
     else if fb == ignore1 then fa
     else fun x -> fa x; fb x
   in
+  let pick2 fa fb =
+    if fa == ignore2 then fb
+    else if fb == ignore2 then fa
+    else fun x y -> fa x y; fb x y
+  in
   {
     on_block = pick1 a.on_block b.on_block;
-    on_instr =
-      (if a.on_instr == ignore2 then b.on_instr
-       else if b.on_instr == ignore2 then a.on_instr
-       else fun x y -> a.on_instr x y; b.on_instr x y);
+    on_block_exec = pick2 a.on_block_exec b.on_block_exec;
+    on_instr = pick2 a.on_instr b.on_instr;
     on_read = pick1 a.on_read b.on_read;
     on_write = pick1 a.on_write b.on_write;
     on_branch =
@@ -88,6 +110,7 @@ let seq_all = function
   | hs ->
       {
         on_block = fuse1 ignore1 (List.map (fun h -> h.on_block) hs);
+        on_block_exec = fuse2 ignore2 (List.map (fun h -> h.on_block_exec) hs);
         on_instr = fuse2 ignore2 (List.map (fun h -> h.on_instr) hs);
         on_read = fuse1 ignore1 (List.map (fun h -> h.on_read) hs);
         on_write = fuse1 ignore1 (List.map (fun h -> h.on_write) hs);

@@ -7,7 +7,16 @@
 
 type t = {
   on_block : int -> unit;
-      (** block id, at entry to each dynamic basic block *)
+      (** block id, at entry (through the leader) to each dynamic basic
+          block *)
+  on_block_exec : int -> int -> unit;
+      (** [bb, n]: [n] instructions of block [bb] retired.  The count is
+          an aggregate — the block-stepping engine delivers a whole
+          block entry at once (possibly truncated at a fuel boundary or
+          started mid-block on resume), the per-instruction engine
+          delivers [n = 1] per retirement.  Tools attached here must
+          depend only on the multiplicity, never on instruction
+          position; both deliveries then produce bit-identical results. *)
   on_instr : int -> int -> unit;
       (** [pc, kind_code] for every retired instruction *)
   on_read : int -> unit;  (** data byte address of each memory read *)
@@ -24,6 +33,13 @@ val is_nil : t -> bool
     constructors in this module preserve the no-op sentinels, so the
     interpreter can test this once per run and skip hook dispatch in
     its inner loop entirely. *)
+
+val block_level : t -> bool
+(** [block_level h] is true when every per-instruction callback
+    ([on_instr], [on_read], [on_write]) is a no-op.  The remaining
+    callbacks all fire at most once per basic block, so the interpreter
+    may run such a hook set on its block-stepping engine: hook dispatch
+    once per block entry, straight-line execution in between. *)
 
 val seq : t -> t -> t
 (** Run both hook sets, first argument first. *)

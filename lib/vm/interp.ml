@@ -152,6 +152,179 @@ let run_plain ~syscall ~fuel (prog : Program.t) (m : machine) =
   !status
 [@@inline never]
 
+(* The block-stepping tier: hooks are block-level ([Hooks.block_level]),
+   so all dispatch happens once per basic-block entry.  The block's
+   extent comes from [Program.block_end]; the straight-line body then
+   executes with no leader tests, no per-instruction fuel checks and no
+   closure calls.  Only the final instruction of a block can transfer
+   control, so the body match never sees one.
+
+   Invariants kept in lockstep with the per-instruction engines:
+   - [m.icount] is bulk-advanced at block entry, but any [Sys]
+     instruction observes the exact per-instruction count (pinball
+     logging records syscalls as [icount - 1]) and [m.pc] is set to the
+     syscall's pc so a raising handler leaves the machine addressable;
+   - a fuel boundary mid-block retires exactly [remaining] instructions
+     and leaves [m.pc] at the next unexecuted one, so resumed runs are
+     bit-identical to uninterrupted ones;
+   - [on_block] fires only when entering through the leader (a resume
+     mid-block does not re-announce the block), [on_block_exec] fires on
+     every entry with the retired count, and [on_branch] fires at the
+     terminator exactly as the per-instruction engines do. *)
+let run_block ~hooks ~syscall ~fuel (prog : Program.t) (m : machine) =
+  let instrs = prog.instrs in
+  let is_leader = prog.is_leader in
+  let bb_of_pc = prog.bb_of_pc in
+  let block_end = prog.block_end in
+  let regs = m.regs in
+  let fregs = m.fregs in
+  let mem = m.mem in
+  let on_block = hooks.Hooks.on_block in
+  let on_block_exec = hooks.Hooks.on_block_exec in
+  let on_branch = hooks.Hooks.on_branch in
+  let remaining = ref fuel in
+  let status = ref Out_of_fuel in
+  let running = ref (fuel > 0) in
+  while !running do
+    let pc0 = m.pc in
+    let bb = Array.unsafe_get bb_of_pc pc0 in
+    if Array.unsafe_get is_leader pc0 then on_block bb;
+    let stop = Array.unsafe_get block_end bb in
+    let avail = stop - pc0 in
+    let n = if avail <= !remaining then avail else !remaining in
+    on_block_exec bb n;
+    m.icount <- m.icount + n;
+    remaining := !remaining - n;
+    let last = pc0 + n - 1 in
+    for pc = pc0 to last - 1 do
+      match Array.unsafe_get instrs pc with
+      | Alu (op, rd, r1, r2) ->
+          Array.unsafe_set regs rd
+            (exec_alu op (Array.unsafe_get regs r1) (Array.unsafe_get regs r2))
+      | Alui (op, rd, r1, imm) ->
+          Array.unsafe_set regs rd (exec_alu op (Array.unsafe_get regs r1) imm)
+      | Li (rd, imm) -> Array.unsafe_set regs rd imm
+      | Mov (rd, rs) -> Array.unsafe_set regs rd (Array.unsafe_get regs rs)
+      | Load (rd, rs, off) ->
+          let a = Array.unsafe_get regs rs + off in
+          Array.unsafe_set regs rd (Memory.load mem a)
+      | Store (rv, rb, off) ->
+          let a = Array.unsafe_get regs rb + off in
+          Memory.store mem a (Array.unsafe_get regs rv)
+      | Movs (rdst, rsrc) ->
+          let src = Array.unsafe_get regs rsrc in
+          let dst = Array.unsafe_get regs rdst in
+          Memory.store mem dst (Memory.load mem src)
+      | Falu (op, fd, f1, f2) ->
+          Array.unsafe_set fregs fd
+            (exec_falu op (Array.unsafe_get fregs f1)
+               (Array.unsafe_get fregs f2))
+      | Fload (fd, rs, off) ->
+          let a = Array.unsafe_get regs rs + off in
+          Array.unsafe_set fregs fd (Memory.loadf mem a)
+      | Fstore (fv, rb, off) ->
+          let a = Array.unsafe_get regs rb + off in
+          Memory.storef mem a (Array.unsafe_get fregs fv)
+      | Fmovi (fd, x) -> Array.unsafe_set fregs fd x
+      | Cvtif (fd, rs) ->
+          Array.unsafe_set fregs fd (float_of_int (Array.unsafe_get regs rs))
+      | Cvtfi (rd, fs) ->
+          Array.unsafe_set regs rd (int_of_float (Array.unsafe_get fregs fs))
+      | Sys (num, rd) ->
+          (* expose the exact retirement index to the handler *)
+          let bulk = m.icount in
+          m.icount <- bulk - (last - pc);
+          m.pc <- pc;
+          Array.unsafe_set regs rd (syscall num);
+          m.icount <- bulk
+      | Branch _ | Jump _ | Call _ | Ret | Halt ->
+          (* control instructions end their block *)
+          assert false
+    done;
+    let pc = last in
+    (match Array.unsafe_get instrs pc with
+    | Alu (op, rd, r1, r2) ->
+        Array.unsafe_set regs rd
+          (exec_alu op (Array.unsafe_get regs r1) (Array.unsafe_get regs r2));
+        m.pc <- pc + 1
+    | Alui (op, rd, r1, imm) ->
+        Array.unsafe_set regs rd (exec_alu op (Array.unsafe_get regs r1) imm);
+        m.pc <- pc + 1
+    | Li (rd, imm) ->
+        Array.unsafe_set regs rd imm;
+        m.pc <- pc + 1
+    | Mov (rd, rs) ->
+        Array.unsafe_set regs rd (Array.unsafe_get regs rs);
+        m.pc <- pc + 1
+    | Load (rd, rs, off) ->
+        let a = Array.unsafe_get regs rs + off in
+        Array.unsafe_set regs rd (Memory.load mem a);
+        m.pc <- pc + 1
+    | Store (rv, rb, off) ->
+        let a = Array.unsafe_get regs rb + off in
+        Memory.store mem a (Array.unsafe_get regs rv);
+        m.pc <- pc + 1
+    | Movs (rdst, rsrc) ->
+        let src = Array.unsafe_get regs rsrc in
+        let dst = Array.unsafe_get regs rdst in
+        Memory.store mem dst (Memory.load mem src);
+        m.pc <- pc + 1
+    | Falu (op, fd, f1, f2) ->
+        Array.unsafe_set fregs fd
+          (exec_falu op (Array.unsafe_get fregs f1) (Array.unsafe_get fregs f2));
+        m.pc <- pc + 1
+    | Fload (fd, rs, off) ->
+        let a = Array.unsafe_get regs rs + off in
+        Array.unsafe_set fregs fd (Memory.loadf mem a);
+        m.pc <- pc + 1
+    | Fstore (fv, rb, off) ->
+        let a = Array.unsafe_get regs rb + off in
+        Memory.storef mem a (Array.unsafe_get fregs fv);
+        m.pc <- pc + 1
+    | Fmovi (fd, x) ->
+        Array.unsafe_set fregs fd x;
+        m.pc <- pc + 1
+    | Cvtif (fd, rs) ->
+        Array.unsafe_set fregs fd (float_of_int (Array.unsafe_get regs rs));
+        m.pc <- pc + 1
+    | Cvtfi (rd, fs) ->
+        Array.unsafe_set regs rd (int_of_float (Array.unsafe_get fregs fs));
+        m.pc <- pc + 1
+    | Sys (num, rd) ->
+        m.pc <- pc;
+        Array.unsafe_set regs rd (syscall num);
+        m.pc <- pc + 1
+    | Branch (c, r1, r2, target) ->
+        let taken =
+          eval_cond c (Array.unsafe_get regs r1) (Array.unsafe_get regs r2)
+        in
+        on_branch pc taken;
+        m.pc <- (if taken then target else pc + 1)
+    | Jump target -> m.pc <- target
+    | Call target ->
+        if m.sp >= stack_depth then begin
+          m.pc <- pc;
+          raise (Stack_error (Printf.sprintf "call-stack overflow at pc %d" pc))
+        end;
+        m.callstack.(m.sp) <- pc + 1;
+        m.sp <- m.sp + 1;
+        m.pc <- target
+    | Ret ->
+        if m.sp <= 0 then begin
+          m.pc <- pc;
+          raise (Stack_error (Printf.sprintf "ret on empty stack at pc %d" pc))
+        end;
+        m.sp <- m.sp - 1;
+        m.pc <- m.callstack.(m.sp)
+    | Halt ->
+        m.pc <- pc;
+        status := Halted;
+        running := false);
+    if !remaining <= 0 then running := false
+  done;
+  !status
+[@@inline never]
+
 let run_hooked ~hooks ~syscall ~fuel (prog : Program.t) (m : machine) =
   let instrs = prog.instrs in
   let kinds = prog.kinds in
@@ -161,6 +334,8 @@ let run_hooked ~hooks ~syscall ~fuel (prog : Program.t) (m : machine) =
   let fregs = m.fregs in
   let mem = m.mem in
   let on_block = hooks.Hooks.on_block in
+  let on_block_exec = hooks.Hooks.on_block_exec in
+  let has_block_exec = on_block_exec != Hooks.nil.Hooks.on_block_exec in
   let on_instr = hooks.Hooks.on_instr in
   let on_read = hooks.Hooks.on_read in
   let on_write = hooks.Hooks.on_write in
@@ -171,6 +346,9 @@ let run_hooked ~hooks ~syscall ~fuel (prog : Program.t) (m : machine) =
   while !running do
     let pc = m.pc in
     if Array.unsafe_get is_leader pc then on_block (Array.unsafe_get bb_of_pc pc);
+    (* block-level tools seq'd with per-instruction ones still see every
+       retirement, one block-credit at a time *)
+    if has_block_exec then on_block_exec (Array.unsafe_get bb_of_pc pc) 1;
     on_instr pc (Array.unsafe_get kinds pc);
     m.icount <- m.icount + 1;
     decr remaining;
@@ -257,7 +435,14 @@ let run_hooked ~hooks ~syscall ~fuel (prog : Program.t) (m : machine) =
   !status
 [@@inline never]
 
+(* Engine tiers, fastest applicable wins:
+   - nil hooks        -> [run_plain]: zero dispatch, per-instruction walk
+   - block-level only -> [run_block]: dispatch once per basic block
+   - per-instr hooks  -> [run_hooked]: dispatch on every retirement
+   All three retire identical instruction streams and leave identical
+   machine state for any fuel split. *)
 let run ?(hooks = Hooks.nil) ?(syscall = default_syscall) ?(fuel = max_int)
     (prog : Program.t) (m : machine) =
   if Hooks.is_nil hooks then run_plain ~syscall ~fuel prog m
+  else if Hooks.block_level hooks then run_block ~hooks ~syscall ~fuel prog m
   else run_hooked ~hooks ~syscall ~fuel prog m

@@ -7,12 +7,39 @@ let offset_mask = page_words - 1
 (* 38-bit byte address space; keeps indices positive even on buggy input. *)
 let addr_mask = (1 lsl 38) - 1
 
+(* Direct-mapped software TLB: a small page-pointer cache in front of
+   the page hashtables, so hot loads and stores resolve their page with
+   one tag compare instead of a [Hashtbl.find_opt].  Tags hold the page
+   index (-1 = empty); a hit reads the page pointer straight out of the
+   slot array.  Entries are only ever installed for pages that exist in
+   the backing hashtable, and pages are never replaced there (only added
+   by [store], or dropped wholesale by [clear], which resets the TLB),
+   so a matching tag can never be stale. *)
+let tlb_slots_log2 = 6
+let tlb_slots = 1 lsl tlb_slots_log2
+let tlb_mask = tlb_slots - 1
+
+let no_int_page : int array = [||]
+let no_float_page : float array = [||]
+
 type t = {
   int_pages : (int, int array) Hashtbl.t;
   float_pages : (int, float array) Hashtbl.t;
+  int_tags : int array;
+  int_tlb : int array array;
+  float_tags : int array;
+  float_tlb : float array array;
 }
 
-let create () = { int_pages = Hashtbl.create 64; float_pages = Hashtbl.create 16 }
+let create () =
+  {
+    int_pages = Hashtbl.create 64;
+    float_pages = Hashtbl.create 16;
+    int_tags = Array.make tlb_slots (-1);
+    int_tlb = Array.make tlb_slots no_int_page;
+    float_tags = Array.make tlb_slots (-1);
+    float_tlb = Array.make tlb_slots no_float_page;
+  }
 
 let int_page t idx =
   match Hashtbl.find_opt t.int_pages idx with
@@ -33,25 +60,65 @@ let float_page t idx =
 let load t addr =
   let w = (addr land addr_mask) lsr 3 in
   let idx = w lsr page_words_log2 in
-  match Hashtbl.find_opt t.int_pages idx with
-  | Some p -> Array.unsafe_get p (w land offset_mask)
-  | None -> 0
+  let slot = idx land tlb_mask in
+  if Array.unsafe_get t.int_tags slot = idx then
+    Array.unsafe_get
+      (Array.unsafe_get t.int_tlb slot)
+      (w land offset_mask)
+  else
+    match Hashtbl.find_opt t.int_pages idx with
+    | Some p ->
+        Array.unsafe_set t.int_tags slot idx;
+        Array.unsafe_set t.int_tlb slot p;
+        Array.unsafe_get p (w land offset_mask)
+    | None -> 0
 
 let store t addr v =
   let w = (addr land addr_mask) lsr 3 in
-  let p = int_page t (w lsr page_words_log2) in
+  let idx = w lsr page_words_log2 in
+  let slot = idx land tlb_mask in
+  let p =
+    if Array.unsafe_get t.int_tags slot = idx then
+      Array.unsafe_get t.int_tlb slot
+    else begin
+      let p = int_page t idx in
+      Array.unsafe_set t.int_tags slot idx;
+      Array.unsafe_set t.int_tlb slot p;
+      p
+    end
+  in
   Array.unsafe_set p (w land offset_mask) v
 
 let loadf t addr =
   let w = (addr land addr_mask) lsr 3 in
   let idx = w lsr page_words_log2 in
-  match Hashtbl.find_opt t.float_pages idx with
-  | Some p -> Array.unsafe_get p (w land offset_mask)
-  | None -> 0.0
+  let slot = idx land tlb_mask in
+  if Array.unsafe_get t.float_tags slot = idx then
+    Array.unsafe_get
+      (Array.unsafe_get t.float_tlb slot)
+      (w land offset_mask)
+  else
+    match Hashtbl.find_opt t.float_pages idx with
+    | Some p ->
+        Array.unsafe_set t.float_tags slot idx;
+        Array.unsafe_set t.float_tlb slot p;
+        Array.unsafe_get p (w land offset_mask)
+    | None -> 0.0
 
 let storef t addr v =
   let w = (addr land addr_mask) lsr 3 in
-  let p = float_page t (w lsr page_words_log2) in
+  let idx = w lsr page_words_log2 in
+  let slot = idx land tlb_mask in
+  let p =
+    if Array.unsafe_get t.float_tags slot = idx then
+      Array.unsafe_get t.float_tlb slot
+    else begin
+      let p = float_page t idx in
+      Array.unsafe_set t.float_tags slot idx;
+      Array.unsafe_set t.float_tlb slot p;
+      p
+    end
+  in
   Array.unsafe_set p (w land offset_mask) v
 
 let footprint_bytes t =
@@ -64,11 +131,20 @@ let copy t =
     List.iter (fun (k, v) -> Hashtbl.add tbl k v) pairs;
     tbl
   in
+  (* the copy starts with a cold TLB: its slots may only ever point at
+     the copy's own page arrays *)
   {
+    (create ()) with
     int_pages = restore (dup t.int_pages);
     float_pages = restore (dup t.float_pages);
   }
 
 let clear t =
   Hashtbl.reset t.int_pages;
-  Hashtbl.reset t.float_pages
+  Hashtbl.reset t.float_pages;
+  (* every cached page pointer is now dangling: empty the TLB and drop
+     the page arrays so they can be collected *)
+  Array.fill t.int_tags 0 tlb_slots (-1);
+  Array.fill t.float_tags 0 tlb_slots (-1);
+  Array.fill t.int_tlb 0 tlb_slots no_int_page;
+  Array.fill t.float_tlb 0 tlb_slots no_float_page

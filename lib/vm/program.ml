@@ -1,6 +1,20 @@
 open Sp_isa
 
-type block = { id : int; start_pc : int; len : int }
+(* How a basic block transfers control: the class of its final
+   instruction, or [Fallthrough] when the block ends only because the
+   next pc is a leader. *)
+type terminator = Fallthrough | Cond_branch | Jump | Call | Ret | Halt
+
+type block = {
+  id : int;
+  start_pc : int;
+  len : int;
+  term : terminator;
+  (* how many instructions of each [Isa.kind] the block holds, indexed
+     by kind code — lets block-level tools credit a whole block without
+     re-scanning its body *)
+  kind_counts : int array;
+}
 
 type t = {
   name : string;
@@ -9,9 +23,30 @@ type t = {
   bb_of_pc : int array;
   is_leader : bool array;
   blocks : block array;
+  (* exclusive end pc per block id: [block_end.(bb) = start_pc + len].
+     Kept as a flat array so the block-stepping interpreter finds the
+     straight-line extent of the current block with one load. *)
+  block_end : int array;
   entry : int;
   code_base : int;
 }
+
+let terminator_of_instr (i : Isa.instr) =
+  match i with
+  | Isa.Branch _ -> Cond_branch
+  | Isa.Jump _ -> Jump
+  | Isa.Call _ -> Call
+  | Isa.Ret -> Ret
+  | Isa.Halt -> Halt
+  | _ -> Fallthrough
+
+let terminator_name = function
+  | Fallthrough -> "fallthrough"
+  | Cond_branch -> "branch"
+  | Jump -> "jump"
+  | Call -> "call"
+  | Ret -> "ret"
+  | Halt -> "halt"
 
 let of_instrs ?(name = "anon") ?(entry = 0) ?(code_base = 0x40_0000) instrs =
   let n = Array.length instrs in
@@ -32,6 +67,7 @@ let of_instrs ?(name = "anon") ?(entry = 0) ?(code_base = 0x40_0000) instrs =
       | None -> ());
       if Isa.is_control i && pc + 1 < n then leader.(pc + 1) <- true)
     instrs;
+  let kinds = Array.map (fun i -> Isa.kind_code (Isa.kind i)) instrs in
   let bb_of_pc = Array.make n 0 in
   let blocks = ref [] in
   let nblocks = ref 0 in
@@ -39,10 +75,21 @@ let of_instrs ?(name = "anon") ?(entry = 0) ?(code_base = 0x40_0000) instrs =
   let close_block last =
     let id = !nblocks in
     incr nblocks;
-    blocks := { id; start_pc = !start; len = last - !start + 1 } :: !blocks;
+    let kind_counts = Array.make Isa.num_kinds 0 in
     for pc = !start to last do
-      bb_of_pc.(pc) <- id
-    done
+      bb_of_pc.(pc) <- id;
+      let k = kinds.(pc) in
+      kind_counts.(k) <- kind_counts.(k) + 1
+    done;
+    blocks :=
+      {
+        id;
+        start_pc = !start;
+        len = last - !start + 1;
+        term = terminator_of_instr instrs.(last);
+        kind_counts;
+      }
+      :: !blocks
   in
   for pc = 0 to n - 1 do
     if pc > !start && leader.(pc) then begin
@@ -51,14 +98,15 @@ let of_instrs ?(name = "anon") ?(entry = 0) ?(code_base = 0x40_0000) instrs =
     end
   done;
   close_block (n - 1);
-  let kinds = Array.map (fun i -> Isa.kind_code (Isa.kind i)) instrs in
+  let blocks = Array.of_list (List.rev !blocks) in
   {
     name;
     instrs;
     kinds;
     bb_of_pc;
     is_leader = leader;
-    blocks = Array.of_list (List.rev !blocks);
+    blocks;
+    block_end = Array.map (fun b -> b.start_pc + b.len) blocks;
     entry;
     code_base;
   }

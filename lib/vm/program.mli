@@ -9,7 +9,21 @@ open Sp_isa
     from a leader to the next leader (exclusive) or a control
     instruction (inclusive). *)
 
-type block = { id : int; start_pc : int; len : int }
+type terminator = Fallthrough | Cond_branch | Jump | Call | Ret | Halt
+(** How a block transfers control: the class of its final instruction,
+    or [Fallthrough] when the block ends only because the next pc is a
+    leader. *)
+
+type block = {
+  id : int;
+  start_pc : int;
+  len : int;  (** straight-line length in instructions *)
+  term : terminator;
+  kind_counts : int array;
+      (** instructions of each [Isa.kind] in the block, indexed by kind
+          code — block-level tools credit a whole block from this table
+          instead of re-scanning its body *)
+}
 
 type t = private {
   name : string;
@@ -18,6 +32,8 @@ type t = private {
   bb_of_pc : int array;     (** enclosing block id per pc *)
   is_leader : bool array;   (** true at each block's first pc *)
   blocks : block array;
+  block_end : int array;    (** exclusive end pc per block id, for the
+                                block-stepping interpreter *)
   entry : int;
   code_base : int;          (** byte address of pc 0, for i-fetch addresses *)
 }
@@ -34,6 +50,8 @@ val fetch_addr : t -> int -> int
 
 val block_at : t -> int -> block
 (** Block containing a pc. *)
+
+val terminator_name : terminator -> string
 
 val pp_listing : Format.formatter -> t -> unit
 (** Disassembly listing with block boundaries, for debugging. *)

@@ -14,6 +14,7 @@ let () =
       ("core", Test_core.suite);
       ("extensions", Test_extensions.suite);
       ("properties", Test_properties.suite);
+      ("blockstep", Test_blockstep.suite);
       ("models", Test_models.suite);
       ("misc", Test_misc.suite);
       ("coverage", Test_coverage.suite);

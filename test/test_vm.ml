@@ -296,9 +296,11 @@ let test_hooks_fire () =
   let writes = ref [] in
   let branches = ref [] in
   let blocks = ref 0 in
+  let block_insns = ref 0 in
   let hooks =
     {
       Hooks.on_block = (fun _ -> incr blocks);
+      on_block_exec = (fun _ n -> block_insns := !block_insns + n);
       on_instr = (fun _ _ -> incr instr_count);
       on_read = (fun a -> reads := a :: !reads);
       on_write = (fun a -> writes := a :: !writes);
@@ -319,6 +321,7 @@ let test_hooks_fire () =
   let m = Interp.create ~entry:0 () in
   ignore (Interp.run ~hooks p m);
   Alcotest.(check int) "instr hook count" m.Interp.icount !instr_count;
+  Alcotest.(check int) "block_exec multiplicity" m.Interp.icount !block_insns;
   Alcotest.(check (list int)) "read addrs" [ 0x10 ] !reads;
   Alcotest.(check (list int)) "write addrs" [ 0x10 ] !writes;
   Alcotest.(check (list bool)) "branch taken" [ true ] !branches;
@@ -338,6 +341,7 @@ let test_hooks_seq_all_flat_order () =
   let mk tag =
     {
       Hooks.on_block = (fun _ -> log := ("b" ^ tag) :: !log);
+      on_block_exec = (fun _ _ -> log := ("x" ^ tag) :: !log);
       on_instr = (fun _ _ -> log := ("i" ^ tag) :: !log);
       on_read = (fun _ -> log := ("r" ^ tag) :: !log);
       on_write = (fun _ -> log := ("w" ^ tag) :: !log);

@@ -42,12 +42,30 @@ let jobs_arg =
 
 let resolve_jobs jobs = if jobs <= 0 then Sp_util.Pool.default_jobs () else jobs
 
-let options ~scale ~quiet ~jobs =
+let cache_arg =
+  let doc =
+    "Content-addressed pinball cache directory.  The whole pinball logged \
+     for each (benchmark, slice length, scale) is stored under a digest key \
+     and reused by later invocations instead of re-logging; corrupt or \
+     stale entries are quarantined and recomputed.  Inspect the directory \
+     with $(b,specrepro pinballs)."
+  in
+  let env =
+    Cmd.Env.info "SPECREPRO_PINBALL_CACHE"
+      ~doc:"Default for $(b,--pinball-cache)."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "pinball-cache" ] ~docv:"DIR" ~doc ~env)
+
+let options ?pinball_cache ~scale ~quiet ~jobs () =
   {
     Pipeline.default_options with
     slices_scale = scale;
     progress = not quiet;
     jobs = resolve_jobs jobs;
+    pinball_cache;
   }
 
 let find_bench name =
@@ -97,11 +115,11 @@ let list_cmd =
 (* profile *)
 
 let profile_cmd =
-  let run bench scale quiet jobs =
+  let run bench scale quiet jobs cache =
     match find_bench bench with
     | Error e -> prerr_endline e; exit 1
     | Ok spec ->
-        let options = options ~scale ~quiet ~jobs in
+        let options = options ?pinball_cache:cache ~scale ~quiet ~jobs () in
         let profile = Pipeline.profile_for_sweep ~options spec in
         let w = profile.Pipeline.sweep_whole_stats in
         Printf.printf "%s: %.0f instructions, %d slices\n"
@@ -120,7 +138,7 @@ let profile_cmd =
   Cmd.v
     (Cmd.info "profile"
        ~doc:"Run one benchmark to completion under the profiling pintools.")
-    Term.(const run $ bench_arg $ scale_arg $ quiet_arg $ jobs_arg)
+    Term.(const run $ bench_arg $ scale_arg $ quiet_arg $ jobs_arg $ cache_arg)
 
 (* ------------------------------------------------------------------ *)
 (* simpoints *)
@@ -138,7 +156,7 @@ let simpoints_cmd =
     match find_bench bench with
     | Error e -> prerr_endline e; exit 1
     | Ok spec ->
-        let options = options ~scale ~quiet ~jobs in
+        let options = options ~scale ~quiet ~jobs () in
         let options =
           {
             options with
@@ -186,10 +204,13 @@ let replay_cmd =
     let doc = "Pinball files (.pb) to replay." in
     Arg.(non_empty & pos_all file [] & info [] ~docv:"PINBALL" ~doc)
   in
-  let run files =
-    List.iter
-      (fun path ->
-        let pb = Sp_pinball.Store.load path in
+  let replay_one path =
+    match Sp_pinball.Store.load path with
+    | Error e ->
+        Printf.eprintf "specrepro replay: %s\n"
+          (Sp_pinball.Store.error_message e);
+        false
+    | Ok pb ->
         let prog = pb.Sp_pinball.Pinball.program in
         let mixt = Sp_pin.Ldstmix.create () in
         let cache =
@@ -215,8 +236,12 @@ let replay_cmd =
           r.Sp_pinball.Replayer.retired
           (Format.asprintf "%a" Sp_pin.Mix.pp (Sp_pin.Ldstmix.mix mixt))
           (stats.Sp_cache.Hierarchy.l3.miss_rate *. 100.0)
-          (Sp_cpu.Interval_core.cpi core))
-      files
+          (Sp_cpu.Interval_core.cpi core);
+        true
+  in
+  let run files =
+    let ok = List.fold_left (fun ok p -> replay_one p && ok) true files in
+    if not ok then exit 1
   in
   Cmd.v
     (Cmd.info "replay" ~doc:"Replay stored pinballs under the pintools.")
@@ -295,7 +320,8 @@ let disasm_cmd =
   in
   Cmd.v
     (Cmd.info "disasm"
-       ~doc:"Print a benchmark's full disassembly with basic-block              boundaries.")
+       ~doc:"Print a benchmark's full disassembly with basic-block \
+             boundaries.")
     Term.(const run $ bench_arg)
 
 (* ------------------------------------------------------------------ *)
@@ -314,19 +340,21 @@ let trace_cmd =
     match find_bench bench with
     | Error e -> prerr_endline e; exit 1
     | Ok spec ->
-        let options = options ~scale ~quiet ~jobs in
+        let options = options ~scale ~quiet ~jobs () in
         let built =
           Sp_workloads.Benchspec.build
             ~slice_insns:options.Pipeline.slice_insns
             ~slices_scale:options.Pipeline.slices_scale spec
         in
-        let oc = open_out out in
+        let oc = open_out_bin out in
         let w = Sp_pin.Trace_io.Writer.create ~limit oc in
-        ignore
-          (Sp_pin.Pin.run_fresh
-             ~tools:[ Sp_pin.Trace_io.Writer.hooks w ]
-             built.Sp_workloads.Benchspec.program);
-        close_out oc;
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            ignore
+              (Sp_pin.Pin.run_fresh
+                 ~tools:[ Sp_pin.Trace_io.Writer.hooks w ]
+                 built.Sp_workloads.Benchspec.program));
         Printf.printf "%s: wrote %d events to %s%s\n"
           spec.Sp_workloads.Benchspec.name
           (Sp_pin.Trace_io.Writer.events_written w)
@@ -342,11 +370,11 @@ let trace_cmd =
 (* run *)
 
 let run_cmd =
-  let run bench scale quiet jobs =
+  let run bench scale quiet jobs cache =
     match find_bench bench with
     | Error e -> prerr_endline e; exit 1
     | Ok spec ->
-        let options = options ~scale ~quiet ~jobs in
+        let options = options ?pinball_cache:cache ~scale ~quiet ~jobs () in
         let r = Pipeline.run_benchmark ~options spec in
         Printf.printf
           "%s: %d points (paper %d), %d cover 90%% (paper %d)\n\n"
@@ -374,7 +402,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run the full pipeline for one benchmark.")
-    Term.(const run $ bench_arg $ scale_arg $ quiet_arg $ jobs_arg)
+    Term.(const run $ bench_arg $ scale_arg $ quiet_arg $ jobs_arg $ cache_arg)
 
 (* ------------------------------------------------------------------ *)
 (* suite *)
@@ -384,8 +412,8 @@ let suite_cmd =
     let doc = "Also run the 14 extended (non-Table II) workloads." in
     Arg.(value & flag & info [ "extended" ] ~doc)
   in
-  let run scale quiet jobs extended =
-    let options = options ~scale ~quiet ~jobs in
+  let run scale quiet jobs cache extended =
+    let options = options ?pinball_cache:cache ~scale ~quiet ~jobs () in
     let specs =
       if extended then Sp_workloads.Suite.full else Sp_workloads.Suite.all
     in
@@ -409,7 +437,7 @@ let suite_cmd =
     (Cmd.info "suite"
        ~doc:"Run the pipeline over all 29 benchmarks and print Table II plus \
              the headline comparisons.")
-    Term.(const run $ scale_arg $ quiet_arg $ jobs_arg $ extended_arg)
+    Term.(const run $ scale_arg $ quiet_arg $ jobs_arg $ cache_arg $ extended_arg)
 
 (* ------------------------------------------------------------------ *)
 (* experiment *)
@@ -422,7 +450,7 @@ let experiment_cmd =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc)
   in
   let run name scale quiet jobs =
-    let options = options ~scale ~quiet ~jobs in
+    let options = options ~scale ~quiet ~jobs () in
     match name with
     | "table1" -> Sp_util.Table.print (Experiments.table1 ())
     | "table3" -> print_endline (Experiments.table3 ())
@@ -448,6 +476,136 @@ let experiment_cmd =
     Term.(const run $ name_arg $ scale_arg $ quiet_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
+(* pinballs: inspect / verify / gc a store or cache directory *)
+
+let pinballs_cmd =
+  let dir_arg =
+    let doc = "Pinball store or cache directory." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc)
+  in
+  let describe_file path =
+    match Sp_pinball.Store.load path with
+    | Error e -> Error (Sp_pinball.Store.error_message e)
+    | Ok pb ->
+        let kind =
+          match pb.Sp_pinball.Pinball.kind with
+          | Sp_pinball.Pinball.Whole -> "whole"
+          | Sp_pinball.Pinball.Region r -> Printf.sprintf "region %d" r.cluster
+        in
+        let length =
+          match pb.Sp_pinball.Pinball.length with
+          | Some l -> string_of_int l
+          | None -> "to halt"
+        in
+        Ok (pb.Sp_pinball.Pinball.benchmark, kind, length)
+  in
+  let list_cmd =
+    let run dir =
+      let t =
+        Sp_util.Table.create ~title:(Printf.sprintf "Pinballs under %s" dir)
+          [
+            ("File", Sp_util.Table.Left);
+            ("Bytes", Sp_util.Table.Right);
+            ("Benchmark", Sp_util.Table.Left);
+            ("Kind", Sp_util.Table.Left);
+            ("Length", Sp_util.Table.Right);
+            ("Status", Sp_util.Table.Left);
+          ]
+      in
+      List.iter
+        (fun path ->
+          let size =
+            try string_of_int (Unix.stat path).Unix.st_size
+            with Unix.Unix_error _ -> "?"
+          in
+          let benchmark, kind, length, status =
+            match describe_file path with
+            | Ok (b, k, l) -> (b, k, l, "ok")
+            | Error e -> ("-", "-", "-", e)
+          in
+          Sp_util.Table.add_row t
+            [ Filename.basename path; size; benchmark; kind; length; status ])
+        (Sp_pinball.Store.list_dir ~dir);
+      Sp_util.Table.print t;
+      let manifest = Sp_pinball.Artifact_cache.read_manifest ~dir in
+      if manifest <> [] then begin
+        let m =
+          Sp_util.Table.create ~title:"Cache manifest"
+            [
+              ("Key", Sp_util.Table.Left);
+              ("Benchmark", Sp_util.Table.Left);
+              ("Slice insns", Sp_util.Table.Right);
+              ("Scale", Sp_util.Table.Right);
+              ("File", Sp_util.Table.Left);
+            ]
+        in
+        List.iter
+          (fun (e : Sp_pinball.Artifact_cache.entry) ->
+            Sp_util.Table.add_row m
+              [
+                e.key;
+                e.benchmark;
+                string_of_int e.slice_insns;
+                Printf.sprintf "%g" e.slices_scale;
+                e.file;
+              ])
+          manifest;
+        Sp_util.Table.print m
+      end
+    in
+    Cmd.v
+      (Cmd.info "list"
+         ~doc:"List the pinballs (and any cache manifest) in a directory.")
+      Term.(const run $ dir_arg)
+  in
+  let verify_cmd =
+    let run dir =
+      let files = Sp_pinball.Store.list_dir ~dir in
+      let bad =
+        List.fold_left
+          (fun bad path ->
+            match Sp_pinball.Store.verify path with
+            | Ok () ->
+                Printf.printf "%s: ok\n" path;
+                bad
+            | Error e ->
+                Printf.printf "%s\n" (Sp_pinball.Store.error_message e);
+                bad + 1)
+          0 files
+      in
+      Printf.printf "%d pinball(s), %d corrupt\n" (List.length files) bad;
+      if bad > 0 then exit 1
+    in
+    Cmd.v
+      (Cmd.info "verify"
+         ~doc:"Fully validate every pinball in a directory (framing, \
+               checksums, all fields); exits 1 if any is corrupt.")
+      Term.(const run $ dir_arg)
+  in
+  let gc_cmd =
+    let run dir =
+      let r = Sp_pinball.Artifact_cache.gc ~dir in
+      Printf.printf
+        "%s: kept %d pinball(s); removed %d corrupt, %d quarantined, %d \
+         temporary; pruned %d manifest entr%s\n"
+        dir r.Sp_pinball.Artifact_cache.kept r.removed_corrupt
+        r.removed_quarantined r.removed_tmp r.manifest_pruned
+        (if r.manifest_pruned = 1 then "y" else "ies")
+    in
+    Cmd.v
+      (Cmd.info "gc"
+         ~doc:"Garbage-collect a directory: drop corrupt pinballs, \
+               quarantined entries, stale temporaries and dead manifest \
+               entries.  Valid pinballs are never touched.")
+      Term.(const run $ dir_arg)
+  in
+  Cmd.group
+    (Cmd.info "pinballs"
+       ~doc:"Inspect, verify and garbage-collect a pinball store or cache \
+             directory.")
+    [ list_cmd; verify_cmd; gc_cmd ]
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc =
@@ -463,6 +621,7 @@ let () =
             profile_cmd;
             simpoints_cmd;
             replay_cmd;
+            pinballs_cmd;
             trace_cmd;
             disasm_cmd;
             exec_cmd;

@@ -54,7 +54,7 @@ let () =
   let mixes =
     Store.list_dir ~dir
     |> List.map (fun path ->
-           let pb = Store.load path in
+           let pb = Store.load_exn path in
            let mixt = Sp_pin.Ldstmix.create () in
            let r = Replayer.replay ~tools:[ Sp_pin.Ldstmix.hooks mixt ] pb in
            (Pinball.weight pb, Sp_pin.Ldstmix.mix mixt, r.Replayer.retired))

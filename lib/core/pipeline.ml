@@ -15,6 +15,7 @@ type options = {
   collect_variance : bool;
   progress : bool;
   jobs : int;
+  pinball_cache : string option;
 }
 
 let default_options =
@@ -40,6 +41,7 @@ let default_options =
     (* sequential: parallel execution is strictly opt-in (--jobs), and
        every stage is bit-for-bit identical across job counts anyway *)
     jobs = 1;
+    pinball_cache = None;
   }
 
 (* the simpoint stages inherit the pipeline-level jobs knob unless the
@@ -188,6 +190,55 @@ let warm_replay_points options ~warmup_insns (whole : Logger.whole) points =
         :: !acc);
   List.rev !acc
 
+(* Produce the whole pinball with [tools] piggybacked: either log it
+   fresh, or — when a pinball cache is configured and holds a valid
+   entry for this (benchmark, slice, scale) key — replay the cached
+   artifact under the same tools.  Replay reproduces the logged
+   execution bit-for-bit (recorded inputs included), so the tools
+   observe an identical event stream either way and every downstream
+   statistic is unchanged.  Cache failures are never fatal: corrupt or
+   stale entries are quarantined with a warning and recomputed. *)
+let log_whole_cached ~options ~slice_insns ~(spec : Benchspec.t) ~tools prog =
+  let log () =
+    Logger.log_whole ~benchmark:spec.Benchspec.name ~extra_tools:tools prog
+  in
+  match options.pinball_cache with
+  | None -> log ()
+  | Some dir -> (
+      let key =
+        Artifact_cache.key ~benchmark:spec.Benchspec.name ~slice_insns
+          ~slices_scale:options.slices_scale
+      in
+      let log_and_store () =
+        let whole = log () in
+        (try
+           ignore
+             (Artifact_cache.store_whole ~dir ~key ~slice_insns
+                ~slices_scale:options.slices_scale whole)
+         with Sys_error m | Failure m ->
+           Printf.eprintf "[%s] pinball cache: could not store entry (%s)\n%!"
+             spec.Benchspec.name m);
+        whole
+      in
+      match Artifact_cache.find_whole ~dir ~key with
+      | Artifact_cache.Hit whole ->
+          progressf options
+            "[%s] pinball cache hit (%s): replaying cached whole pinball \
+             instead of re-logging\n\
+             %!"
+            spec.Benchspec.name key;
+          ignore (Replayer.replay ~tools whole.Logger.pinball);
+          whole
+      | Artifact_cache.Miss -> log_and_store ()
+      | Artifact_cache.Quarantined { path; reason } ->
+          (* always warn, even under --quiet: data loss is news *)
+          Printf.eprintf
+            "[%s] pinball cache: quarantined corrupt entry %s (%s); \
+             recomputing\n\
+             %!"
+            spec.Benchspec.name path reason;
+          log_and_store ())
+
 let run_benchmark ?(options = default_options) spec =
   let t0 = Unix.gettimeofday () in
   let built =
@@ -206,8 +257,8 @@ let run_benchmark ?(options = default_options) spec =
   in
   let core = Sp_cpu.Interval_core.create ~config:options.core_config prog in
   let whole =
-    Logger.log_whole ~benchmark:spec.Benchspec.name
-      ~extra_tools:
+    log_whole_cached ~options ~slice_insns:options.slice_insns ~spec
+      ~tools:
         [
           Bbv_tool.hooks bbv;
           Ldstmix.hooks mixt;
@@ -287,11 +338,14 @@ let run_suite ?jobs ?(options = default_options) ?(specs = Suite.all) () =
 
 let regional r = Runstats.of_points ~label:"Regional" r.point_stats
 
-let reduced_point_stats ~coverage r =
+(* The Reduced selection rule: points by descending weight until the
+   requested coverage is reached (shared by the cold and warmed
+   aggregations). *)
+let coverage_filter ~coverage points =
   let sorted =
     List.sort
       (fun (a : Runstats.point_stats) b -> compare b.weight a.weight)
-      r.point_stats
+      points
   in
   let acc = ref 0.0 in
   List.filter
@@ -302,6 +356,8 @@ let reduced_point_stats ~coverage r =
         true
       end)
     sorted
+
+let reduced_point_stats ~coverage r = coverage_filter ~coverage r.point_stats
 
 let reduced ?coverage r =
   let coverage = Option.value ~default:r.options.coverage coverage in
@@ -317,23 +373,8 @@ let warmup_regional r =
 
 let reduced_warm ?coverage r =
   let coverage = Option.value ~default:r.options.coverage coverage in
-  let sorted =
-    List.sort
-      (fun (a : Runstats.point_stats) b -> compare b.weight a.weight)
-      r.warm_point_stats
-  in
-  let acc = ref 0.0 in
-  let keep =
-    List.filter
-      (fun (p : Runstats.point_stats) ->
-        if !acc >= coverage then false
-        else begin
-          acc := !acc +. p.weight;
-          true
-        end)
-      sorted
-  in
-  Runstats.of_points ~label:"Reduced Warmup Regional" keep
+  Runstats.of_points ~label:"Reduced Warmup Regional"
+    (coverage_filter ~coverage r.warm_point_stats)
 
 let paper_insns _r (stats : Runstats.run_stats) =
   Sp_util.Scale.paper_insns_of_sim (int_of_float stats.Runstats.insns)
@@ -359,8 +400,8 @@ let profile_for_sweep ?(options = default_options) ?slice_insns spec =
   in
   let core = Sp_cpu.Interval_core.create ~config:options.core_config prog in
   let whole =
-    Logger.log_whole ~benchmark:spec.Benchspec.name
-      ~extra_tools:
+    log_whole_cached ~options ~slice_insns ~spec
+      ~tools:
         [
           Bbv_tool.hooks bbv;
           Ldstmix.hooks mixt;

@@ -29,6 +29,15 @@ type options = {
           cold regional replays, k-means, variance sweep).  1 (the
           default) runs fully sequentially; any value produces
           bit-for-bit identical results, only wall-clock changes. *)
+  pinball_cache : string option;
+      (** content-addressed whole-pinball cache directory
+          ({!Sp_pinball.Artifact_cache}).  When set, the logging stage
+          first looks for a stored whole pinball keyed by (benchmark,
+          slice length, scale) and replays it under the same profiling
+          tools instead of re-logging — statistics are bit-for-bit
+          identical either way.  Corrupt or stale entries are
+          quarantined with a warning and recomputed, never fatal.
+          [None] (the default) disables caching. *)
 }
 
 val default_options : options

@@ -1,0 +1,208 @@
+(* Content-addressed cache of whole pinballs.
+
+   Logging a whole pinball is the most expensive stage of the pipeline,
+   and the artifact is reusable by construction: it replays bit-for-bit
+   on any machine.  The cache keys a stored whole pinball by a digest of
+   everything that determines the logged execution — benchmark name,
+   slice length, run scale and the format generation — so a later run
+   with the same parameters replays the stored artifact instead of
+   re-logging.
+
+   Robustness contract: a cache can only ever help.  Corrupt, stale or
+   version-mismatched entries are quarantined (renamed aside, with a
+   warning) and recomputed; they are never trusted and never fatal. *)
+
+(* Bump whenever the on-disk format or the meaning of the key inputs
+   changes: old entries then miss instead of poisoning new runs. *)
+let generation = "pbcache-2"
+
+let key ~benchmark ~slice_insns ~slices_scale =
+  Digest.to_hex
+    (Digest.string
+       (Printf.sprintf "%s|%s|%d|%.17g" generation benchmark slice_insns
+          slices_scale))
+
+let whole_file key = key ^ ".whole.pb"
+let whole_path ~dir key = Filename.concat dir (whole_file key)
+
+(* ------------------------------------------------------------------ *)
+(* manifest: a human-readable index mapping each opaque digest back to
+   the parameters that produced it.  Lookups go straight to the
+   content-addressed file; the manifest exists for [pinballs list] and
+   for debugging a cache directory by hand. *)
+
+type entry = {
+  key : string;
+  benchmark : string;
+  slice_insns : int;
+  slices_scale : float;
+  file : string;
+}
+
+let manifest_name = "MANIFEST.tsv"
+let manifest_path ~dir = Filename.concat dir manifest_name
+
+let append_manifest ~dir e =
+  Store.mkdir_p dir;
+  let oc =
+    open_out_gen [ Open_append; Open_creat ] 0o644 (manifest_path ~dir)
+  in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      (* one O_APPEND write per entry: atomic for lines this short, so
+         concurrent pool domains can append safely *)
+      Printf.fprintf oc "%s\t%s\t%d\t%.17g\t%s\n" e.key e.benchmark
+        e.slice_insns e.slices_scale e.file)
+
+let parse_entry line =
+  match String.split_on_char '\t' line with
+  | [ key; benchmark; slice_insns; slices_scale; file ] -> (
+      match
+        (int_of_string_opt slice_insns, float_of_string_opt slices_scale)
+      with
+      | Some slice_insns, Some slices_scale ->
+          Some { key; benchmark; slice_insns; slices_scale; file }
+      | _ -> None)
+  | _ -> None
+
+let read_manifest ~dir =
+  let path = manifest_path ~dir in
+  if not (Sys.file_exists path) then []
+  else
+    let lines =
+      In_channel.with_open_text path In_channel.input_lines
+    in
+    (* later lines win: a re-stored key supersedes its old entry *)
+    let tbl = Hashtbl.create 16 in
+    let order = ref [] in
+    List.iter
+      (fun line ->
+        match parse_entry line with
+        | Some e ->
+            if not (Hashtbl.mem tbl e.key) then order := e.key :: !order;
+            Hashtbl.replace tbl e.key e
+        | None -> ())
+      lines;
+    List.rev_map (Hashtbl.find tbl) !order
+
+let write_manifest ~dir entries =
+  let tmp =
+    Printf.sprintf "%s.tmp.%d.%d" (manifest_path ~dir) (Unix.getpid ())
+      (Domain.self () :> int)
+  in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun e ->
+          Printf.fprintf oc "%s\t%s\t%d\t%.17g\t%s\n" e.key e.benchmark
+            e.slice_insns e.slices_scale e.file)
+        entries);
+  Sys.rename tmp (manifest_path ~dir)
+
+(* ------------------------------------------------------------------ *)
+(* lookup / store *)
+
+type lookup =
+  | Hit of Logger.whole
+  | Miss
+  | Quarantined of { path : string; reason : string }
+
+let quarantine path =
+  let q = path ^ ".quarantined" in
+  (try Sys.rename path q with Sys_error _ -> ());
+  q
+
+let find_whole ~dir ~key =
+  let path = whole_path ~dir key in
+  if not (Sys.file_exists path) then Miss
+  else
+    match Store.load path with
+    | Error e ->
+        ignore (quarantine path);
+        Quarantined { path; reason = Store.error_message e }
+    | Ok pb -> (
+        match (pb.Pinball.kind, pb.Pinball.length) with
+        | Pinball.Whole, Some total_insns ->
+            Hit { Logger.pinball = pb; total_insns }
+        | _ ->
+            (* decodes fine but is not a whole pinball: a stale or
+               hand-edited entry, equally untrustworthy *)
+            ignore (quarantine path);
+            Quarantined { path; reason = "not a whole pinball" })
+
+let store_whole ~dir ~key ~slice_insns ~slices_scale (w : Logger.whole) =
+  let path = Store.save_path ~path:(whole_path ~dir key) w.Logger.pinball in
+  append_manifest ~dir
+    {
+      key;
+      benchmark = w.Logger.pinball.Pinball.benchmark;
+      slice_insns;
+      slices_scale;
+      file = whole_file key;
+    };
+  path
+
+(* ------------------------------------------------------------------ *)
+(* garbage collection *)
+
+type gc_report = {
+  removed_quarantined : int;
+  removed_tmp : int;
+  removed_corrupt : int;
+  kept : int;
+  manifest_pruned : int;
+}
+
+(* "<file>.tmp.<pid>.<domain>" leftovers from an interrupted atomic write *)
+let is_tmp name =
+  let needle = ".tmp." in
+  let n = String.length name and m = String.length needle in
+  let rec go i = i + m <= n && (String.sub name i m = needle || go (i + 1)) in
+  go 0
+
+let gc ~dir =
+  let report =
+    ref
+      {
+        removed_quarantined = 0;
+        removed_tmp = 0;
+        removed_corrupt = 0;
+        kept = 0;
+        manifest_pruned = 0;
+      }
+  in
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun name ->
+        let path = Filename.concat dir name in
+        let remove () = try Sys.remove path with Sys_error _ -> () in
+        if Filename.check_suffix name ".quarantined" then begin
+          remove ();
+          report :=
+            { !report with removed_quarantined = !report.removed_quarantined + 1 }
+        end
+        else if is_tmp name then begin
+          remove ();
+          report := { !report with removed_tmp = !report.removed_tmp + 1 }
+        end
+        else if Filename.check_suffix name ".pb" then
+          match Store.verify path with
+          | Ok () -> report := { !report with kept = !report.kept + 1 }
+          | Error _ ->
+              remove ();
+              report :=
+                { !report with removed_corrupt = !report.removed_corrupt + 1 })
+      (Sys.readdir dir);
+    let entries = read_manifest ~dir in
+    let live, dead =
+      List.partition
+        (fun e -> Sys.file_exists (Filename.concat dir e.file))
+        entries
+    in
+    if dead <> [] then write_manifest ~dir live;
+    report := { !report with manifest_pruned = List.length dead }
+  end;
+  !report

@@ -1,0 +1,70 @@
+(** Content-addressed cache of whole pinballs.
+
+    Logging a Whole Pinball is the pipeline's most expensive stage, and
+    the artifact is reusable by construction (it replays bit-for-bit
+    anywhere).  This cache keys a stored whole pinball by a digest of
+    everything that determines the logged execution — benchmark name,
+    slice length, run scale, format generation — so a later run with
+    identical parameters replays the stored artifact instead of
+    re-logging, with identical results.
+
+    Robustness contract: a cache can only ever help.  Corrupt, stale or
+    non-whole entries are quarantined (renamed to [*.quarantined]) and
+    reported; the caller recomputes.  Nothing here is ever fatal to a
+    run. *)
+
+val key : benchmark:string -> slice_insns:int -> slices_scale:float -> string
+(** Hex digest addressing the whole pinball for these parameters. *)
+
+val whole_path : dir:string -> string -> string
+(** On-disk path of the entry for a key. *)
+
+type lookup =
+  | Hit of Logger.whole
+  | Miss
+  | Quarantined of { path : string; reason : string }
+      (** the entry existed but failed validation; it has been renamed
+          to [path ^ ".quarantined"] and must be recomputed *)
+
+val find_whole : dir:string -> key:string -> lookup
+(** Look up and fully validate (checksums included) a cached whole
+    pinball.  Never raises. *)
+
+val store_whole :
+  dir:string -> key:string -> slice_insns:int -> slices_scale:float ->
+  Logger.whole -> string
+(** Atomically write the whole pinball under its key (creating [dir]
+    if needed) and append a manifest entry; returns the file path. *)
+
+(** {1 Manifest}
+
+    [MANIFEST.tsv] maps each opaque digest back to the parameters that
+    produced it — for [specrepro pinballs list] and for inspecting a
+    cache directory by hand.  Lookups never depend on it. *)
+
+type entry = {
+  key : string;
+  benchmark : string;
+  slice_insns : int;
+  slices_scale : float;
+  file : string;
+}
+
+val read_manifest : dir:string -> entry list
+(** Parsed manifest, deduplicated (a re-stored key supersedes its old
+    line); malformed lines are skipped. *)
+
+(** {1 Garbage collection} *)
+
+type gc_report = {
+  removed_quarantined : int;
+  removed_tmp : int;     (** leftover atomic-write temporaries *)
+  removed_corrupt : int; (** [.pb] files that fail verification *)
+  kept : int;            (** valid [.pb] files retained *)
+  manifest_pruned : int; (** manifest entries whose file was gone *)
+}
+
+val gc : dir:string -> gc_report
+(** Sweep a store/cache directory: drop quarantined files, stale
+    temporaries and corrupt pinballs, and prune dead manifest entries.
+    Valid pinballs are never touched. *)

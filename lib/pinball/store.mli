@@ -1,20 +1,68 @@
-(** On-disk pinball store.
+(** On-disk pinball store — format v2.
 
     Pinballs are self-contained, so serialising one file per pinball
     gives the same portability PinPlay's format provides: a regional
     pinball can be copied to another machine (or another process) and
-    replayed without the benchmark's inputs.  The format is OCaml
-    [Marshal] framed with a magic string and version. *)
+    replayed without the benchmark's inputs.
+
+    The v2 format is self-describing and defensive: a magic string and
+    big-endian version word (framing-compatible with the v1 header, so
+    legacy files fail with a clean version error), followed by four
+    tagged sections — META, PROG, SNAP, SYSC — each carrying a length
+    and a CRC-32 of its payload.  The payloads use explicit
+    little-endian encoders ({!Sp_vm.Program.write},
+    {!Sp_vm.Snapshot.write}); nothing on the read path touches
+    [Marshal], so arbitrary bytes can never crash the runtime: {!load}
+    returns a typed [error] for every malformed input. *)
+
+type error =
+  | No_such_file of string
+  | Short_file of string      (** shorter than the magic+version header *)
+  | Bad_magic of string
+  | Bad_version of { path : string; found : int }
+  | Corrupt of { path : string; reason : string }
+      (** bad framing, checksum mismatch, or an invalid field *)
+
+val error_message : error -> string
+(** One-line human-readable rendering of an [error]. *)
 
 val save : dir:string -> Pinball.t -> string
-(** Write the pinball under [dir] (created if missing); returns the file
-    path.  File names encode benchmark and kind. *)
+(** Write the pinball under [dir] (created recursively if missing);
+    returns the file path.  File names encode benchmark and kind.  The
+    write is atomic: the encoding goes to a per-(process, domain)
+    temporary file which is then renamed over the destination, so
+    concurrent savers never race and readers never observe a partial
+    file. *)
 
-val load : string -> Pinball.t
-(** @raise Failure on a missing file, bad magic or version mismatch. *)
+val save_path : path:string -> Pinball.t -> string
+(** Like {!save} but with an explicit destination path (used by the
+    content-addressed artifact cache). *)
+
+val load : string -> (Pinball.t, error) result
+(** Read and fully validate a pinball file.  Never raises on malformed
+    input — short files, bad magic, old versions, flipped bits and
+    truncations all come back as [Error]. *)
+
+val load_exn : string -> Pinball.t
+(** {!load}, raising [Failure (error_message e)] on error — for
+    callers that have already validated the file. *)
+
+val of_bytes : ?path:string -> string -> (Pinball.t, error) result
+(** Decode from bytes already in memory ([path] only labels errors);
+    {!load} is [of_bytes] over the file's contents.  Exposed so tests
+    can fuzz the decoder without touching the filesystem. *)
+
+val verify : string -> (unit, error) result
+(** Full decode, discarding the result: checks framing, checksums and
+    every field. *)
 
 val list_dir : dir:string -> string list
-(** Paths of all pinball files under [dir], sorted. *)
+(** Paths of all pinball files under [dir], sorted.  Temporary and
+    quarantined files are excluded (they do not end in [.pb]). *)
 
 val filename : Pinball.t -> string
 (** The basename {!save} would use. *)
+
+val mkdir_p : string -> unit
+(** [mkdir -p]: recursive, and tolerant of concurrent creation by
+    another domain or process. *)

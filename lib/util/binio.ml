@@ -1,0 +1,111 @@
+(* Little-endian binary encoding helpers for the pinball on-disk format.
+
+   Writers append to a [Buffer.t].  The reader walks a string slice with
+   every read bounds-checked: malformed input raises [Corrupt], never a
+   raw [End_of_file] / [Invalid_argument] from the depths of the
+   runtime, so decoders have a single exception to convert into a typed
+   error at their boundary. *)
+
+exception Corrupt of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* writers *)
+
+let w_u8 b v = Buffer.add_uint8 b (v land 0xFF)
+let w_u32 b v = Buffer.add_int32_le b (Int32.of_int (v land 0xFFFF_FFFF))
+let w_i64 b v = Buffer.add_int64_le b (Int64.of_int v)
+let w_f64 b v = Buffer.add_int64_le b (Int64.bits_of_float v)
+
+let w_string b s =
+  w_u32 b (String.length s);
+  Buffer.add_string b s
+
+let w_int_array b a =
+  w_u32 b (Array.length a);
+  Array.iter (w_i64 b) a
+
+let w_float_array b a =
+  w_u32 b (Array.length a);
+  Array.iter (w_f64 b) a
+
+(* ------------------------------------------------------------------ *)
+(* reader *)
+
+type reader = { data : string; limit : int; mutable pos : int }
+
+let reader ?(pos = 0) ?len data =
+  let limit =
+    match len with Some l -> pos + l | None -> String.length data
+  in
+  if pos < 0 || limit > String.length data || pos > limit then
+    invalid_arg "Binio.reader: bad slice";
+  { data; limit; pos }
+
+let pos r = r.pos
+let remaining r = r.limit - r.pos
+
+let need r n what =
+  if n < 0 || remaining r < n then
+    fail "truncated: %s needs %d bytes, %d left" what n (remaining r)
+
+let skip r n =
+  need r n "skip";
+  r.pos <- r.pos + n
+
+let r_u8 r =
+  need r 1 "u8";
+  let v = String.get_uint8 r.data r.pos in
+  r.pos <- r.pos + 1;
+  v
+
+let r_u32 r =
+  need r 4 "u32";
+  let v = Int32.to_int (String.get_int32_le r.data r.pos) land 0xFFFF_FFFF in
+  r.pos <- r.pos + 4;
+  v
+
+let r_i64 r =
+  need r 8 "i64";
+  let v = Int64.to_int (String.get_int64_le r.data r.pos) in
+  r.pos <- r.pos + 8;
+  v
+
+let r_f64 r =
+  need r 8 "f64";
+  let v = Int64.float_of_bits (String.get_int64_le r.data r.pos) in
+  r.pos <- r.pos + 8;
+  v
+
+let r_bytes r n =
+  need r n "bytes";
+  let s = String.sub r.data r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let r_string r =
+  let n = r_u32 r in
+  need r n "string body";
+  r_bytes r n
+
+(* Counts are validated against the bytes actually present before any
+   array is allocated, so a corrupt length field cannot trigger a
+   multi-gigabyte [Array.make]. *)
+let r_count r ~elem_bytes what =
+  let n = r_u32 r in
+  if n * elem_bytes > remaining r then
+    fail "truncated: %s claims %d elements, only %d bytes left" what n
+      (remaining r);
+  n
+
+let r_int_array r =
+  let n = r_count r ~elem_bytes:8 "int array" in
+  Array.init n (fun _ -> r_i64 r)
+
+let r_float_array r =
+  let n = r_count r ~elem_bytes:8 "float array" in
+  Array.init n (fun _ -> r_f64 r)
+
+let expect_end r what =
+  if remaining r <> 0 then fail "%s: %d trailing bytes" what (remaining r)

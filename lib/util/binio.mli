@@ -1,0 +1,56 @@
+(** Little-endian binary encoding for the pinball on-disk format.
+
+    Writers append to a [Buffer.t]; the reader walks a string slice.
+    Every read is bounds-checked and malformed input raises {!Corrupt}
+    (never [End_of_file] or an out-of-bounds access), so a decoder has
+    exactly one exception to convert into a typed error at its
+    boundary.  Integers are fixed-width little-endian; [i64] carries an
+    OCaml [int] in a 64-bit two's-complement slot. *)
+
+exception Corrupt of string
+
+val fail : ('a, unit, string, 'b) format4 -> 'a
+(** [fail fmt ...] raises {!Corrupt} with a formatted message; for
+    decoders layered on top of this module (codecs, section framing). *)
+
+(** {1 Writers} *)
+
+val w_u8 : Buffer.t -> int -> unit
+val w_u32 : Buffer.t -> int -> unit
+val w_i64 : Buffer.t -> int -> unit
+val w_f64 : Buffer.t -> float -> unit
+
+val w_string : Buffer.t -> string -> unit
+(** u32 length prefix + bytes. *)
+
+val w_int_array : Buffer.t -> int array -> unit
+val w_float_array : Buffer.t -> float array -> unit
+
+(** {1 Reader} *)
+
+type reader
+
+val reader : ?pos:int -> ?len:int -> string -> reader
+(** A reader over [data.[pos .. pos+len)] (default: to the end).
+    @raise Invalid_argument if the slice is out of range. *)
+
+val pos : reader -> int
+val remaining : reader -> int
+
+val skip : reader -> int -> unit
+val r_u8 : reader -> int
+val r_u32 : reader -> int
+val r_i64 : reader -> int
+val r_f64 : reader -> float
+val r_bytes : reader -> int -> string
+val r_string : reader -> string
+val r_int_array : reader -> int array
+val r_float_array : reader -> float array
+
+val r_count : reader -> elem_bytes:int -> string -> int
+(** Read a u32 element count and reject it unless at least
+    [count * elem_bytes] bytes remain — a corrupt length field can
+    never trigger a huge allocation. *)
+
+val expect_end : reader -> string -> unit
+(** @raise Corrupt if any bytes remain. *)

@@ -1,0 +1,17 @@
+(** CRC-32 checksums (IEEE 802.3 / zlib polynomial).
+
+    Used by the pinball store to checksum each on-disk section, so a
+    truncated or bit-flipped file is detected before any decoding is
+    attempted.  CRC-32 detects all single-bit errors and all burst
+    errors up to 32 bits. *)
+
+val string : string -> int
+(** Checksum of a whole string, in [0, 2^32). *)
+
+val sub : string -> pos:int -> len:int -> int
+(** Checksum of a substring.  @raise Invalid_argument on bad bounds. *)
+
+val update : int -> string -> int -> int -> int
+(** [update crc s pos len] extends a running checksum (zlib-style:
+    [update 0 s 0 n = string s], and checksums compose by chaining the
+    returned value). *)

@@ -139,6 +139,55 @@ let copy t =
     float_pages = restore (dup t.float_pages);
   }
 
+(* ------------------------------------------------------------------ *)
+(* Serialisation (pinball format v2).  Pages are written sorted by
+   index so the encoding of a given memory image is deterministic. *)
+
+let max_page_index = (addr_mask lsr 3) lsr page_words_log2
+
+let sorted_pages tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
+
+let write buf t =
+  let open Sp_util in
+  Binio.w_u32 buf page_words;
+  Binio.w_u32 buf (Hashtbl.length t.int_pages);
+  List.iter
+    (fun (idx, page) ->
+      Binio.w_i64 buf idx;
+      Array.iter (Binio.w_i64 buf) page)
+    (sorted_pages t.int_pages);
+  Binio.w_u32 buf (Hashtbl.length t.float_pages);
+  List.iter
+    (fun (idx, page) ->
+      Binio.w_i64 buf idx;
+      Array.iter (Binio.w_f64 buf) page)
+    (sorted_pages t.float_pages)
+
+let read r =
+  let open Sp_util in
+  let pw = Binio.r_u32 r in
+  if pw <> page_words then
+    Binio.fail "Memory: page size %d, expected %d" pw page_words;
+  let t = create () in
+  let read_pages tbl read_word =
+    let n = Binio.r_u32 r in
+    for _ = 1 to n do
+      let idx = Binio.r_i64 r in
+      if idx < 0 || idx > max_page_index then
+        Binio.fail "Memory: page index %d out of range" idx;
+      if Hashtbl.mem tbl idx then
+        Binio.fail "Memory: duplicate page index %d" idx;
+      (* each word read is bounds-checked, so a corrupt page count fails
+         at the first missing byte instead of over-allocating *)
+      Hashtbl.add tbl idx (Array.init page_words (fun _ -> read_word r))
+    done
+  in
+  read_pages t.int_pages Binio.r_i64;
+  read_pages t.float_pages Binio.r_f64;
+  t
+
 let clear t =
   Hashtbl.reset t.int_pages;
   Hashtbl.reset t.float_pages;

@@ -36,3 +36,13 @@ val copy : t -> t
 (** Deep copy; the result shares nothing with the source. *)
 
 val clear : t -> unit
+
+(** {1 Serialisation (pinball format v2)} *)
+
+val write : Buffer.t -> t -> unit
+(** Deterministic encoding of the touched pages (sorted by index). *)
+
+val read : Sp_util.Binio.reader -> t
+(** Decode an image written by {!write}.  Every field is validated
+    (page size, page indices, byte bounds).
+    @raise Sp_util.Binio.Corrupt on malformed input. *)

@@ -55,3 +55,16 @@ val terminator_name : terminator -> string
 
 val pp_listing : Format.formatter -> t -> unit
 (** Disassembly listing with block boundaries, for debugging. *)
+
+(** {1 Serialisation (pinball format v2)} *)
+
+val write : Buffer.t -> t -> unit
+(** Deterministic encoding of the constructor inputs (name,
+    instructions, entry, code base); the block structure is derived, so
+    it is not stored. *)
+
+val read : Sp_util.Binio.reader -> t
+(** Decode a program written by {!write}.  Opcodes, register numbers
+    and static branch targets are all validated (the latter via
+    {!of_instrs}).
+    @raise Sp_util.Binio.Corrupt on malformed input. *)

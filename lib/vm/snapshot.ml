@@ -33,3 +33,38 @@ let restore t : Interp.machine =
 let icount t = t.icount
 let pc t = t.pc
 let mem_bytes t = Memory.footprint_bytes t.mem
+
+(* ------------------------------------------------------------------ *)
+(* Serialisation (pinball format v2) *)
+
+let write buf t =
+  let open Sp_util in
+  Binio.w_int_array buf t.regs;
+  Binio.w_float_array buf t.fregs;
+  Binio.w_i64 buf t.pc;
+  Binio.w_int_array buf t.callstack;
+  Binio.w_i64 buf t.sp;
+  Binio.w_i64 buf t.icount;
+  Memory.write buf t.mem
+
+let read r =
+  let open Sp_util in
+  let regs = Binio.r_int_array r in
+  if Array.length regs <> Sp_isa.Isa.num_regs then
+    Binio.fail "Snapshot: %d integer registers, expected %d"
+      (Array.length regs) Sp_isa.Isa.num_regs;
+  let fregs = Binio.r_float_array r in
+  if Array.length fregs <> Sp_isa.Isa.num_fregs then
+    Binio.fail "Snapshot: %d FP registers, expected %d" (Array.length fregs)
+      Sp_isa.Isa.num_fregs;
+  let pc = Binio.r_i64 r in
+  if pc < 0 then Binio.fail "Snapshot: negative pc %d" pc;
+  let callstack = Binio.r_int_array r in
+  let sp = Binio.r_i64 r in
+  if sp < 0 || sp > Array.length callstack then
+    Binio.fail "Snapshot: sp %d outside the %d-slot call stack" sp
+      (Array.length callstack);
+  let icount = Binio.r_i64 r in
+  if icount < 0 then Binio.fail "Snapshot: negative icount %d" icount;
+  let mem = Memory.read r in
+  { regs; fregs; pc; callstack; sp; mem; icount }

@@ -21,3 +21,13 @@ val pc : t -> int
 
 val mem_bytes : t -> int
 (** Size of the captured memory image. *)
+
+(** {1 Serialisation (pinball format v2)} *)
+
+val write : Buffer.t -> t -> unit
+(** Deterministic encoding of the full architectural state. *)
+
+val read : Sp_util.Binio.reader -> t
+(** Decode a snapshot written by {!write}, validating register-file
+    sizes, the stack pointer and the memory image.
+    @raise Sp_util.Binio.Corrupt on malformed input. *)

@@ -217,6 +217,56 @@ let test_pipeline_deterministic () =
   in
   Alcotest.(check bool) "identical reruns" true (run () = run ())
 
+let test_pinball_cache_reuse () =
+  let dir = Filename.temp_file "spcache" "" in
+  Sys.remove dir;
+  let spec = Sp_workloads.Suite.find "648.exchange2_s" in
+  let options =
+    { tiny_options with collect_variance = false; pinball_cache = Some dir }
+  in
+  let fingerprint r =
+    ( r.Pipeline.whole_insns,
+      r.Pipeline.selection.chosen_k,
+      Array.map (fun (p : Sp_simpoint.Simpoints.point) -> (p.slice_index, p.weight))
+        r.Pipeline.selection.points,
+      (Pipeline.regional r).Runstats.cpi,
+      (Pipeline.warmup_regional r).Runstats.l3_miss )
+  in
+  let baseline =
+    fingerprint
+      (Pipeline.run_benchmark ~options:{ options with pinball_cache = None } spec)
+  in
+  (* a cold cached run logs, stores, and matches the uncached run *)
+  let cold = fingerprint (Pipeline.run_benchmark ~options spec) in
+  Alcotest.(check bool) "cold cached run matches uncached" true (cold = baseline);
+  let key =
+    Sp_pinball.Artifact_cache.key ~benchmark:"648.exchange2_s"
+      ~slice_insns:options.Pipeline.slice_insns
+      ~slices_scale:options.Pipeline.slices_scale
+  in
+  let entry = Sp_pinball.Artifact_cache.whole_path ~dir key in
+  Alcotest.(check bool) "cache entry written" true (Sys.file_exists entry);
+  (* a warm run replays the stored pinball; stats stay bit-identical *)
+  let warm = fingerprint (Pipeline.run_benchmark ~options spec) in
+  Alcotest.(check bool) "cache hit matches uncached" true (warm = baseline);
+  (* corrupt the entry: the next run quarantines it, recomputes and
+     re-stores — never fails *)
+  let data = In_channel.with_open_bin entry In_channel.input_all in
+  let broken = Bytes.of_string data in
+  let mid = String.length data / 2 in
+  Bytes.set broken mid (Char.chr (Char.code (Bytes.get broken mid) lxor 0x01));
+  Out_channel.with_open_bin entry (fun oc -> Out_channel.output_bytes oc broken);
+  let recomputed = fingerprint (Pipeline.run_benchmark ~options spec) in
+  Alcotest.(check bool) "corrupt entry recomputed" true (recomputed = baseline);
+  Alcotest.(check bool) "entry re-stored" true (Sys.file_exists entry);
+  (match Sp_pinball.Store.verify entry with
+  | Ok () -> ()
+  | Error e ->
+      Alcotest.failf "re-stored entry invalid: %s"
+        (Sp_pinball.Store.error_message e));
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Sys.rmdir dir
+
 let suite =
   [
     Alcotest.test_case "pipeline basics" `Quick test_pipeline_basics;
@@ -232,4 +282,5 @@ let suite =
     Alcotest.test_case "table2 + headlines" `Quick test_table2_and_headlines;
     Alcotest.test_case "figure tables render" `Quick test_fig_tables_render;
     Alcotest.test_case "pipeline deterministic" `Quick test_pipeline_deterministic;
+    Alcotest.test_case "pinball cache reuse" `Quick test_pinball_cache_reuse;
   ]

@@ -153,35 +153,291 @@ let test_scan_warmup_clamped () =
   Logger.scan_regions ~warmup whole points (fun _ -> ());
   Alcotest.(check int) "clamped to gap" 100 !warm_count
 
+(* ------------------------------------------------------------------ *)
+(* the on-disk store (format v2) *)
+
+let fresh_dir () =
+  let d = Filename.temp_file "spstore" "" in
+  Sys.remove d;
+  d
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let write_file path data =
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc
+
+let load_ok path =
+  match Store.load path with
+  | Ok pb -> pb
+  | Error e -> Alcotest.failf "load %s: %s" path (Store.error_message e)
+
+let check_pinball_equal what (a : Pinball.t) (b : Pinball.t) =
+  Alcotest.(check string) (what ^ ": benchmark") a.benchmark b.benchmark;
+  Alcotest.(check bool) (what ^ ": kind") true (a.kind = b.kind);
+  Alcotest.(check (option int)) (what ^ ": length") a.length b.length;
+  Alcotest.(check bool) (what ^ ": syscalls") true (a.syscalls = b.syscalls);
+  Alcotest.(check bool) (what ^ ": program instrs") true
+    (a.program.Program.instrs = b.program.Program.instrs);
+  Alcotest.(check int) (what ^ ": entry") a.program.Program.entry
+    b.program.Program.entry;
+  Alcotest.(check int) (what ^ ": start icount") (Pinball.start_icount a)
+    (Pinball.start_icount b);
+  (* replay equality is the property that matters *)
+  let final pb =
+    let r = Replayer.replay pb in
+    (r.Replayer.retired, r.Replayer.machine.Interp.regs.(4))
+  in
+  Alcotest.(check bool) (what ^ ": replays equal") true (final a = final b)
+
 let test_store_roundtrip () =
-  let dir = Filename.temp_file "spstore" "" in
-  Sys.remove dir;
+  let dir = fresh_dir () in
   let prog = sys_program ~iters:30 in
   let whole = Logger.log_whole ~syscall:(noisy_syscall 5) ~benchmark:"bench.x" prog in
   let path = Store.save ~dir whole.Logger.pinball in
   Alcotest.(check bool) "file exists" true (Sys.file_exists path);
-  let loaded = Store.load path in
-  Alcotest.(check string) "benchmark name" "bench.x" loaded.Pinball.benchmark;
-  let a = Replayer.replay whole.Logger.pinball in
-  let b = Replayer.replay loaded in
-  Alcotest.(check int) "replays equal"
-    a.Replayer.machine.Interp.regs.(4)
-    b.Replayer.machine.Interp.regs.(4);
-  Alcotest.(check (list string)) "listed"
-    [ path ]
-    (Store.list_dir ~dir);
-  (* bad magic *)
-  let bad = Filename.concat dir "bad.pb" in
-  let oc = open_out_bin bad in
-  output_string oc "NOT-A-PINBALL-AT-ALL";
-  close_out oc;
-  (try
-     ignore (Store.load bad);
-     Alcotest.fail "expected Failure"
-   with Failure _ -> ());
-  Sys.remove bad;
-  Sys.remove path;
-  Sys.rmdir dir
+  let loaded = load_ok path in
+  check_pinball_equal "whole" whole.Logger.pinball loaded;
+  Alcotest.(check (list string)) "listed" [ path ] (Store.list_dir ~dir);
+  Alcotest.(check bool) "verify ok" true (Store.verify path = Ok ());
+  rm_rf dir
+
+let test_store_region_roundtrip () =
+  let dir = fresh_dir () in
+  let prog = sys_program ~iters:100 in
+  let whole = Logger.log_whole ~syscall:(noisy_syscall 9) ~benchmark:"rr" prog in
+  (* capture past the start so the snapshot carries touched memory pages
+     and a non-zero icount *)
+  let points = [| mk_point 3 0 150 120 0.75 |] in
+  let region = (Logger.capture_regions whole points).(0) in
+  let path = Store.save ~dir region in
+  let loaded = load_ok path in
+  check_pinball_equal "region" region loaded;
+  (match loaded.Pinball.kind with
+  | Pinball.Region { cluster; weight } ->
+      Alcotest.(check int) "cluster" 3 cluster;
+      Alcotest.(check (float 0.0)) "weight" 0.75 weight
+  | Pinball.Whole -> Alcotest.fail "expected a region");
+  rm_rf dir
+
+let test_store_errors () =
+  let dir = fresh_dir () in
+  Store.mkdir_p dir;
+  let file name data =
+    let p = Filename.concat dir name in
+    write_file p data;
+    p
+  in
+  (match Store.load (Filename.concat dir "absent.pb") with
+  | Error (Store.No_such_file _) -> ()
+  | _ -> Alcotest.fail "expected No_such_file");
+  (* shorter than the magic+version header: used to raise End_of_file *)
+  (match Store.load (file "short.pb" "SPRE") with
+  | Error (Store.Short_file _) -> ()
+  | _ -> Alcotest.fail "expected Short_file");
+  (match Store.load (file "junk.pb" "NOT-A-PINBALL-AT-ALL") with
+  | Error (Store.Bad_magic _) -> ()
+  | _ -> Alcotest.fail "expected Bad_magic");
+  (* a legacy v1 file: magic + big-endian version 1 + a Marshal blob.
+     The v2 loader must identify the version cleanly, not crash in
+     Marshal. *)
+  let v1 =
+    let b = Buffer.create 64 in
+    Buffer.add_string b "SPREPRO-PINBALL";
+    Buffer.add_int32_be b 1l;
+    Buffer.add_string b (Marshal.to_string (1, "not a pinball") []);
+    Buffer.contents b
+  in
+  (match Store.load (file "legacy.pb" v1) with
+  | Error (Store.Bad_version { found; _ } as e) ->
+      Alcotest.(check int) "legacy version detected" 1 found;
+      Alcotest.(check bool) "message names the version" true
+        (Astring_contains.contains (Store.error_message e) "version 1")
+  | _ -> Alcotest.fail "expected Bad_version");
+  (* valid file with one payload byte corrupted: checksum must catch it *)
+  let prog = sys_program ~iters:10 in
+  let whole = Logger.log_whole ~benchmark:"c" prog in
+  let path = Store.save ~dir whole.Logger.pinball in
+  let data = read_file path in
+  let broken = Bytes.of_string data in
+  let mid = String.length data / 2 in
+  Bytes.set broken mid (Char.chr (Char.code (Bytes.get broken mid) lxor 0x01));
+  write_file path (Bytes.to_string broken);
+  (match Store.load path with
+  | Error (Store.Corrupt _) -> ()
+  | Ok _ -> Alcotest.fail "corrupted file decoded"
+  | Error e -> Alcotest.failf "expected Corrupt, got %s" (Store.error_message e));
+  rm_rf dir
+
+(* Offsets of every framing field: section starts, payload starts,
+   payload ends, checksum fields.  Derived by walking the real file so
+   the fuzzers always hit the exact boundaries. *)
+let section_boundaries data =
+  let header = 15 + 4 in
+  let u32_le s pos = Int32.to_int (String.get_int32_le s pos) land 0xFFFF_FFFF in
+  let acc = ref [ 0; 15; header ] in
+  let pos = ref header in
+  for _ = 1 to 4 do
+    let len = u32_le data (!pos + 4) in
+    acc := !pos :: (!pos + 4) :: (!pos + 8) :: (!pos + 8 + len)
+           :: (!pos + 8 + len + 4) :: !acc;
+    pos := !pos + 8 + len + 4
+  done;
+  List.sort_uniq compare (List.filter (fun o -> o <= String.length data) !acc)
+
+let expect_error what data =
+  match Store.of_bytes data with
+  | Ok _ -> Alcotest.failf "%s: decoded successfully" what
+  | Error _ -> ()
+  | exception e ->
+      Alcotest.failf "%s: raised %s" what (Printexc.to_string e)
+
+let test_store_fuzz_whole () =
+  (* the whole pinball of a small program is a few hundred bytes, so
+     fuzz it exhaustively: every truncation length and every single-bit
+     flip must come back as a typed error — never an exception *)
+  let prog = sys_program ~iters:20 in
+  let whole = Logger.log_whole ~syscall:(noisy_syscall 5) ~benchmark:"fz" prog in
+  let dir = fresh_dir () in
+  let path = Store.save ~dir whole.Logger.pinball in
+  let data = read_file path in
+  rm_rf dir;
+  Alcotest.(check bool) "baseline decodes" true
+    (Result.is_ok (Store.of_bytes data));
+  let n = String.length data in
+  for len = 0 to n - 1 do
+    expect_error
+      (Printf.sprintf "truncation to %d" len)
+      (String.sub data 0 len)
+  done;
+  for i = 0 to n - 1 do
+    for bit = 0 to 7 do
+      let b = Bytes.of_string data in
+      Bytes.set b i (Char.chr (Char.code data.[i] lxor (1 lsl bit)));
+      expect_error (Printf.sprintf "bit %d of byte %d" bit i) (Bytes.to_string b)
+    done
+  done
+
+let test_store_fuzz_region () =
+  (* a regional pinball carries memory pages, so the file is tens of kB;
+     fuzz every section boundary exactly, plus a stride over the body *)
+  let prog = sys_program ~iters:100 in
+  let whole = Logger.log_whole ~syscall:(noisy_syscall 13) ~benchmark:"fz" prog in
+  let region =
+    (Logger.capture_regions whole [| mk_point 0 0 150 100 1.0 |]).(0)
+  in
+  let dir = fresh_dir () in
+  let path = Store.save ~dir region in
+  let data = read_file path in
+  rm_rf dir;
+  let n = String.length data in
+  Alcotest.(check bool) "region file has memory pages" true (n > 10_000);
+  let boundaries = section_boundaries data in
+  let truncs =
+    List.concat_map (fun o -> [ o - 1; o; o + 1 ]) boundaries
+    |> List.filter (fun l -> l >= 0 && l < n)
+  in
+  let strided = List.init (n / 97) (fun i -> i * 97) in
+  List.iter
+    (fun len ->
+      expect_error
+        (Printf.sprintf "truncation to %d" len)
+        (String.sub data 0 len))
+    (List.sort_uniq compare (truncs @ strided));
+  List.iter
+    (fun i ->
+      let b = Bytes.of_string data in
+      Bytes.set b i (Char.chr (Char.code data.[i] lxor (1 lsl (i mod 8))));
+      expect_error (Printf.sprintf "flip in byte %d" i) (Bytes.to_string b))
+    (List.filter (fun i -> i < n)
+       (boundaries @ strided))
+
+let test_store_concurrent_save () =
+  (* 4 pool domains saving into the same fresh (nested) directory: the
+     old Sys.file_exists/Sys.mkdir pair could throw EEXIST here *)
+  let dir = Filename.concat (fresh_dir ()) "nested/deeper" in
+  let prog = sys_program ~iters:100 in
+  let whole = Logger.log_whole ~syscall:(noisy_syscall 1) ~benchmark:"cc" prog in
+  let points = Array.init 8 (fun i -> mk_point i 0 (30 * i) 20 0.125) in
+  let regions = Logger.capture_regions whole points in
+  let paths =
+    Sp_util.Pool.parallel_map ~jobs:4 (fun pb -> Store.save ~dir pb) regions
+  in
+  Alcotest.(check int) "all files listed" 8
+    (List.length (Store.list_dir ~dir));
+  Array.iteri
+    (fun i path ->
+      let loaded = load_ok path in
+      check_pinball_equal (Printf.sprintf "concurrent %d" i) regions.(i) loaded)
+    paths;
+  rm_rf (Filename.dirname (Filename.dirname dir))
+
+let test_artifact_cache () =
+  let dir = fresh_dir () in
+  let key =
+    Artifact_cache.key ~benchmark:"b.x" ~slice_insns:1000 ~slices_scale:0.5
+  in
+  (* the key is a stable function of its inputs *)
+  Alcotest.(check string) "key deterministic" key
+    (Artifact_cache.key ~benchmark:"b.x" ~slice_insns:1000 ~slices_scale:0.5);
+  Alcotest.(check bool) "key separates params" true
+    (key
+    <> Artifact_cache.key ~benchmark:"b.x" ~slice_insns:1001 ~slices_scale:0.5);
+  Alcotest.(check bool) "miss on empty dir" true
+    (Artifact_cache.find_whole ~dir ~key = Artifact_cache.Miss);
+  let prog = sys_program ~iters:40 in
+  let whole = Logger.log_whole ~syscall:(noisy_syscall 21) ~benchmark:"b.x" prog in
+  let path =
+    Artifact_cache.store_whole ~dir ~key ~slice_insns:1000 ~slices_scale:0.5
+      whole
+  in
+  (match Artifact_cache.find_whole ~dir ~key with
+  | Artifact_cache.Hit cached ->
+      Alcotest.(check int) "total insns" whole.Logger.total_insns
+        cached.Logger.total_insns;
+      check_pinball_equal "cached" whole.Logger.pinball cached.Logger.pinball
+  | _ -> Alcotest.fail "expected Hit");
+  (match Artifact_cache.read_manifest ~dir with
+  | [ e ] ->
+      Alcotest.(check string) "manifest key" key e.Artifact_cache.key;
+      Alcotest.(check string) "manifest bench" "b.x" e.Artifact_cache.benchmark
+  | l -> Alcotest.failf "manifest has %d entries" (List.length l));
+  (* corrupt the entry: the next lookup quarantines it, then misses *)
+  let data = read_file path in
+  let broken = Bytes.of_string data in
+  Bytes.set broken (String.length data - 10) '\xff';
+  write_file path (Bytes.to_string broken);
+  (match Artifact_cache.find_whole ~dir ~key with
+  | Artifact_cache.Quarantined { path = qp; _ } ->
+      Alcotest.(check bool) "entry moved aside" true
+        (Sys.file_exists (qp ^ ".quarantined"));
+      Alcotest.(check bool) "original gone" true (not (Sys.file_exists qp))
+  | _ -> Alcotest.fail "expected Quarantined");
+  Alcotest.(check bool) "miss after quarantine" true
+    (Artifact_cache.find_whole ~dir ~key = Artifact_cache.Miss);
+  (* re-store over the quarantine, then gc sweeps the residue *)
+  ignore
+    (Artifact_cache.store_whole ~dir ~key ~slice_insns:1000 ~slices_scale:0.5
+       whole);
+  write_file (Filename.concat dir "x.pb.tmp.1.2") "partial";
+  let r = Artifact_cache.gc ~dir in
+  Alcotest.(check int) "kept" 1 r.Artifact_cache.kept;
+  Alcotest.(check int) "quarantined removed" 1 r.Artifact_cache.removed_quarantined;
+  Alcotest.(check int) "tmp removed" 1 r.Artifact_cache.removed_tmp;
+  Alcotest.(check int) "no corrupt left" 0 r.Artifact_cache.removed_corrupt;
+  (match Artifact_cache.find_whole ~dir ~key with
+  | Artifact_cache.Hit _ -> ()
+  | _ -> Alcotest.fail "expected Hit after gc");
+  rm_rf dir
 
 let test_describe () =
   let prog = sys_program ~iters:5 in
@@ -201,5 +457,11 @@ let suite =
     Alcotest.test_case "scan warmup hooks" `Quick test_scan_warmup_hooks;
     Alcotest.test_case "scan warmup clamped" `Quick test_scan_warmup_clamped;
     Alcotest.test_case "store roundtrip" `Quick test_store_roundtrip;
+    Alcotest.test_case "store region roundtrip" `Quick test_store_region_roundtrip;
+    Alcotest.test_case "store typed errors" `Quick test_store_errors;
+    Alcotest.test_case "store fuzz whole (exhaustive)" `Quick test_store_fuzz_whole;
+    Alcotest.test_case "store fuzz region (boundaries)" `Quick test_store_fuzz_region;
+    Alcotest.test_case "store concurrent save" `Quick test_store_concurrent_save;
+    Alcotest.test_case "artifact cache" `Quick test_artifact_cache;
     Alcotest.test_case "describe" `Quick test_describe;
   ]

@@ -185,6 +185,76 @@ let test_fmt () =
   Alcotest.(check string) "pct" "12.35%" (Table.fmt_pct 12.345);
   Alcotest.(check string) "x" "2.0x" (Table.fmt_x 2.0)
 
+(* ------------------------------------------------------------------ *)
+(* Crc32 / Binio (pinball format v2 plumbing) *)
+
+let test_crc32 () =
+  (* the standard check value for the IEEE 802.3 polynomial *)
+  Alcotest.(check int) "check vector" 0xCBF43926 (Crc32.string "123456789");
+  Alcotest.(check int) "empty" 0 (Crc32.string "");
+  let s = "the quick brown fox jumps over the lazy dog" in
+  Alcotest.(check int) "sub = string on full range" (Crc32.string s)
+    (Crc32.sub s ~pos:0 ~len:(String.length s));
+  (* chaining across an arbitrary split point matches the one-shot *)
+  let k = 17 in
+  let chained =
+    Crc32.update (Crc32.update 0 s 0 k) s k (String.length s - k)
+  in
+  Alcotest.(check int) "update chains" (Crc32.string s) chained;
+  (* any single-bit flip changes the checksum *)
+  let b = Bytes.of_string s in
+  Bytes.set b 20 (Char.chr (Char.code s.[20] lxor 0x10));
+  Alcotest.(check bool) "bit flip detected" true
+    (Crc32.string (Bytes.to_string b) <> Crc32.string s)
+
+let test_binio_roundtrip () =
+  let b = Buffer.create 128 in
+  Binio.w_u8 b 0xAB;
+  Binio.w_u32 b 0xDEADBEEF;
+  Binio.w_i64 b (-42);
+  Binio.w_i64 b max_int;
+  Binio.w_f64 b 3.14159;
+  Binio.w_f64 b (-0.0);
+  Binio.w_string b "hello";
+  Binio.w_string b "";
+  Binio.w_int_array b [| 1; -2; 3 |];
+  Binio.w_float_array b [| 0.5; infinity |];
+  let r = Binio.reader (Buffer.contents b) in
+  Alcotest.(check int) "u8" 0xAB (Binio.r_u8 r);
+  Alcotest.(check int) "u32" 0xDEADBEEF (Binio.r_u32 r);
+  Alcotest.(check int) "i64 negative" (-42) (Binio.r_i64 r);
+  Alcotest.(check int) "i64 max" max_int (Binio.r_i64 r);
+  check_float "f64" 3.14159 (Binio.r_f64 r);
+  Alcotest.(check bool) "negative zero preserved" true
+    (1.0 /. Binio.r_f64 r = neg_infinity);
+  Alcotest.(check string) "string" "hello" (Binio.r_string r);
+  Alcotest.(check string) "empty string" "" (Binio.r_string r);
+  Alcotest.(check (array int)) "int array" [| 1; -2; 3 |] (Binio.r_int_array r);
+  Alcotest.(check bool) "float array" true
+    (Binio.r_float_array r = [| 0.5; infinity |]);
+  Binio.expect_end r "test";
+  Alcotest.(check int) "nothing left" 0 (Binio.remaining r)
+
+let test_binio_bounds () =
+  let expect_corrupt what f =
+    match f () with
+    | _ -> Alcotest.failf "%s: expected Corrupt" what
+    | exception Binio.Corrupt _ -> ()
+  in
+  let r () = Binio.reader "\x02\x00\x00\x00ab" in
+  (* a count field is rejected before any allocation when fewer than
+     count * elem_bytes bytes remain *)
+  expect_corrupt "oversized count" (fun () ->
+      Binio.r_count (r ()) ~elem_bytes:8 "elems");
+  Alcotest.(check int) "plausible count accepted" 2
+    (Binio.r_count (r ()) ~elem_bytes:1 "elems");
+  expect_corrupt "read past end" (fun () -> Binio.r_i64 (r ()));
+  expect_corrupt "skip past end" (fun () -> Binio.skip (r ()) 7);
+  expect_corrupt "trailing bytes" (fun () ->
+      let r = r () in
+      Binio.skip r 2;
+      Binio.expect_end r "test")
+
 let suite =
   [
     Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
@@ -210,4 +280,7 @@ let suite =
     Alcotest.test_case "table render" `Quick test_table_render;
     Alcotest.test_case "table arity" `Quick test_table_wrong_arity;
     Alcotest.test_case "formatting" `Quick test_fmt;
+    Alcotest.test_case "crc32" `Quick test_crc32;
+    Alcotest.test_case "binio roundtrip" `Quick test_binio_roundtrip;
+    Alcotest.test_case "binio bounds" `Quick test_binio_bounds;
   ]

@@ -46,7 +46,8 @@ let all_experiments =
 
 let usage () =
   Printf.printf
-    "usage: main.exe [--fast] [--quiet] [--csv DIR] [--jobs N] [experiment...]\n";
+    "usage: main.exe [--fast] [--quiet] [--csv DIR] [--jobs N] \
+     [--trace-out FILE] [experiment...]\n";
   Printf.printf "experiments: %s\n" (String.concat " " all_experiments);
   Printf.printf
     "--jobs N: worker domains for the parallel stages (suite fan-out, cold\n\
@@ -214,6 +215,12 @@ let () =
     | [] -> None
   in
   let csv_dir = csv_dir args in
+  let rec trace_out = function
+    | "--trace-out" :: file :: _ -> Some file
+    | _ :: rest -> trace_out rest
+    | [] -> None
+  in
+  let trace_out = trace_out args in
   let jobs =
     let rec from_args = function
       | "--jobs" :: n :: _ -> int_of_string_opt n
@@ -230,7 +237,9 @@ let () =
   in
   let wanted =
     let rec strip = function
-      | "--csv" :: _ :: rest | "--jobs" :: _ :: rest -> strip rest
+      | "--csv" :: _ :: rest | "--jobs" :: _ :: rest
+      | "--trace-out" :: _ :: rest ->
+          strip rest
       | a :: rest when String.length a > 1 && a.[0] = '-' -> strip rest
       | a :: rest -> a :: strip rest
       | [] -> []
@@ -273,9 +282,11 @@ let () =
             close_out oc)
       tables
   in
+  if trace_out <> None then Sp_obs.Tracer.enable ();
   List.iter
     (fun name ->
       print_newline ();
+      Sp_obs.Tracer.with_span ~cat:"experiment" name @@ fun () ->
       (match name with
       | "table1" -> emit name [ Experiments.table1 () ]
       | "table2" -> emit name [ Experiments.table2 (Lazy.force suite_results) ]
@@ -334,6 +345,13 @@ let () =
       | "micro" -> micro ()
       | _ -> assert false))
     wanted;
+  (match trace_out with
+  | None -> ()
+  | Some file ->
+      Sp_obs.Tracer.write file;
+      if not quiet then
+        Printf.eprintf "[bench] wrote %d spans to %s\n%!"
+          (Sp_obs.Tracer.span_count ()) file);
   if not quiet then
     Printf.eprintf "\n[bench] total wall time %.1fs\n%!"
       (Unix.gettimeofday () -. t0)

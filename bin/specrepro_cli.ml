@@ -7,17 +7,29 @@
      replay      replay stored pinballs under pintools
      run         the full pipeline for one benchmark
      suite       the full pipeline for the whole suite (Table II + headlines)
-     experiment  regenerate one of the paper's tables/figures *)
+     experiment  regenerate one of the paper's tables/figures
+     report      aggregate a --trace-out file into per-stage totals
+
+   Pipeline-driving subcommands share one options surface (the [common]
+   term group below): --scale, --quiet, --jobs, --pinball-cache,
+   --slice-insns and --trace-out mean the same thing everywhere they
+   appear.  Reporting subcommands all take --json and emit one schema
+   ("specrepro/v1"). *)
 
 open Cmdliner
 open Specrepro
 
 (* ------------------------------------------------------------------ *)
-(* shared arguments *)
+(* the shared options surface *)
 
-let bench_arg =
-  let doc = "Benchmark name (e.g. 505.mcf_r or mcf_r)." in
-  Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK" ~doc)
+type common = {
+  scale : float;
+  quiet : bool;
+  jobs : int;
+  pinball_cache : string option;
+  slice_insns : int option;
+  trace_out : string option;
+}
 
 let scale_arg =
   let doc =
@@ -40,8 +52,6 @@ let jobs_arg =
   let env = Cmd.Env.info "SPECREPRO_JOBS" ~doc:"Default for $(b,--jobs)." in
   Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc ~env)
 
-let resolve_jobs jobs = if jobs <= 0 then Sp_util.Pool.default_jobs () else jobs
-
 let cache_arg =
   let doc =
     "Content-addressed pinball cache directory.  The whole pinball logged \
@@ -59,14 +69,62 @@ let cache_arg =
     & opt (some string) None
     & info [ "pinball-cache" ] ~docv:"DIR" ~doc ~env)
 
-let options ?pinball_cache ~scale ~quiet ~jobs () =
-  {
-    Pipeline.default_options with
-    slices_scale = scale;
-    progress = not quiet;
-    jobs = resolve_jobs jobs;
-    pinball_cache;
-  }
+let slice_insns_arg =
+  let doc =
+    "Override the profiling slice length in simulated instructions \
+     (default: the calibrated 30 paper-Minsn equivalent)."
+  in
+  Arg.(
+    value & opt (some int) None & info [ "slice-insns" ] ~docv:"N" ~doc)
+
+let trace_out_arg =
+  let doc =
+    "Record a span trace of the run and write it to $(docv) as Chrome \
+     trace-event JSON (open in chrome://tracing or Perfetto, or summarise \
+     with $(b,specrepro report))."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let common_term =
+  let make scale quiet jobs pinball_cache slice_insns trace_out =
+    { scale; quiet; jobs; pinball_cache; slice_insns; trace_out }
+  in
+  Term.(
+    const make $ scale_arg $ quiet_arg $ jobs_arg $ cache_arg
+    $ slice_insns_arg $ trace_out_arg)
+
+let resolve_jobs jobs = if jobs <= 0 then Sp_util.Pool.default_jobs () else jobs
+
+let options_of c =
+  let base = Pipeline.default_options in
+  Pipeline.normalize
+    {
+      base with
+      Pipeline.slices_scale = c.scale;
+      slice_insns =
+        Option.value ~default:base.Pipeline.slice_insns c.slice_insns;
+      progress = not c.quiet;
+      jobs = resolve_jobs c.jobs;
+      pinball_cache = c.pinball_cache;
+    }
+
+(* Run [f] with span tracing enabled when --trace-out was given; the
+   trace file is written even when [f] raises.  Argument validation
+   (and its [exit 1]s) must happen before entering — [Stdlib.exit]
+   does not unwind the stack, so it would skip the trace write. *)
+let with_trace c f =
+  match c.trace_out with
+  | None -> f ()
+  | Some path ->
+      Sp_obs.Tracer.enable ();
+      Fun.protect
+        ~finally:(fun () ->
+          Sp_obs.Tracer.write path;
+          if not c.quiet then
+            Sp_obs.Log.printf "wrote %d spans to %s\n"
+              (Sp_obs.Tracer.span_count ()) path)
+        f
 
 let find_bench name =
   match Sp_workloads.Suite.find name with
@@ -75,70 +133,192 @@ let find_bench name =
       Error
         (Printf.sprintf "unknown benchmark %S; try `specrepro list'" name)
 
+let bench_arg =
+  let doc = "Benchmark name (e.g. 505.mcf_r or mcf_r)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK" ~doc)
+
+(* ------------------------------------------------------------------ *)
+(* the --json reporting surface: one flag, one schema *)
+
+let json_arg =
+  let doc =
+    "Emit machine-readable JSON (schema $(b,specrepro/v1)) on stdout \
+     instead of the text report."
+  in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let emit_json ~command fields =
+  print_endline
+    (Sp_obs.Json.to_string
+       (Sp_obs.Json.Obj
+          (("schema", Sp_obs.Json.Str "specrepro/v1")
+          :: ("command", Sp_obs.Json.Str command)
+          :: fields)))
+
+let num x = Sp_obs.Json.Num x
+let str s = Sp_obs.Json.Str s
+let numi i = Sp_obs.Json.Num (float_of_int i)
+
+let mix_json (m : Sp_pin.Mix.t) =
+  Sp_obs.Json.Obj
+    [
+      ("no_mem", num m.Sp_pin.Mix.no_mem);
+      ("mem_r", num m.Sp_pin.Mix.mem_r);
+      ("mem_w", num m.Sp_pin.Mix.mem_w);
+      ("mem_rw", num m.Sp_pin.Mix.mem_rw);
+    ]
+
+let run_stats_json (s : Runstats.run_stats) =
+  Sp_obs.Json.Obj
+    [
+      ("label", str s.Runstats.label);
+      ("insns", num s.Runstats.insns);
+      ("mix", mix_json s.Runstats.mix);
+      ("l1i_miss", num s.Runstats.l1i_miss);
+      ("l1d_miss", num s.Runstats.l1d_miss);
+      ("l2_miss", num s.Runstats.l2_miss);
+      ("l3_miss", num s.Runstats.l3_miss);
+      ("cpi", num s.Runstats.cpi);
+    ]
+
+let bench_result_json (r : Pipeline.bench_result) =
+  Sp_obs.Json.Obj
+    [
+      ("benchmark", str r.Pipeline.spec.Sp_workloads.Benchspec.name);
+      ("whole_insns", numi r.Pipeline.whole_insns);
+      ("points", numi (Array.length r.Pipeline.selection.Pipeline.points));
+      ("reduced_points", numi (Pipeline.reduced_count r));
+      ("whole", run_stats_json r.Pipeline.whole);
+      ("regional", run_stats_json (Pipeline.regional r));
+      ("reduced", run_stats_json (Pipeline.reduced r));
+      ("warmup_regional", run_stats_json (Pipeline.warmup_regional r));
+      ("native_cpi", num (Sp_perf.Perf_counters.cpi r.Pipeline.native));
+      ("wall_seconds", num r.Pipeline.wall_seconds);
+      ("report", Pipeline.run_report_to_json r.Pipeline.report);
+    ]
+
+let table_json t =
+  Sp_obs.Json.Obj
+    [
+      ( "title",
+        match Sp_util.Table.title t with
+        | Some s -> str s
+        | None -> Sp_obs.Json.Null );
+      ( "columns",
+        Sp_obs.Json.List (List.map str (Sp_util.Table.headers t)) );
+      ( "rows",
+        Sp_obs.Json.List
+          (List.map
+             (fun row -> Sp_obs.Json.List (List.map str row))
+             (Sp_util.Table.rows t)) );
+    ]
+
+let metrics_json () = Sp_obs.Metrics.to_json (Sp_obs.Metrics.snapshot ())
+
 (* ------------------------------------------------------------------ *)
 (* list *)
 
 let list_cmd =
-  let run () =
-    let t =
-      Sp_util.Table.create ~title:"Synthetic SPEC CPU2017 suite"
+  let run json =
+    if json then
+      emit_json ~command:"list"
         [
-          ("Benchmark", Sp_util.Table.Left);
-          ("Class", Sp_util.Table.Left);
-          ("Sim points (paper)", Sp_util.Table.Right);
-          ("90th-pct (paper)", Sp_util.Table.Right);
-          ("Kernels", Sp_util.Table.Left);
-        ]
-    in
-    List.iter
-      (fun (s : Sp_workloads.Benchspec.t) ->
-        Sp_util.Table.add_row t
-          [
-            s.Sp_workloads.Benchspec.name;
-            Sp_workloads.Benchspec.suite_class_name
-              s.Sp_workloads.Benchspec.suite_class;
-            string_of_int s.Sp_workloads.Benchspec.planted_phases;
-            string_of_int s.Sp_workloads.Benchspec.planted_n90;
-            String.concat ","
+          ( "benchmarks",
+            Sp_obs.Json.List
               (List.map
-                 (fun (k : Sp_workloads.Kernel.t) -> k.Sp_workloads.Kernel.name)
-                 s.Sp_workloads.Benchspec.palette);
-          ])
-      Sp_workloads.Suite.all;
-    Sp_util.Table.print t
+                 (fun (s : Sp_workloads.Benchspec.t) ->
+                   Sp_obs.Json.Obj
+                     [
+                       ("name", str s.Sp_workloads.Benchspec.name);
+                       ( "class",
+                         str
+                           (Sp_workloads.Benchspec.suite_class_name
+                              s.Sp_workloads.Benchspec.suite_class) );
+                       ( "paper_points",
+                         numi s.Sp_workloads.Benchspec.planted_phases );
+                       ("paper_n90", numi s.Sp_workloads.Benchspec.planted_n90);
+                       ( "kernels",
+                         Sp_obs.Json.List
+                           (List.map
+                              (fun (k : Sp_workloads.Kernel.t) ->
+                                str k.Sp_workloads.Kernel.name)
+                              s.Sp_workloads.Benchspec.palette) );
+                     ])
+                 Sp_workloads.Suite.all);
+          );
+        ]
+    else begin
+      let t =
+        Sp_util.Table.create ~title:"Synthetic SPEC CPU2017 suite"
+          [
+            ("Benchmark", Sp_util.Table.Left);
+            ("Class", Sp_util.Table.Left);
+            ("Sim points (paper)", Sp_util.Table.Right);
+            ("90th-pct (paper)", Sp_util.Table.Right);
+            ("Kernels", Sp_util.Table.Left);
+          ]
+      in
+      List.iter
+        (fun (s : Sp_workloads.Benchspec.t) ->
+          Sp_util.Table.add_row t
+            [
+              s.Sp_workloads.Benchspec.name;
+              Sp_workloads.Benchspec.suite_class_name
+                s.Sp_workloads.Benchspec.suite_class;
+              string_of_int s.Sp_workloads.Benchspec.planted_phases;
+              string_of_int s.Sp_workloads.Benchspec.planted_n90;
+              String.concat ","
+                (List.map
+                   (fun (k : Sp_workloads.Kernel.t) ->
+                     k.Sp_workloads.Kernel.name)
+                   s.Sp_workloads.Benchspec.palette);
+            ])
+        Sp_workloads.Suite.all;
+      Sp_util.Table.print t
+    end
   in
   Cmd.v
     (Cmd.info "list" ~doc:"List the synthetic SPEC CPU2017 benchmarks.")
-    Term.(const run $ const ())
+    Term.(const run $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* profile *)
 
 let profile_cmd =
-  let run bench scale quiet jobs cache =
+  let run bench common json =
     match find_bench bench with
     | Error e -> prerr_endline e; exit 1
     | Ok spec ->
-        let options = options ?pinball_cache:cache ~scale ~quiet ~jobs () in
+        with_trace common @@ fun () ->
+        let options = options_of common in
         let profile = Pipeline.profile_for_sweep ~options spec in
         let w = profile.Pipeline.sweep_whole_stats in
-        Printf.printf "%s: %.0f instructions, %d slices\n"
-          spec.Sp_workloads.Benchspec.name w.Runstats.insns
-          (Array.length profile.Pipeline.sweep_slices);
-        Printf.printf "instruction mix: %s\n"
-          (Format.asprintf "%a" Sp_pin.Mix.pp w.Runstats.mix);
-        Printf.printf
-          "cache miss rates (Table I hierarchy, capacity-scaled): L1D %.2f%% \
-           L2 %.2f%% L3 %.2f%%\n"
-          (w.Runstats.l1d_miss *. 100.0)
-          (w.Runstats.l2_miss *. 100.0)
-          (w.Runstats.l3_miss *. 100.0);
-        Printf.printf "timing model CPI: %.3f\n" w.Runstats.cpi
+        if json then
+          emit_json ~command:"profile"
+            [
+              ("benchmark", str spec.Sp_workloads.Benchspec.name);
+              ("slices", numi (Array.length profile.Pipeline.sweep_slices));
+              ("whole", run_stats_json w);
+            ]
+        else begin
+          Printf.printf "%s: %.0f instructions, %d slices\n"
+            spec.Sp_workloads.Benchspec.name w.Runstats.insns
+            (Array.length profile.Pipeline.sweep_slices);
+          Printf.printf "instruction mix: %s\n"
+            (Format.asprintf "%a" Sp_pin.Mix.pp w.Runstats.mix);
+          Printf.printf
+            "cache miss rates (Table I hierarchy, capacity-scaled): L1D \
+             %.2f%% L2 %.2f%% L3 %.2f%%\n"
+            (w.Runstats.l1d_miss *. 100.0)
+            (w.Runstats.l2_miss *. 100.0)
+            (w.Runstats.l3_miss *. 100.0);
+          Printf.printf "timing model CPI: %.3f\n" w.Runstats.cpi
+        end
   in
   Cmd.v
     (Cmd.info "profile"
        ~doc:"Run one benchmark to completion under the profiling pintools.")
-    Term.(const run $ bench_arg $ scale_arg $ quiet_arg $ jobs_arg $ cache_arg)
+    Term.(const run $ bench_arg $ common_term $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* simpoints *)
@@ -152,11 +332,12 @@ let simpoints_cmd =
     let doc = "Maximum number of clusters (the paper uses 35)." in
     Arg.(value & opt int 35 & info [ "max-k" ] ~docv:"K" ~doc)
   in
-  let run bench scale quiet jobs max_k out =
+  let run bench common json max_k out =
     match find_bench bench with
     | Error e -> prerr_endline e; exit 1
     | Ok spec ->
-        let options = options ~scale ~quiet ~jobs () in
+        with_trace common @@ fun () ->
+        let options = options_of common in
         let options =
           {
             options with
@@ -170,31 +351,55 @@ let simpoints_cmd =
             ~slice_len:options.Pipeline.slice_insns
             profile.Pipeline.sweep_slices
         in
-        Printf.printf "%s: %d simulation points over %d slices\n"
-          spec.Sp_workloads.Benchspec.name sel.Sp_simpoint.Simpoints.chosen_k
-          sel.Sp_simpoint.Simpoints.num_slices;
-        Array.iter
-          (fun p ->
-            Printf.printf "  %s\n"
-              (Format.asprintf "%a" Sp_simpoint.Simpoints.pp_point p))
-          sel.Sp_simpoint.Simpoints.points;
-        (match out with
+        if json then
+          emit_json ~command:"simpoints"
+            [
+              ("benchmark", str spec.Sp_workloads.Benchspec.name);
+              ("chosen_k", numi sel.Sp_simpoint.Simpoints.chosen_k);
+              ("num_slices", numi sel.Sp_simpoint.Simpoints.num_slices);
+              ( "points",
+                Sp_obs.Json.List
+                  (Array.to_list sel.Sp_simpoint.Simpoints.points
+                  |> List.map (fun (p : Sp_simpoint.Simpoints.point) ->
+                         Sp_obs.Json.Obj
+                           [
+                             ("cluster", numi p.Sp_simpoint.Simpoints.cluster);
+                             ("weight", num p.Sp_simpoint.Simpoints.weight);
+                             ( "start_icount",
+                               numi p.Sp_simpoint.Simpoints.start_icount );
+                             ("length", numi p.Sp_simpoint.Simpoints.length);
+                           ])) );
+            ]
+        else begin
+          Printf.printf "%s: %d simulation points over %d slices\n"
+            spec.Sp_workloads.Benchspec.name sel.Sp_simpoint.Simpoints.chosen_k
+            sel.Sp_simpoint.Simpoints.num_slices;
+          Array.iter
+            (fun p ->
+              Printf.printf "  %s\n"
+                (Format.asprintf "%a" Sp_simpoint.Simpoints.pp_point p))
+            sel.Sp_simpoint.Simpoints.points
+        end;
+        match out with
         | None -> ()
         | Some dir ->
             let saved = ref 1 in
             ignore
-              (Sp_pinball.Store.save ~dir profile.Pipeline.sweep_whole.Sp_pinball.Logger.pinball);
+              (Sp_pinball.Store.save ~dir
+                 profile.Pipeline.sweep_whole.Sp_pinball.Logger.pinball);
             Sp_pinball.Logger.scan_regions profile.Pipeline.sweep_whole
               sel.Sp_simpoint.Simpoints.points (fun pb ->
                 ignore (Sp_pinball.Store.save ~dir pb);
                 incr saved);
-            Printf.printf "saved %d pinballs under %s\n" !saved dir)
+            if not json then
+              Printf.printf "saved %d pinballs under %s\n" !saved dir
   in
   Cmd.v
     (Cmd.info "simpoints"
        ~doc:"Select simulation points for a benchmark (optionally saving \
              pinballs).")
-    Term.(const run $ bench_arg $ scale_arg $ quiet_arg $ jobs_arg $ max_k_arg $ out_arg)
+    Term.(
+      const run $ bench_arg $ common_term $ json_arg $ max_k_arg $ out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* replay *)
@@ -204,12 +409,12 @@ let replay_cmd =
     let doc = "Pinball files (.pb) to replay." in
     Arg.(non_empty & pos_all file [] & info [] ~docv:"PINBALL" ~doc)
   in
-  let replay_one path =
+  let replay_one ~json path =
     match Sp_pinball.Store.load path with
     | Error e ->
         Printf.eprintf "specrepro replay: %s\n"
           (Sp_pinball.Store.error_message e);
-        false
+        None
     | Ok pb ->
         let prog = pb.Sp_pinball.Pinball.program in
         let mixt = Sp_pin.Ldstmix.create () in
@@ -231,21 +436,39 @@ let replay_cmd =
             pb
         in
         let stats = Sp_pin.Allcache_tool.stats cache in
-        Printf.printf "%s (%s): %d insns  %s  L3 miss %.2f%%  CPI %.3f\n" path
-          (Sp_pinball.Pinball.describe pb)
-          r.Sp_pinball.Replayer.retired
-          (Format.asprintf "%a" Sp_pin.Mix.pp (Sp_pin.Ldstmix.mix mixt))
-          (stats.Sp_cache.Hierarchy.l3.miss_rate *. 100.0)
-          (Sp_cpu.Interval_core.cpi core);
-        true
+        if json then
+          Some
+            (Sp_obs.Json.Obj
+               [
+                 ("file", str path);
+                 ("pinball", str (Sp_pinball.Pinball.describe pb));
+                 ("retired", numi r.Sp_pinball.Replayer.retired);
+                 ("mix", mix_json (Sp_pin.Ldstmix.mix mixt));
+                 ("l3_miss", num stats.Sp_cache.Hierarchy.l3.miss_rate);
+                 ("cpi", num (Sp_cpu.Interval_core.cpi core));
+               ])
+        else begin
+          Printf.printf "%s (%s): %d insns  %s  L3 miss %.2f%%  CPI %.3f\n"
+            path
+            (Sp_pinball.Pinball.describe pb)
+            r.Sp_pinball.Replayer.retired
+            (Format.asprintf "%a" Sp_pin.Mix.pp (Sp_pin.Ldstmix.mix mixt))
+            (stats.Sp_cache.Hierarchy.l3.miss_rate *. 100.0)
+            (Sp_cpu.Interval_core.cpi core);
+          Some Sp_obs.Json.Null
+        end
   in
-  let run files =
-    let ok = List.fold_left (fun ok p -> replay_one p && ok) true files in
+  let run files json =
+    let results = List.map (replay_one ~json) files in
+    let ok = List.for_all Option.is_some results in
+    if json then
+      emit_json ~command:"replay"
+        [ ("replays", Sp_obs.Json.List (List.filter_map Fun.id results)) ];
     if not ok then exit 1
   in
   Cmd.v
     (Cmd.info "replay" ~doc:"Replay stored pinballs under the pintools.")
-    Term.(const run $ files_arg)
+    Term.(const run $ files_arg $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* exec *)
@@ -295,7 +518,8 @@ let exec_cmd =
         Printf.printf "mix: %s\n"
           (Format.asprintf "%a" Sp_pin.Mix.pp (Sp_pin.Ldstmix.mix mixt));
         let s = Sp_pin.Allcache_tool.stats cache in
-        Printf.printf "caches: L1D %.2f%%  L2 %.2f%%  L3 %.2f%% miss;  CPI %.3f\n"
+        Printf.printf
+          "caches: L1D %.2f%%  L2 %.2f%%  L3 %.2f%% miss;  CPI %.3f\n"
           (s.Sp_cache.Hierarchy.l1d.miss_rate *. 100.)
           (s.Sp_cache.Hierarchy.l2.miss_rate *. 100.)
           (s.Sp_cache.Hierarchy.l3.miss_rate *. 100.)
@@ -325,22 +549,23 @@ let disasm_cmd =
     Term.(const run $ bench_arg)
 
 (* ------------------------------------------------------------------ *)
-(* trace *)
+(* trace (instruction event stream, distinct from --trace-out spans) *)
 
 let trace_cmd =
   let out_arg =
     let doc = "Output trace file." in
-    Arg.(required & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+    Arg.(
+      required & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc)
   in
   let limit_arg =
     let doc = "Maximum number of events to record." in
     Arg.(value & opt int 1_000_000 & info [ "limit"; "n" ] ~docv:"N" ~doc)
   in
-  let run bench scale quiet jobs out limit =
+  let run bench common out limit =
     match find_bench bench with
     | Error e -> prerr_endline e; exit 1
     | Ok spec ->
-        let options = options ~scale ~quiet ~jobs () in
+        let options = options_of common in
         let built =
           Sp_workloads.Benchspec.build
             ~slice_insns:options.Pipeline.slice_insns
@@ -364,45 +589,51 @@ let trace_cmd =
   Cmd.v
     (Cmd.info "trace"
        ~doc:"Export a benchmark's instrumented event stream as a text trace.")
-    Term.(const run $ bench_arg $ scale_arg $ quiet_arg $ jobs_arg $ out_arg $ limit_arg)
+    Term.(const run $ bench_arg $ common_term $ out_arg $ limit_arg)
 
 (* ------------------------------------------------------------------ *)
 (* run *)
 
 let run_cmd =
-  let run bench scale quiet jobs cache =
+  let run bench common json =
     match find_bench bench with
     | Error e -> prerr_endline e; exit 1
     | Ok spec ->
-        let options = options ?pinball_cache:cache ~scale ~quiet ~jobs () in
+        with_trace common @@ fun () ->
+        let options = options_of common in
         let r = Pipeline.run_benchmark ~options spec in
-        Printf.printf
-          "%s: %d points (paper %d), %d cover 90%% (paper %d)\n\n"
-          spec.Sp_workloads.Benchspec.name
-          (Array.length r.Pipeline.selection.points)
-          spec.Sp_workloads.Benchspec.planted_phases
-          (Pipeline.reduced_count r) spec.Sp_workloads.Benchspec.planted_n90;
-        let show (s : Runstats.run_stats) =
-          Printf.printf
-            "%-22s %12.0f insns  %s\n%-22s L1D %5.2f%%  L2 %5.2f%%  L3 %6.2f%%  CPI %.3f\n"
-            s.Runstats.label s.Runstats.insns
-            (Format.asprintf "%a" Sp_pin.Mix.pp s.Runstats.mix)
-            ""
-            (s.Runstats.l1d_miss *. 100.0)
-            (s.Runstats.l2_miss *. 100.0)
-            (s.Runstats.l3_miss *. 100.0)
-            s.Runstats.cpi
-        in
-        show r.Pipeline.whole;
-        show (Pipeline.regional r);
-        show (Pipeline.reduced r);
-        show (Pipeline.warmup_regional r);
-        Printf.printf "\nnative (perf) CPI: %.3f\n"
-          (Sp_perf.Perf_counters.cpi r.Pipeline.native)
+        if json then
+          emit_json ~command:"run"
+            [ ("result", bench_result_json r); ("metrics", metrics_json ()) ]
+        else begin
+          Printf.printf "%s: %d points (paper %d), %d cover 90%% (paper %d)\n\n"
+            spec.Sp_workloads.Benchspec.name
+            (Array.length r.Pipeline.selection.points)
+            spec.Sp_workloads.Benchspec.planted_phases
+            (Pipeline.reduced_count r) spec.Sp_workloads.Benchspec.planted_n90;
+          let show (s : Runstats.run_stats) =
+            Printf.printf
+              "%-22s %12.0f insns  %s\n\
+               %-22s L1D %5.2f%%  L2 %5.2f%%  L3 %6.2f%%  CPI %.3f\n"
+              s.Runstats.label s.Runstats.insns
+              (Format.asprintf "%a" Sp_pin.Mix.pp s.Runstats.mix)
+              ""
+              (s.Runstats.l1d_miss *. 100.0)
+              (s.Runstats.l2_miss *. 100.0)
+              (s.Runstats.l3_miss *. 100.0)
+              s.Runstats.cpi
+          in
+          show r.Pipeline.whole;
+          show (Pipeline.regional r);
+          show (Pipeline.reduced r);
+          show (Pipeline.warmup_regional r);
+          Printf.printf "\nnative (perf) CPI: %.3f\n"
+            (Sp_perf.Perf_counters.cpi r.Pipeline.native)
+        end
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run the full pipeline for one benchmark.")
-    Term.(const run $ bench_arg $ scale_arg $ quiet_arg $ jobs_arg $ cache_arg)
+    Term.(const run $ bench_arg $ common_term $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* suite *)
@@ -412,60 +643,110 @@ let suite_cmd =
     let doc = "Also run the 14 extended (non-Table II) workloads." in
     Arg.(value & flag & info [ "extended" ] ~doc)
   in
-  let run scale quiet jobs cache extended =
-    let options = options ?pinball_cache:cache ~scale ~quiet ~jobs () in
+  let only_arg =
+    let doc =
+      "Comma-separated benchmark names: run only these (useful for smoke \
+       tests and CI)."
+    in
+    Arg.(
+      value
+      & opt (some (list ~sep:',' string)) None
+      & info [ "only" ] ~docv:"NAMES" ~doc)
+  in
+  let run common json extended only =
     let specs =
-      if extended then Sp_workloads.Suite.full else Sp_workloads.Suite.all
+      match only with
+      | Some names ->
+          List.map
+            (fun n ->
+              match find_bench n with
+              | Ok s -> s
+              | Error e -> prerr_endline e; exit 1)
+            names
+      | None ->
+          if extended then Sp_workloads.Suite.full else Sp_workloads.Suite.all
     in
+    with_trace common @@ fun () ->
+    let options = options_of common in
     let results = Pipeline.run_suite ~options ~specs () in
-    Sp_util.Table.print (Experiments.table2 results);
-    let t =
-      Sp_util.Table.create ~title:"Headline claims"
+    if json then
+      emit_json ~command:"suite"
         [
-          ("Metric", Sp_util.Table.Left);
-          ("Paper", Sp_util.Table.Right);
-          ("Measured", Sp_util.Table.Right);
+          ( "results",
+            Sp_obs.Json.List (List.map bench_result_json results) );
+          ("table2", table_json (Experiments.table2 results));
+          ("metrics", metrics_json ());
         ]
-    in
-    List.iter
-      (fun (h : Experiments.headline) ->
-        Sp_util.Table.add_row t [ h.metric; h.paper; h.measured ])
-      (Experiments.headlines results);
-    Sp_util.Table.print t
+    else begin
+      Sp_util.Table.print (Experiments.table2 results);
+      let t =
+        Sp_util.Table.create ~title:"Headline claims"
+          [
+            ("Metric", Sp_util.Table.Left);
+            ("Paper", Sp_util.Table.Right);
+            ("Measured", Sp_util.Table.Right);
+          ]
+      in
+      List.iter
+        (fun (h : Experiments.headline) ->
+          Sp_util.Table.add_row t [ h.metric; h.paper; h.measured ])
+        (Experiments.headlines results);
+      Sp_util.Table.print t
+    end
   in
   Cmd.v
     (Cmd.info "suite"
        ~doc:"Run the pipeline over all 29 benchmarks and print Table II plus \
              the headline comparisons.")
-    Term.(const run $ scale_arg $ quiet_arg $ jobs_arg $ cache_arg $ extended_arg)
+    Term.(const run $ common_term $ json_arg $ extended_arg $ only_arg)
 
 (* ------------------------------------------------------------------ *)
 (* experiment *)
 
 let experiment_cmd =
   let name_arg =
-    let doc = "Experiment: table1, table3, fig3a, fig3b, ablation-bic, \
-               ablation-proj, ablation-prefetch, sampling, statcache, models, rate \
-               (suite-wide figures live in bench/main.exe)." in
+    let doc =
+      "Experiment: table1, table3, fig3a, fig3b, ablation-bic, \
+       ablation-proj, ablation-prefetch, sampling, statcache, models, rate \
+       (suite-wide figures live in bench/main.exe)."
+    in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc)
   in
-  let run name scale quiet jobs =
-    let options = options ~scale ~quiet ~jobs () in
-    match name with
-    | "table1" -> Sp_util.Table.print (Experiments.table1 ())
-    | "table3" -> print_endline (Experiments.table3 ())
-    | "fig3a" -> Sp_util.Table.print (Experiments.fig3a ~options ())
-    | "fig3b" -> Sp_util.Table.print (Experiments.fig3b ~options ())
-    | "ablation-bic" -> Sp_util.Table.print (Experiments.ablation_bic ~options ())
-    | "ablation-proj" ->
-        Sp_util.Table.print (Experiments.ablation_projection ~options ())
-    | "ablation-prefetch" ->
-        Sp_util.Table.print (Experiments.ablation_prefetch ~options ())
-    | "sampling" -> Sp_util.Table.print (Experiments.sampling ~options ())
-    | "statcache" -> Sp_util.Table.print (Experiments.statcache ~options ())
-    | "models" -> Sp_util.Table.print (Experiments.models ~options ())
-    | "rate" -> Sp_util.Table.print (Experiments.rate ~options ())
-    | other ->
+  let run name common json =
+    let table =
+      match name with
+      | "table1" -> Some (fun () -> Experiments.table1 ())
+      | "fig3a" -> Some (fun () -> Experiments.fig3a ~options:(options_of common) ())
+      | "fig3b" -> Some (fun () -> Experiments.fig3b ~options:(options_of common) ())
+      | "ablation-bic" ->
+          Some (fun () -> Experiments.ablation_bic ~options:(options_of common) ())
+      | "ablation-proj" ->
+          Some
+            (fun () -> Experiments.ablation_projection ~options:(options_of common) ())
+      | "ablation-prefetch" ->
+          Some
+            (fun () -> Experiments.ablation_prefetch ~options:(options_of common) ())
+      | "sampling" -> Some (fun () -> Experiments.sampling ~options:(options_of common) ())
+      | "statcache" -> Some (fun () -> Experiments.statcache ~options:(options_of common) ())
+      | "models" -> Some (fun () -> Experiments.models ~options:(options_of common) ())
+      | "rate" -> Some (fun () -> Experiments.rate ~options:(options_of common) ())
+      | _ -> None
+    in
+    match (name, table) with
+    | "table3", _ ->
+        with_trace common @@ fun () ->
+        if json then
+          emit_json ~command:"experiment"
+            [ ("name", str name); ("text", str (Experiments.table3 ())) ]
+        else print_endline (Experiments.table3 ())
+    | _, Some f ->
+        with_trace common @@ fun () ->
+        let t = f () in
+        if json then
+          emit_json ~command:"experiment"
+            [ ("name", str name); ("table", table_json t) ]
+        else Sp_util.Table.print t
+    | other, None ->
         Printf.eprintf
           "unknown experiment %S (suite-wide figures: use bench/main.exe)\n"
           other;
@@ -473,7 +754,33 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a single-benchmark experiment.")
-    Term.(const run $ name_arg $ scale_arg $ quiet_arg $ jobs_arg)
+    Term.(const run $ name_arg $ common_term $ json_arg)
+
+(* ------------------------------------------------------------------ *)
+(* report: aggregate a --trace-out file *)
+
+let report_cmd =
+  let trace_arg =
+    let doc = "Chrome trace-event file written by --trace-out." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc)
+  in
+  let run trace json =
+    match Sp_obs.Trace_report.of_file trace with
+    | Error e ->
+        Printf.eprintf "specrepro report: %s: %s\n" trace e;
+        exit 1
+    | Ok r ->
+        if json then
+          emit_json ~command:"report"
+            [ ("trace", str trace); ("report", Sp_obs.Trace_report.to_json r) ]
+        else print_string (Sp_obs.Trace_report.render r)
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Validate and summarise a span trace: per-stage, per-benchmark \
+             and per-category totals.  Exits 1 if the trace is malformed or \
+             has unbalanced spans.")
+    Term.(const run $ trace_arg $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* pinballs: inspect / verify / gc a store or cache directory *)
@@ -500,63 +807,107 @@ let pinballs_cmd =
         Ok (pb.Sp_pinball.Pinball.benchmark, kind, length)
   in
   let list_cmd =
-    let run dir =
-      let t =
-        Sp_util.Table.create ~title:(Printf.sprintf "Pinballs under %s" dir)
-          [
-            ("File", Sp_util.Table.Left);
-            ("Bytes", Sp_util.Table.Right);
-            ("Benchmark", Sp_util.Table.Left);
-            ("Kind", Sp_util.Table.Left);
-            ("Length", Sp_util.Table.Right);
-            ("Status", Sp_util.Table.Left);
-          ]
-      in
-      List.iter
-        (fun path ->
-          let size =
-            try string_of_int (Unix.stat path).Unix.st_size
-            with Unix.Unix_error _ -> "?"
-          in
-          let benchmark, kind, length, status =
-            match describe_file path with
-            | Ok (b, k, l) -> (b, k, l, "ok")
-            | Error e -> ("-", "-", "-", e)
-          in
-          Sp_util.Table.add_row t
-            [ Filename.basename path; size; benchmark; kind; length; status ])
-        (Sp_pinball.Store.list_dir ~dir);
-      Sp_util.Table.print t;
+    let run dir json =
+      let files = Sp_pinball.Store.list_dir ~dir in
       let manifest = Sp_pinball.Artifact_cache.read_manifest ~dir in
-      if manifest <> [] then begin
-        let m =
-          Sp_util.Table.create ~title:"Cache manifest"
+      if json then
+        emit_json ~command:"pinballs-list"
+          [
+            ("dir", str dir);
+            ( "pinballs",
+              Sp_obs.Json.List
+                (List.map
+                   (fun path ->
+                     let size =
+                       try (Unix.stat path).Unix.st_size
+                       with Unix.Unix_error _ -> -1
+                     in
+                     let benchmark, kind, length, status =
+                       match describe_file path with
+                       | Ok (b, k, l) -> (b, k, l, "ok")
+                       | Error e -> ("-", "-", "-", e)
+                     in
+                     Sp_obs.Json.Obj
+                       [
+                         ("file", str (Filename.basename path));
+                         ("bytes", numi size);
+                         ("benchmark", str benchmark);
+                         ("kind", str kind);
+                         ("length", str length);
+                         ("status", str status);
+                       ])
+                   files) );
+            ( "manifest",
+              Sp_obs.Json.List
+                (List.map
+                   (fun (e : Sp_pinball.Artifact_cache.entry) ->
+                     Sp_obs.Json.Obj
+                       [
+                         ("key", str e.key);
+                         ("benchmark", str e.benchmark);
+                         ("slice_insns", numi e.slice_insns);
+                         ("scale", num e.slices_scale);
+                         ("file", str e.file);
+                       ])
+                   manifest) );
+          ]
+      else begin
+        let t =
+          Sp_util.Table.create ~title:(Printf.sprintf "Pinballs under %s" dir)
             [
-              ("Key", Sp_util.Table.Left);
-              ("Benchmark", Sp_util.Table.Left);
-              ("Slice insns", Sp_util.Table.Right);
-              ("Scale", Sp_util.Table.Right);
               ("File", Sp_util.Table.Left);
+              ("Bytes", Sp_util.Table.Right);
+              ("Benchmark", Sp_util.Table.Left);
+              ("Kind", Sp_util.Table.Left);
+              ("Length", Sp_util.Table.Right);
+              ("Status", Sp_util.Table.Left);
             ]
         in
         List.iter
-          (fun (e : Sp_pinball.Artifact_cache.entry) ->
-            Sp_util.Table.add_row m
+          (fun path ->
+            let size =
+              try string_of_int (Unix.stat path).Unix.st_size
+              with Unix.Unix_error _ -> "?"
+            in
+            let benchmark, kind, length, status =
+              match describe_file path with
+              | Ok (b, k, l) -> (b, k, l, "ok")
+              | Error e -> ("-", "-", "-", e)
+            in
+            Sp_util.Table.add_row t
+              [ Filename.basename path; size; benchmark; kind; length; status ])
+          files;
+        Sp_util.Table.print t;
+        if manifest <> [] then begin
+          let m =
+            Sp_util.Table.create ~title:"Cache manifest"
               [
-                e.key;
-                e.benchmark;
-                string_of_int e.slice_insns;
-                Printf.sprintf "%g" e.slices_scale;
-                e.file;
-              ])
-          manifest;
-        Sp_util.Table.print m
+                ("Key", Sp_util.Table.Left);
+                ("Benchmark", Sp_util.Table.Left);
+                ("Slice insns", Sp_util.Table.Right);
+                ("Scale", Sp_util.Table.Right);
+                ("File", Sp_util.Table.Left);
+              ]
+          in
+          List.iter
+            (fun (e : Sp_pinball.Artifact_cache.entry) ->
+              Sp_util.Table.add_row m
+                [
+                  e.key;
+                  e.benchmark;
+                  string_of_int e.slice_insns;
+                  Printf.sprintf "%g" e.slices_scale;
+                  e.file;
+                ])
+            manifest;
+          Sp_util.Table.print m
+        end
       end
     in
     Cmd.v
       (Cmd.info "list"
          ~doc:"List the pinballs (and any cache manifest) in a directory.")
-      Term.(const run $ dir_arg)
+      Term.(const run $ dir_arg $ json_arg)
   in
   let verify_cmd =
     let run dir =
@@ -628,4 +979,5 @@ let () =
             run_cmd;
             suite_cmd;
             experiment_cmd;
+            report_cmd;
           ]))

@@ -18,6 +18,21 @@ type stats = {
   l3 : level_stats;
 }
 
+(* Aggregate cache-model activity, fed by [observe_stats] when a
+   replay finishes with a hierarchy (the simulation loops themselves
+   stay untouched).  Pure functions of the simulated work: stable. *)
+module M = struct
+  let ctr name = Sp_obs.Metrics.counter ("cache." ^ name)
+  let l1i_acc = ctr "l1i.accesses"
+  let l1i_miss = ctr "l1i.misses"
+  let l1d_acc = ctr "l1d.accesses"
+  let l1d_miss = ctr "l1d.misses"
+  let l2_acc = ctr "l2.accesses"
+  let l2_miss = ctr "l2.misses"
+  let l3_acc = ctr "l3.accesses"
+  let l3_miss = ctr "l3.misses"
+end
+
 let create ?policy ?(next_line_prefetch = false) (cfg : Config.hierarchy) =
   {
     l1i = Cache.create ?policy cfg.l1i;
@@ -98,6 +113,16 @@ let stats (t : t) =
     l2 = level_stats t.l2;
     l3 = level_stats t.l3;
   }
+
+let observe_stats (s : stats) =
+  Sp_obs.Metrics.add M.l1i_acc s.l1i.accesses;
+  Sp_obs.Metrics.add M.l1i_miss s.l1i.misses;
+  Sp_obs.Metrics.add M.l1d_acc s.l1d.accesses;
+  Sp_obs.Metrics.add M.l1d_miss s.l1d.misses;
+  Sp_obs.Metrics.add M.l2_acc s.l2.accesses;
+  Sp_obs.Metrics.add M.l2_miss s.l2.misses;
+  Sp_obs.Metrics.add M.l3_acc s.l3.accesses;
+  Sp_obs.Metrics.add M.l3_miss s.l3.misses
 
 let prefetches t = t.prefetches
 

@@ -51,6 +51,13 @@ val warming : t -> bool
 
 val stats : t -> stats
 
+val observe_stats : stats -> unit
+(** Fold a finished hierarchy's statistics into the global
+    [cache.{l1i,l1d,l2,l3}.{accesses,misses}] metrics
+    ({!Sp_obs.Metrics}).  Callers invoke this once per completed
+    simulation, so the access loops themselves carry no
+    instrumentation. *)
+
 val prefetches : t -> int
 (** Next-line prefetches issued (0 unless enabled). *)
 

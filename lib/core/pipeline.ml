@@ -44,12 +44,18 @@ let default_options =
     pinball_cache = None;
   }
 
-(* the simpoint stages inherit the pipeline-level jobs knob unless the
-   caller tuned their own *)
-let simpoint_config_of options =
+(* Resolve every derived knob up front, producing the single [options]
+   value each downstream stage receives (the simpoint stages inherit
+   the pipeline-level jobs knob unless the caller left it sequential).
+   Idempotent, so the explicit calls in the entry points compose. *)
+let normalize options =
   if options.jobs > 1 then
-    { options.simpoint_config with Sp_simpoint.Simpoints.jobs = options.jobs }
-  else options.simpoint_config
+    {
+      options with
+      simpoint_config =
+        { options.simpoint_config with Sp_simpoint.Simpoints.jobs = options.jobs };
+    }
+  else options
 
 type selection_summary = {
   chosen_k : int;
@@ -57,6 +63,10 @@ type selection_summary = {
   points : Sp_simpoint.Simpoints.point array;
   bic_curve : (int * float) list;
 }
+
+type stage_timing = { stage : string; seconds : float }
+
+type run_report = { jobs_used : int; stages : stage_timing list }
 
 type bench_result = {
   spec : Benchspec.t;
@@ -71,11 +81,52 @@ type bench_result = {
   native : Sp_perf.Perf_counters.sample;
   variance : Sp_simpoint.Variance.sweep_point list;
   wall_seconds : float;
+  report : run_report;
 }
 
-let progressf options fmt =
-  if options.progress then Printf.eprintf fmt
-  else Printf.ifprintf stderr fmt
+let run_report_to_json (r : run_report) =
+  Sp_obs.Json.Obj
+    [
+      ("jobs", Sp_obs.Json.Num (float_of_int r.jobs_used));
+      ( "stages",
+        Sp_obs.Json.List
+          (List.map
+             (fun t ->
+               Sp_obs.Json.Obj
+                 [
+                   ("stage", Sp_obs.Json.Str t.stage);
+                   ("seconds", Sp_obs.Json.Num t.seconds);
+                 ])
+             r.stages) );
+    ]
+
+(* progress lines go through the observability logger so concurrent
+   workers never interleave partial lines on the terminal *)
+let progressf options fmt = Sp_obs.Log.printf_if options.progress fmt
+
+module M = struct
+  let benchmarks = Sp_obs.Metrics.counter "pipeline.benchmarks"
+  let stages_run = Sp_obs.Metrics.counter "pipeline.stages_run"
+  let stage_seconds = Sp_obs.Metrics.histogram "pipeline.stage_seconds"
+end
+
+(* Wrap one pipeline stage: a trace span (when tracing is on), a wall
+   time recorded into this benchmark's [run_report], and the global
+   stage metrics.  The timing is recorded even if the stage raises, so
+   partial runs still report where the time went. *)
+let stage ~bench ~timings name f =
+  Sp_obs.Tracer.with_span ~cat:"stage" ~args:[ ("bench", bench) ] name
+    (fun () ->
+      let t0 = Sp_obs.Clock.now_ns () in
+      Fun.protect
+        ~finally:(fun () ->
+          let dt =
+            Sp_obs.Clock.seconds_of_ns (Sp_obs.Clock.now_ns () - t0)
+          in
+          Sp_obs.Metrics.incr M.stages_run;
+          Sp_obs.Metrics.observe M.stage_seconds dt;
+          timings := { stage = name; seconds = dt } :: !timings)
+        f)
 
 (* Replay one regional pinball under fresh (cold) pintools and collect
    its statistics — the paper's Regional-Run methodology, where every
@@ -103,12 +154,14 @@ let replay_point options (pb : Pinball.t) =
     | Pinball.Region r -> (r.cluster, r.weight)
     | Pinball.Whole -> (-1, 1.0)
   in
+  let cache_stats = Allcache_tool.stats cache in
+  Sp_cache.Hierarchy.observe_stats cache_stats;
   {
     Runstats.cluster;
     weight;
     insns = result.Replayer.retired;
     mix = Ldstmix.mix mixt;
-    cache = Allcache_tool.stats cache;
+    cache = cache_stats;
     cpi = Sp_cpu.Interval_core.cpi core;
   }
 
@@ -188,6 +241,9 @@ let warm_replay_points options ~warmup_insns (whole : Logger.whole) points =
           cpi = Sp_cpu.Interval_core.cpi warm_core;
         }
         :: !acc);
+  (* warm tool state is shared across the scan: fold its totals into
+     the cache metrics once, at the end *)
+  Sp_cache.Hierarchy.observe_stats (Allcache_tool.stats warm_cache);
   List.rev !acc
 
 (* Produce the whole pinball with [tools] piggybacked: either log it
@@ -216,7 +272,7 @@ let log_whole_cached ~options ~slice_insns ~(spec : Benchspec.t) ~tools prog =
              (Artifact_cache.store_whole ~dir ~key ~slice_insns
                 ~slices_scale:options.slices_scale whole)
          with Sys_error m | Failure m ->
-           Printf.eprintf "[%s] pinball cache: could not store entry (%s)\n%!"
+           Sp_obs.Log.printf "[%s] pinball cache: could not store entry (%s)\n"
              spec.Benchspec.name m);
         whole
       in
@@ -224,30 +280,36 @@ let log_whole_cached ~options ~slice_insns ~(spec : Benchspec.t) ~tools prog =
       | Artifact_cache.Hit whole ->
           progressf options
             "[%s] pinball cache hit (%s): replaying cached whole pinball \
-             instead of re-logging\n\
-             %!"
+             instead of re-logging\n"
             spec.Benchspec.name key;
           ignore (Replayer.replay ~tools whole.Logger.pinball);
           whole
       | Artifact_cache.Miss -> log_and_store ()
       | Artifact_cache.Quarantined { path; reason } ->
           (* always warn, even under --quiet: data loss is news *)
-          Printf.eprintf
+          Sp_obs.Log.printf
             "[%s] pinball cache: quarantined corrupt entry %s (%s); \
-             recomputing\n\
-             %!"
+             recomputing\n"
             spec.Benchspec.name path reason;
           log_and_store ())
 
 let run_benchmark ?(options = default_options) spec =
+  let options = normalize options in
+  let bench = spec.Benchspec.name in
+  let timings = ref [] in
+  Sp_obs.Metrics.incr M.benchmarks;
+  Sp_obs.Tracer.with_span ~cat:"pipeline" ~args:[ ("bench", bench) ]
+    "benchmark"
+  @@ fun () ->
   let t0 = Unix.gettimeofday () in
   let built =
-    Benchspec.build ~slice_insns:options.slice_insns
-      ~slices_scale:options.slices_scale spec
+    stage ~bench ~timings "build" (fun () ->
+        Benchspec.build ~slice_insns:options.slice_insns
+          ~slices_scale:options.slices_scale spec)
   in
   let prog = built.Benchspec.program in
-  progressf options "[%s] logging whole pinball (%d planted phases)...\n%!"
-    spec.Benchspec.name spec.Benchspec.planted_phases;
+  progressf options "[%s] logging whole pinball (%d planted phases)...\n"
+    bench spec.Benchspec.planted_phases;
   (* one instrumented pass: logger + BBVs + ldstmix + allcache + timing *)
   let bbv = Bbv_tool.create ~slice_len:options.slice_insns prog in
   let mixt = Ldstmix.create () in
@@ -256,30 +318,35 @@ let run_benchmark ?(options = default_options) spec =
       ~prefetch:options.next_line_prefetch prog
   in
   let core = Sp_cpu.Interval_core.create ~config:options.core_config prog in
-  let whole =
-    log_whole_cached ~options ~slice_insns:options.slice_insns ~spec
-      ~tools:
-        [
-          Bbv_tool.hooks bbv;
-          Ldstmix.hooks mixt;
-          Allcache_tool.hooks cache;
-          Sp_cpu.Interval_core.hooks core;
-        ]
-      prog
+  let whole, slices =
+    stage ~bench ~timings "log+profile" (fun () ->
+        let whole =
+          log_whole_cached ~options ~slice_insns:options.slice_insns ~spec
+            ~tools:
+              [
+                Bbv_tool.hooks bbv;
+                Ldstmix.hooks mixt;
+                Allcache_tool.hooks cache;
+                Sp_cpu.Interval_core.hooks core;
+              ]
+            prog
+        in
+        Bbv_tool.finish bbv;
+        Sp_cache.Hierarchy.observe_stats (Allcache_tool.stats cache);
+        (whole, Bbv_tool.slices bbv))
   in
-  Bbv_tool.finish bbv;
-  let slices = Bbv_tool.slices bbv in
-  progressf options "[%s] %d instructions, %d slices; selecting points...\n%!"
-    spec.Benchspec.name whole.Logger.total_insns (Array.length slices);
-  let sp_config = simpoint_config_of options in
+  progressf options "[%s] %d instructions, %d slices; selecting points...\n"
+    bench whole.Logger.total_insns (Array.length slices);
   let sel =
-    Sp_simpoint.Simpoints.select ~config:sp_config
-      ~slice_len:options.slice_insns slices
+    stage ~bench ~timings "select" (fun () ->
+        Sp_simpoint.Simpoints.select ~config:options.simpoint_config
+          ~slice_len:options.slice_insns slices)
   in
   let variance =
     if options.collect_variance then
-      Sp_simpoint.Variance.sweep ~config:sp_config ~ks:options.variance_ks
-        slices
+      stage ~bench ~timings "variance" (fun () ->
+          Sp_simpoint.Variance.sweep ~config:options.simpoint_config
+            ~ks:options.variance_ks slices)
     else []
   in
   let whole_stats =
@@ -288,21 +355,24 @@ let run_benchmark ?(options = default_options) spec =
       ~cpi:(Sp_cpu.Interval_core.cpi core)
   in
   let native =
-    Sp_perf.Native.sample_of_stats ~name:spec.Benchspec.name
+    Sp_perf.Native.sample_of_stats ~name:bench
       (Sp_cpu.Interval_core.stats core)
   in
-  progressf options "[%s] %d simulation points; replaying regions...\n%!"
-    spec.Benchspec.name
+  progressf options "[%s] %d simulation points; replaying regions...\n" bench
     (Array.length sel.Sp_simpoint.Simpoints.points);
   (* cold regional replays (Regional / Reduced Regional) *)
-  let cold = replay_points options whole sel.Sp_simpoint.Simpoints.points in
+  let cold =
+    stage ~bench ~timings "cold-replay" (fun () ->
+        replay_points options whole sel.Sp_simpoint.Simpoints.points)
+  in
   (* warmed regional replays: Section IV-D's mitigation *)
   let warm =
-    warm_replay_points options ~warmup_insns:options.warmup_insns whole
-      sel.Sp_simpoint.Simpoints.points
+    stage ~bench ~timings "warm-replay" (fun () ->
+        warm_replay_points options ~warmup_insns:options.warmup_insns whole
+          sel.Sp_simpoint.Simpoints.points)
   in
   let wall = Unix.gettimeofday () -. t0 in
-  progressf options "[%s] done in %.1fs\n%!" spec.Benchspec.name wall;
+  progressf options "[%s] done in %.1fs\n" bench wall;
   {
     spec;
     built;
@@ -322,6 +392,7 @@ let run_benchmark ?(options = default_options) spec =
     native;
     variance;
     wall_seconds = wall;
+    report = { jobs_used = options.jobs; stages = List.rev !timings };
   }
 
 (* Whole benchmarks are the coarsest unit of independent work: fan them
@@ -329,12 +400,18 @@ let run_benchmark ?(options = default_options) spec =
    k-means) degrades to sequential automatically, so [jobs] is the
    total domain budget, not a multiplier. *)
 let run_suite ?jobs ?(options = default_options) ?(specs = Suite.all) () =
-  let jobs = match jobs with Some j -> j | None -> options.jobs in
-  let options = { options with jobs } in
-  Sp_util.Pool.parallel_map ~jobs
-    (fun spec -> run_benchmark ~options spec)
-    (Array.of_list specs)
-  |> Array.to_list
+  (* [?jobs] is a deprecated alias for [options.jobs] (see the .mli);
+     when given it overwrites the options field, so there is exactly
+     one source of truth from here on *)
+  let options =
+    match jobs with Some j -> { options with jobs = j } | None -> options
+  in
+  let options = normalize options in
+  Sp_obs.Tracer.with_span ~cat:"pipeline" "suite" (fun () ->
+      Sp_util.Pool.parallel_map ~jobs:options.jobs
+        (fun spec -> run_benchmark ~options spec)
+        (Array.of_list specs)
+      |> Array.to_list)
 
 let regional r = Runstats.of_points ~label:"Regional" r.point_stats
 
@@ -387,7 +464,15 @@ type sweep_profile = {
 }
 
 let profile_for_sweep ?(options = default_options) ?slice_insns spec =
-  let slice_insns = Option.value ~default:options.slice_insns slice_insns in
+  (* fold the override into [options] so one value carries every knob
+     to the stages below, exactly as in [run_benchmark] *)
+  let options =
+    match slice_insns with
+    | Some si -> { options with slice_insns = si }
+    | None -> options
+  in
+  let options = normalize options in
+  let slice_insns = options.slice_insns in
   let built =
     Benchspec.build ~slice_insns ~slices_scale:options.slices_scale spec
   in

@@ -42,6 +42,12 @@ type options = {
 
 val default_options : options
 
+val normalize : options -> options
+(** Resolve derived knobs once ([simpoint_config] inherits [jobs] when
+    parallel), producing the single value every stage receives.
+    Idempotent; the entry points apply it themselves, so callers only
+    need it when invoking stage building blocks directly. *)
+
 (** What simulation-point selection found (the clustering metadata,
     minus the bulky per-slice vectors). *)
 type selection_summary = {
@@ -50,6 +56,19 @@ type selection_summary = {
   points : Sp_simpoint.Simpoints.point array;
   bic_curve : (int * float) list;
 }
+
+type stage_timing = { stage : string; seconds : float }
+
+(** Machine-readable account of where a benchmark's wall time went:
+    one entry per pipeline stage (build, log+profile, select, variance,
+    cold-replay, warm-replay), in execution order.  Collected
+    unconditionally — it does not require tracing to be enabled. *)
+type run_report = {
+  jobs_used : int;  (** the effective [options.jobs] for this run *)
+  stages : stage_timing list;
+}
+
+val run_report_to_json : run_report -> Sp_obs.Json.t
 
 type bench_result = {
   spec : Sp_workloads.Benchspec.t;
@@ -65,6 +84,7 @@ type bench_result = {
   native : Sp_perf.Perf_counters.sample;
   variance : Sp_simpoint.Variance.sweep_point list;
   wall_seconds : float;  (** real host time spent on this benchmark *)
+  report : run_report;   (** per-stage wall-time breakdown *)
 }
 
 val run_benchmark :
@@ -73,10 +93,15 @@ val run_benchmark :
 val run_suite :
   ?jobs:int -> ?options:options -> ?specs:Sp_workloads.Benchspec.t list ->
   unit -> bench_result list
-(** Defaults to the full 29-benchmark suite.  [jobs] (default:
-    [options.jobs]) fans whole benchmarks out across the
-    {!Sp_util.Pool} domain pool; results come back in [specs] order and
-    are identical to a sequential run. *)
+(** Defaults to the full 29-benchmark suite.  Benchmarks fan out across
+    the {!Sp_util.Pool} domain pool ([options.jobs] wide); results come
+    back in [specs] order and are identical to a sequential run.
+
+    [jobs] is a {b deprecated alias} for [options.jobs], kept for
+    source compatibility: when given it overwrites the options field
+    before anything runs, so [options.jobs] remains the single source
+    of truth downstream.  New code should set [options.jobs] and omit
+    [?jobs]. *)
 
 (** {1 Aggregations over a result} *)
 

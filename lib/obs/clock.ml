@@ -1,0 +1,27 @@
+(* A monotonic nanosecond clock for spans and busy-time accounting.
+
+   The stdlib exposes no monotonic clock, so this wraps
+   [Unix.gettimeofday] with two fixes: timestamps are rebased to the
+   process start (keeping full float precision at nanosecond scale
+   instead of ~256 ns granularity at epoch scale), and a global
+   high-water mark makes each reading strictly greater than the last
+   across all domains.  Strictness matters beyond clock-step
+   protection: gettimeofday only ticks in microseconds, so back-to-back
+   span events would otherwise share a timestamp and trace consumers
+   could not reconstruct their begin/end order. *)
+
+let epoch = Unix.gettimeofday ()
+
+(* high-water mark shared by every domain *)
+let last = Atomic.make 0
+
+let now_ns () =
+  let t = int_of_float ((Unix.gettimeofday () -. epoch) *. 1e9) in
+  let rec bump () =
+    let l = Atomic.get last in
+    let t = if t <= l then l + 1 else t in
+    if Atomic.compare_and_set last l t then t else bump ()
+  in
+  bump ()
+
+let seconds_of_ns ns = float_of_int ns /. 1e9

@@ -1,0 +1,13 @@
+(** Monotonic process-relative clock.
+
+    Nanosecond timestamps measured from process start.  Guaranteed
+    strictly increasing across all domains (a shared high-water mark
+    absorbs wall-clock steps and sub-tick repeats), so span durations
+    are never negative and every trace event carries a unique,
+    order-preserving timestamp. *)
+
+val now_ns : unit -> int
+(** Nanoseconds since process start; each call returns a value strictly
+    greater than every previous call in the process. *)
+
+val seconds_of_ns : int -> float

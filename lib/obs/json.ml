@@ -1,0 +1,306 @@
+(* A minimal JSON codec: just enough for the Chrome trace-event files
+   the tracer emits, the `--json` outputs of the CLI, and the report
+   subcommand that parses traces back.  The repo deliberately avoids a
+   yojson dependency (see DESIGN §6); this is the classic recursive
+   descent over a string, with full string escaping both ways. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* printing *)
+
+let escape_into b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\b' -> Buffer.add_string b "\\b"
+      | '\012' -> Buffer.add_string b "\\f"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let number_to_string x =
+  if Float.is_nan x || x = Float.infinity || x = Float.neg_infinity then
+    (* no JSON representation: degrade to null rather than emit an
+       unparseable token *)
+    "null"
+  else if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.17g" x
+
+let rec write b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool true -> Buffer.add_string b "true"
+  | Bool false -> Buffer.add_string b "false"
+  | Num x -> Buffer.add_string b (number_to_string x)
+  | Str s ->
+      Buffer.add_char b '"';
+      escape_into b s;
+      Buffer.add_char b '"'
+  | List vs ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char b ',';
+          write b v)
+        vs;
+      Buffer.add_char b ']'
+  | Obj kvs ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_char b '"';
+          escape_into b k;
+          Buffer.add_string b "\":";
+          write b v)
+        kvs;
+      Buffer.add_char b '}'
+
+let to_string v =
+  let b = Buffer.create 1024 in
+  write b v;
+  Buffer.contents b
+
+let to_channel oc v =
+  let b = Buffer.create 65536 in
+  write b v;
+  Buffer.output_buffer oc b
+
+(* ------------------------------------------------------------------ *)
+(* parsing *)
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
+
+type state = { s : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.s then Some st.s.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let skip_ws st =
+  while
+    st.pos < String.length st.s
+    &&
+    match st.s.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    advance st
+  done
+
+let expect st c =
+  match peek st with
+  | Some d when d = c -> advance st
+  | Some d -> fail "expected %C at offset %d, found %C" c st.pos d
+  | None -> fail "expected %C at offset %d, found end of input" c st.pos
+
+let literal st word v =
+  let n = String.length word in
+  if
+    st.pos + n <= String.length st.s
+    && String.sub st.s st.pos n = word
+  then begin
+    st.pos <- st.pos + n;
+    v
+  end
+  else fail "invalid literal at offset %d" st.pos
+
+(* encode a Unicode code point as UTF-8 bytes *)
+let add_utf8 b cp =
+  if cp < 0x80 then Buffer.add_char b (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char b (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else if cp < 0x10000 then begin
+    Buffer.add_char b (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else begin
+    Buffer.add_char b (Char.chr (0xF0 lor (cp lsr 18)));
+    Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+
+let hex4 st =
+  let digit c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> fail "invalid \\u escape at offset %d" st.pos
+  in
+  let v = ref 0 in
+  for _ = 1 to 4 do
+    (match peek st with
+    | Some c -> v := (!v lsl 4) lor digit c
+    | None -> fail "truncated \\u escape at offset %d" st.pos);
+    advance st
+  done;
+  !v
+
+let parse_string st =
+  expect st '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> fail "unterminated string at offset %d" st.pos
+    | Some '"' -> advance st
+    | Some '\\' -> (
+        advance st;
+        (match peek st with
+        | Some '"' -> Buffer.add_char b '"'; advance st
+        | Some '\\' -> Buffer.add_char b '\\'; advance st
+        | Some '/' -> Buffer.add_char b '/'; advance st
+        | Some 'n' -> Buffer.add_char b '\n'; advance st
+        | Some 'r' -> Buffer.add_char b '\r'; advance st
+        | Some 't' -> Buffer.add_char b '\t'; advance st
+        | Some 'b' -> Buffer.add_char b '\b'; advance st
+        | Some 'f' -> Buffer.add_char b '\012'; advance st
+        | Some 'u' ->
+            advance st;
+            let cp = hex4 st in
+            (* combine a surrogate pair when a low surrogate follows *)
+            let cp =
+              if cp >= 0xD800 && cp <= 0xDBFF
+                 && st.pos + 1 < String.length st.s
+                 && st.s.[st.pos] = '\\'
+                 && st.s.[st.pos + 1] = 'u'
+              then begin
+                st.pos <- st.pos + 2;
+                let lo = hex4 st in
+                if lo >= 0xDC00 && lo <= 0xDFFF then
+                  0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00)
+                else 0xFFFD
+              end
+              else if cp >= 0xD800 && cp <= 0xDFFF then 0xFFFD
+              else cp
+            in
+            add_utf8 b cp
+        | _ -> fail "invalid escape at offset %d" st.pos);
+        go ())
+    | Some c when Char.code c < 0x20 ->
+        fail "unescaped control character at offset %d" st.pos
+    | Some c ->
+        Buffer.add_char b c;
+        advance st;
+        go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char c =
+    match c with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while
+    st.pos < String.length st.s && is_num_char st.s.[st.pos]
+  do
+    advance st
+  done;
+  let text = String.sub st.s start (st.pos - start) in
+  match float_of_string_opt text with
+  | Some x -> Num x
+  | None -> fail "invalid number %S at offset %d" text start
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail "unexpected end of input at offset %d" st.pos
+  | Some '{' ->
+      advance st;
+      skip_ws st;
+      if peek st = Some '}' then begin
+        advance st;
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws st;
+          let k = parse_string st in
+          skip_ws st;
+          expect st ':';
+          let v = parse_value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              advance st;
+              members ((k, v) :: acc)
+          | Some '}' ->
+              advance st;
+              List.rev ((k, v) :: acc)
+          | _ -> fail "expected ',' or '}' at offset %d" st.pos
+        in
+        Obj (members [])
+      end
+  | Some '[' ->
+      advance st;
+      skip_ws st;
+      if peek st = Some ']' then begin
+        advance st;
+        List []
+      end
+      else begin
+        let rec elements acc =
+          let v = parse_value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              advance st;
+              elements (v :: acc)
+          | Some ']' ->
+              advance st;
+              List.rev (v :: acc)
+          | _ -> fail "expected ',' or ']' at offset %d" st.pos
+        in
+        List (elements [])
+      end
+  | Some '"' -> Str (parse_string st)
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some 'n' -> literal st "null" Null
+  | Some _ -> parse_number st
+
+let parse s =
+  let st = { s; pos = 0 } in
+  match parse_value st with
+  | v ->
+      skip_ws st;
+      if st.pos <> String.length s then
+        Error (Printf.sprintf "trailing garbage at offset %d" st.pos)
+      else Ok v
+  | exception Parse_error m -> Error m
+
+let parse_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | s -> parse s
+  | exception Sys_error m -> Error m
+
+(* ------------------------------------------------------------------ *)
+(* accessors *)
+
+let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+
+let to_list = function List vs -> Some vs | _ -> None
+
+let to_float = function Num x -> Some x | _ -> None
+
+let to_str = function Str s -> Some s | _ -> None

@@ -1,0 +1,35 @@
+(** A minimal JSON codec.
+
+    Covers exactly what the observability layer needs — emitting Chrome
+    trace-event files and [--json] CLI reports, and parsing traces back
+    for [specrepro report] — without pulling in an external JSON
+    dependency.  Numbers are floats (integral values print without a
+    fractional part); non-finite floats print as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering, with full string escaping. *)
+
+val to_channel : out_channel -> t -> unit
+
+val parse : string -> (t, string) result
+(** Strict parse of a complete JSON document: rejects trailing garbage,
+    unterminated strings and malformed numbers.  Never raises. *)
+
+val parse_file : string -> (t, string) result
+
+(** {1 Accessors} *)
+
+val member : string -> t -> t option
+(** [member k (Obj kvs)] is the value bound to [k], if any. *)
+
+val to_list : t -> t list option
+val to_float : t -> float option
+val to_str : t -> string option

@@ -1,0 +1,24 @@
+(* Atomic progress/diagnostic output.
+
+   Under `--jobs N` several domains report progress concurrently;
+   writing to stderr with bare Printf interleaves partial lines.  All
+   observability-aware call sites route through here instead: the
+   message is formatted first, then written and flushed under one
+   mutex, so each message reaches the terminal intact. *)
+
+let mutex = Mutex.create ()
+
+let emit s =
+  Mutex.lock mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock mutex)
+    (fun () ->
+      output_string stderr s;
+      flush stderr)
+
+let printf fmt = Printf.ksprintf emit fmt
+
+let printf_if cond fmt =
+  if cond then Printf.ksprintf emit fmt
+  else (* skip formatting entirely when silenced *)
+    Printf.ifprintf () fmt

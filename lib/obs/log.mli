@@ -1,0 +1,12 @@
+(** Atomic stderr output for progress lines and warnings.
+
+    Messages are formatted first, then written and flushed under a
+    single mutex, so concurrent domains never interleave partial lines
+    on the terminal. *)
+
+val printf : ('a, unit, string, unit) format4 -> 'a
+(** Format, then atomically write to stderr and flush. *)
+
+val printf_if : bool -> ('a, unit, string, unit) format4 -> 'a
+(** [printf_if cond fmt ...] is {!printf} when [cond], and skips
+    formatting entirely otherwise. *)

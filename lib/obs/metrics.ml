@@ -1,0 +1,367 @@
+(* A domain-safe metrics registry: counters, gauges and histograms,
+   sharded per domain and merged at report time.
+
+   Design constraints, in order:
+
+   1. Recording must be cheap enough to sit inside the pipeline's hot
+      layers (one Domain.DLS lookup plus an array update — no locks, no
+      atomics on the record path), because the interpreter flushes
+      counters at the end of every [Interp.run].
+
+   2. Recording must never perturb pipeline *outputs*: metrics are
+      write-only side channels, accumulated in per-domain shards that
+      workers never read, so `--jobs N` stays bit-identical for every
+      statistic the paper's evaluation consumes.
+
+   3. Metrics whose value is a pure function of the executed work (not
+      of scheduling) are registered [stable] and are themselves
+      identical across job counts; timing and scheduling metrics are
+      registered unstable.  test_obs.ml enforces the stable contract.
+
+   Merging: counters sum across shards; gauges take the most recently
+   written value (a global sequence number orders writes); histograms
+   sum bucket-by-bucket.  Shards belonging to completed pool domains
+   stay registered, so nothing recorded is ever lost. *)
+
+type kind = Counter | Gauge | Histogram
+
+type meta = { id : int; name : string; kind : kind; stable : bool }
+
+(* registry of metric definitions; newest first *)
+let registry_mutex = Mutex.create ()
+let metas : meta list ref = ref []
+let next_id = ref 0
+
+(* ------------------------------------------------------------------ *)
+(* histograms: power-of-two buckets over the value's binary exponent,
+   covering ~1e-10 .. 1e9 with the offset below.  Enough resolution for
+   quantile estimates of durations (each bucket spans one octave);
+   exact count, sum, min and max ride along. *)
+
+let num_buckets = 64
+let bucket_offset = 33
+
+type hist = {
+  mutable hcount : int;
+  mutable hsum : float;
+  mutable hmin : float;
+  mutable hmax : float;
+  buckets : int array;
+}
+
+let new_hist () =
+  {
+    hcount = 0;
+    hsum = 0.0;
+    hmin = infinity;
+    hmax = neg_infinity;
+    buckets = Array.make num_buckets 0;
+  }
+
+(* bucket [i] covers [2^(i-33), 2^(i-32)); bucket 0 also absorbs
+   non-positive values *)
+let bucket_of v =
+  if v <= 0.0 then 0
+  else
+    let _, e = Float.frexp v in
+    max 0 (min (num_buckets - 1) (e + bucket_offset - 1))
+
+let bucket_lo i = if i = 0 then 0.0 else Float.ldexp 1.0 (i - bucket_offset)
+let bucket_hi i = Float.ldexp 1.0 (i - bucket_offset + 1)
+
+(* ------------------------------------------------------------------ *)
+(* per-domain shards *)
+
+type shard = {
+  mutable cells : float array;      (* counter sums / gauge values, by id *)
+  mutable gseq : int array;         (* gauge write sequence, 0 = never *)
+  mutable hists : hist option array;
+}
+
+let shards_mutex = Mutex.create ()
+let shards : shard list ref = ref []
+
+let new_shard () =
+  let n = max 8 !next_id in
+  let s =
+    {
+      cells = Array.make n 0.0;
+      gseq = Array.make n 0;
+      hists = Array.make n None;
+    }
+  in
+  Mutex.lock shards_mutex;
+  shards := s :: !shards;
+  Mutex.unlock shards_mutex;
+  s
+
+let shard_key : shard Domain.DLS.key = Domain.DLS.new_key new_shard
+
+let grow_float arr n =
+  let a = Array.make (max n (2 * Array.length arr)) 0.0 in
+  Array.blit arr 0 a 0 (Array.length arr);
+  a
+
+let grow_int arr n =
+  let a = Array.make (max n (2 * Array.length arr)) 0 in
+  Array.blit arr 0 a 0 (Array.length arr);
+  a
+
+let grow_hist arr n =
+  let a = Array.make (max n (2 * Array.length arr)) None in
+  Array.blit arr 0 a 0 (Array.length arr);
+  a
+
+(* metrics are normally registered at module-initialisation time,
+   before any shard exists; growing covers late registration anyway *)
+let ensure s id =
+  if id >= Array.length s.cells then begin
+    s.cells <- grow_float s.cells (id + 1);
+    s.gseq <- grow_int s.gseq (id + 1);
+    s.hists <- grow_hist s.hists (id + 1)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* registration *)
+
+type counter = int
+type gauge = int
+type histogram = int
+
+let register ~kind ~stable name =
+  Mutex.lock registry_mutex;
+  let result =
+    match List.find_opt (fun m -> m.name = name) !metas with
+    | Some m -> if m.kind = kind then Ok m.id else Error m
+    | None ->
+        let id = !next_id in
+        incr next_id;
+        metas := { id; name; kind; stable } :: !metas;
+        Ok id
+  in
+  Mutex.unlock registry_mutex;
+  match result with
+  | Ok id -> id
+  | Error _ ->
+      invalid_arg
+        (Printf.sprintf "Sp_obs.Metrics: %S already registered with another kind"
+           name)
+
+let counter ?(stable = true) name = register ~kind:Counter ~stable name
+let gauge ?(stable = false) name = register ~kind:Gauge ~stable name
+let histogram ?(stable = false) name = register ~kind:Histogram ~stable name
+
+(* ------------------------------------------------------------------ *)
+(* recording *)
+
+let add c n =
+  if n <> 0 then begin
+    let s = Domain.DLS.get shard_key in
+    ensure s c;
+    Array.unsafe_set s.cells c (Array.unsafe_get s.cells c +. float_of_int n)
+  end
+
+let incr c = add c 1
+
+let addf c x =
+  if x <> 0.0 then begin
+    let s = Domain.DLS.get shard_key in
+    ensure s c;
+    Array.unsafe_set s.cells c (Array.unsafe_get s.cells c +. x)
+  end
+
+let gauge_seq = Atomic.make 1
+
+let set g v =
+  let s = Domain.DLS.get shard_key in
+  ensure s g;
+  s.cells.(g) <- v;
+  s.gseq.(g) <- Atomic.fetch_and_add gauge_seq 1
+
+let observe h v =
+  let s = Domain.DLS.get shard_key in
+  ensure s h;
+  let hb =
+    match s.hists.(h) with
+    | Some hb -> hb
+    | None ->
+        let hb = new_hist () in
+        s.hists.(h) <- Some hb;
+        hb
+  in
+  hb.hcount <- hb.hcount + 1;
+  hb.hsum <- hb.hsum +. v;
+  if v < hb.hmin then hb.hmin <- v;
+  if v > hb.hmax then hb.hmax <- v;
+  let b = bucket_of v in
+  hb.buckets.(b) <- hb.buckets.(b) + 1
+
+(* ------------------------------------------------------------------ *)
+(* report-time merge *)
+
+type hist_snapshot = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  buckets : int array;
+}
+
+type value =
+  | Counter_value of float
+  | Gauge_value of float
+  | Histogram_value of hist_snapshot
+
+type sample = { name : string; stable : bool; value : value }
+
+let snapshot () =
+  Mutex.lock registry_mutex;
+  let metas = !metas in
+  Mutex.unlock registry_mutex;
+  Mutex.lock shards_mutex;
+  let shards = !shards in
+  Mutex.unlock shards_mutex;
+  (* Reads race benignly with concurrent recording on other domains:
+     cells are word-sized and the merge is advisory while work is in
+     flight.  Snapshots taken at quiescence (how the pipeline and the
+     tests use them) are exact. *)
+  let cell s id = if id < Array.length s.cells then s.cells.(id) else 0.0 in
+  let seq s id = if id < Array.length s.gseq then s.gseq.(id) else 0 in
+  let hist s id =
+    if id < Array.length s.hists then s.hists.(id) else None
+  in
+  let merge (m : meta) =
+    let value =
+      match m.kind with
+      | Counter ->
+          Counter_value
+            (List.fold_left (fun acc s -> acc +. cell s m.id) 0.0 shards)
+      | Gauge ->
+          let _, v =
+            List.fold_left
+              (fun ((best_seq, _) as best) s ->
+                let sq = seq s m.id in
+                if sq > best_seq then (sq, cell s m.id) else best)
+              (0, 0.0) shards
+          in
+          Gauge_value v
+      | Histogram ->
+          let acc =
+            {
+              count = 0;
+              sum = 0.0;
+              min = infinity;
+              max = neg_infinity;
+              buckets = Array.make num_buckets 0;
+            }
+          in
+          let acc =
+            List.fold_left
+              (fun acc s ->
+                match hist s m.id with
+                | None -> acc
+                | Some hb ->
+                    Array.iteri
+                      (fun i n -> acc.buckets.(i) <- acc.buckets.(i) + n)
+                      hb.buckets;
+                    {
+                      acc with
+                      count = acc.count + hb.hcount;
+                      sum = acc.sum +. hb.hsum;
+                      min = Float.min acc.min hb.hmin;
+                      max = Float.max acc.max hb.hmax;
+                    })
+              acc shards
+          in
+          Histogram_value acc
+    in
+    { name = m.name; stable = m.stable; value }
+  in
+  List.map merge metas
+  |> List.sort (fun a b -> compare a.name b.name)
+
+let stable_snapshot () = List.filter (fun s -> s.stable) (snapshot ())
+
+let find name samples = List.find_opt (fun s -> s.name = name) samples
+
+let counter_value samples name =
+  match find name samples with
+  | Some { value = Counter_value v; _ } -> Some v
+  | _ -> None
+
+(* Quantile estimate from the merged buckets: find the bucket holding
+   the q'th observation and interpolate linearly inside it, clamped to
+   the recorded min/max (which tightens the estimate for distributions
+   narrower than a bucket). *)
+let quantile (h : hist_snapshot) q =
+  if h.count = 0 then nan
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let target = q *. float_of_int h.count in
+    let rec go i cum =
+      if i >= num_buckets then h.max
+      else
+        let n = h.buckets.(i) in
+        let cum' = cum +. float_of_int n in
+        if cum' >= target && n > 0 then begin
+          let frac = if n = 0 then 0.0 else (target -. cum) /. float_of_int n in
+          let lo = bucket_lo i and hi = bucket_hi i in
+          lo +. (frac *. (hi -. lo))
+        end
+        else go (i + 1) cum'
+    in
+    let v = go 0 0.0 in
+    Float.max h.min (Float.min h.max v)
+  end
+
+let reset () =
+  Mutex.lock shards_mutex;
+  let all = !shards in
+  Mutex.unlock shards_mutex;
+  List.iter
+    (fun s ->
+      Array.fill s.cells 0 (Array.length s.cells) 0.0;
+      Array.fill s.gseq 0 (Array.length s.gseq) 0;
+      Array.iter
+        (function
+          | None -> ()
+          | Some hb ->
+              hb.hcount <- 0;
+              hb.hsum <- 0.0;
+              hb.hmin <- infinity;
+              hb.hmax <- neg_infinity;
+              Array.fill hb.buckets 0 num_buckets 0)
+        s.hists)
+    all
+
+(* ------------------------------------------------------------------ *)
+(* JSON rendering (shared by `specrepro report` and the tests) *)
+
+let to_json samples =
+  Json.List
+    (List.map
+       (fun s ->
+         let common =
+           [ ("name", Json.Str s.name); ("stable", Json.Bool s.stable) ]
+         in
+         match s.value with
+         | Counter_value v ->
+             Json.Obj
+               (common @ [ ("kind", Json.Str "counter"); ("value", Json.Num v) ])
+         | Gauge_value v ->
+             Json.Obj
+               (common @ [ ("kind", Json.Str "gauge"); ("value", Json.Num v) ])
+         | Histogram_value h ->
+             Json.Obj
+               (common
+               @ [
+                   ("kind", Json.Str "histogram");
+                   ("count", Json.Num (float_of_int h.count));
+                   ("sum", Json.Num h.sum);
+                   ("min", Json.Num (if h.count = 0 then 0.0 else h.min));
+                   ("max", Json.Num (if h.count = 0 then 0.0 else h.max));
+                   ("p50", Json.Num (if h.count = 0 then 0.0 else quantile h 0.5));
+                   ("p90", Json.Num (if h.count = 0 then 0.0 else quantile h 0.9));
+                   ("p99", Json.Num (if h.count = 0 then 0.0 else quantile h 0.99));
+                 ]))
+       samples)

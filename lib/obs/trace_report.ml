@@ -1,0 +1,219 @@
+(* Consume a Chrome trace-event file back into an aggregate report.
+
+   `specrepro report` runs this over a file produced with
+   [--trace-out]: it validates that every begin has a matching end
+   (per thread, properly nested) and sums durations three ways —
+   per pipeline stage, per benchmark, and per category — so CI can
+   sanity-check a trace without a human opening Perfetto. *)
+
+type span_sum = { label : string; count : int; total_us : float }
+
+type report = {
+  events : int;
+  spans : int;
+  wall_us : float;        (* last end - first begin *)
+  stages : span_sum list; (* cat = "stage", grouped by span name *)
+  benches : span_sum list;(* name = "benchmark", grouped by args.bench *)
+  categories : span_sum list;
+}
+
+(* one parsed trace event *)
+type ev = {
+  name : string;
+  cat : string;
+  ph : string;
+  ts : float;  (* µs *)
+  tid : float;
+  bench : string option;
+}
+
+let ( let* ) = Result.bind
+
+let ev_of_json j =
+  let str k = Option.bind (Json.member k j) Json.to_str in
+  let num k = Option.bind (Json.member k j) Json.to_float in
+  match (str "name", str "ph", num "ts") with
+  | Some name, Some ph, Some ts ->
+      Ok
+        {
+          name;
+          cat = Option.value (str "cat") ~default:"";
+          ph;
+          ts;
+          tid = Option.value (num "tid") ~default:0.0;
+          bench =
+            Option.bind (Json.member "args" j) (fun a ->
+                Option.bind (Json.member "bench" a) Json.to_str);
+        }
+  | _ -> Error "trace event missing name/ph/ts"
+
+let rec collect_events acc = function
+  | [] -> Ok (List.rev acc)
+  | j :: rest ->
+      let* e = ev_of_json j in
+      collect_events (e :: acc) rest
+
+(* Pair begins with ends per thread using a stack; a completed span
+   keeps the begin's metadata plus the measured duration. *)
+type completed = {
+  cname : string;
+  ccat : string;
+  cbench : string option;
+  cdur_us : float;
+}
+
+let pair_spans events =
+  let stacks : (float, ev list) Hashtbl.t = Hashtbl.create 8 in
+  let completed = ref [] in
+  let err = ref None in
+  List.iter
+    (fun e ->
+      if !err = None then
+        match e.ph with
+        | "B" ->
+            let st = Option.value (Hashtbl.find_opt stacks e.tid) ~default:[] in
+            Hashtbl.replace stacks e.tid (e :: st)
+        | "E" -> (
+            match Hashtbl.find_opt stacks e.tid with
+            | Some (b :: rest) ->
+                if b.name <> e.name then
+                  err :=
+                    Some
+                      (Printf.sprintf
+                         "unbalanced trace: end %S closes begin %S on tid %g"
+                         e.name b.name e.tid)
+                else begin
+                  Hashtbl.replace stacks e.tid rest;
+                  completed :=
+                    {
+                      cname = b.name;
+                      ccat = b.cat;
+                      cbench = b.bench;
+                      cdur_us = e.ts -. b.ts;
+                    }
+                    :: !completed
+                end
+            | _ ->
+                err :=
+                  Some
+                    (Printf.sprintf
+                       "unbalanced trace: end %S with no open span on tid %g"
+                       e.name e.tid))
+        | _ -> ())
+    events;
+  match !err with
+  | Some m -> Error m
+  | None ->
+      let leftover =
+        Hashtbl.fold (fun _ st acc -> acc + List.length st) stacks 0
+      in
+      if leftover > 0 then
+        Error (Printf.sprintf "unbalanced trace: %d span(s) never ended" leftover)
+      else Ok (List.rev !completed)
+
+let group key spans =
+  let tbl : (string, int * float) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      match key c with
+      | None -> ()
+      | Some k ->
+          let n, t = Option.value (Hashtbl.find_opt tbl k) ~default:(0, 0.0) in
+          Hashtbl.replace tbl k (n + 1, t +. c.cdur_us))
+    spans;
+  Hashtbl.fold
+    (fun label (count, total_us) acc -> { label; count; total_us } :: acc)
+    tbl []
+  |> List.sort (fun a b ->
+         let c = compare b.total_us a.total_us in
+         if c <> 0 then c else compare a.label b.label)
+
+let of_json j =
+  match Json.member "traceEvents" j with
+  | None -> Error "not a Chrome trace: missing \"traceEvents\""
+  | Some evs -> (
+      match Json.to_list evs with
+      | None -> Error "\"traceEvents\" is not an array"
+      | Some items ->
+          let* events = collect_events [] items in
+          (* preserve file order for equal timestamps *)
+          let events =
+            List.stable_sort (fun a b -> compare a.ts b.ts) events
+          in
+          let* spans = pair_spans events in
+          let wall_us =
+            match events with
+            | [] -> 0.0
+            | first :: _ ->
+                let last =
+                  List.fold_left (fun _ e -> e.ts) first.ts events
+                in
+                last -. first.ts
+          in
+          Ok
+            {
+              events = List.length events;
+              spans = List.length spans;
+              wall_us;
+              stages =
+                group
+                  (fun c -> if c.ccat = "stage" then Some c.cname else None)
+                  spans;
+              benches =
+                group
+                  (fun c -> if c.cname = "benchmark" then c.cbench else None)
+                  spans;
+              categories = group (fun c -> Some c.ccat) spans;
+            })
+
+let of_file path =
+  let* j = Json.parse_file path in
+  of_json j
+
+(* ------------------------------------------------------------------ *)
+(* rendering *)
+
+let sums_json sums =
+  Json.List
+    (List.map
+       (fun s ->
+         Json.Obj
+           [
+             ("name", Json.Str s.label);
+             ("count", Json.Num (float_of_int s.count));
+             ("total_seconds", Json.Num (s.total_us /. 1e6));
+           ])
+       sums)
+
+let to_json r =
+  Json.Obj
+    [
+      ("events", Json.Num (float_of_int r.events));
+      ("spans", Json.Num (float_of_int r.spans));
+      ("wall_seconds", Json.Num (r.wall_us /. 1e6));
+      ("stages", sums_json r.stages);
+      ("benchmarks", sums_json r.benches);
+      ("categories", sums_json r.categories);
+    ]
+
+let render r =
+  let b = Buffer.create 1024 in
+  Printf.bprintf b "trace: %d events, %d spans, %.3f s wall\n" r.events r.spans
+    (r.wall_us /. 1e6);
+  let section title sums =
+    if sums <> [] then begin
+      Printf.bprintf b "\n%s\n" title;
+      let width =
+        List.fold_left (fun w s -> max w (String.length s.label)) 4 sums
+      in
+      List.iter
+        (fun s ->
+          Printf.bprintf b "  %-*s  %8.3f s  x%d\n" width s.label
+            (s.total_us /. 1e6) s.count)
+        sums
+    end
+  in
+  section "per stage" r.stages;
+  section "per benchmark" r.benches;
+  section "per category" r.categories;
+  Buffer.contents b

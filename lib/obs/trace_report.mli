@@ -1,0 +1,34 @@
+(** Aggregate report over a Chrome trace-event file.
+
+    Parses a file produced with [--trace-out], validates that begin and
+    end events balance (per thread, properly nested), and sums span
+    durations per pipeline stage, per benchmark and per category.
+    Backs the [specrepro report] subcommand and the CI trace
+    validation. *)
+
+type span_sum = {
+  label : string;
+  count : int;
+  total_us : float;  (** summed duration in microseconds *)
+}
+
+type report = {
+  events : int;
+  spans : int;
+  wall_us : float;  (** last event timestamp minus first, microseconds *)
+  stages : span_sum list;
+      (** spans with [cat = "stage"], grouped by span name *)
+  benches : span_sum list;
+      (** spans named ["benchmark"], grouped by their [args.bench] *)
+  categories : span_sum list;  (** all spans, grouped by category *)
+}
+
+val of_json : Json.t -> (report, string) result
+(** Errors on missing [traceEvents], malformed events, or unbalanced
+    begin/end pairs. *)
+
+val of_file : string -> (report, string) result
+
+val to_json : report -> Json.t
+val render : report -> string
+(** Human-readable multi-section text rendering. *)

@@ -1,0 +1,154 @@
+(* Span-based tracer emitting Chrome trace-event JSON.
+
+   Spans are recorded per domain (a DLS buffer, no cross-domain
+   contention) and each carries the nesting depth at which it ran, so
+   the writer can order begin/end events that share a timestamp without
+   breaking Chrome's per-thread nesting rules.  Tracing is off by
+   default; when disabled, [with_span] costs one atomic load. *)
+
+type span = {
+  name : string;
+  cat : string;
+  args : (string * string) list;
+  t0 : int;   (* ns, Clock.now_ns *)
+  t1 : int;
+  depth : int;
+}
+
+type buffer = {
+  tid : int;
+  mutable depth : int;
+  mutable spans : span list;  (* completed spans, newest first *)
+  mutable count : int;
+}
+
+let enabled_flag = Atomic.make false
+let enable () = Atomic.set enabled_flag true
+let disable () = Atomic.set enabled_flag false
+let enabled () = Atomic.get enabled_flag
+
+let buffers_mutex = Mutex.create ()
+let buffers : buffer list ref = ref []
+let next_tid = Atomic.make 1
+
+let new_buffer () =
+  let b =
+    {
+      tid = Atomic.fetch_and_add next_tid 1;
+      depth = 0;
+      spans = [];
+      count = 0;
+    }
+  in
+  Mutex.lock buffers_mutex;
+  buffers := b :: !buffers;
+  Mutex.unlock buffers_mutex;
+  b
+
+let buffer_key : buffer Domain.DLS.key = Domain.DLS.new_key new_buffer
+
+let with_span ?(cat = "default") ?(args = []) name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let b = Domain.DLS.get buffer_key in
+    let depth = b.depth in
+    b.depth <- depth + 1;
+    let t0 = Clock.now_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        let t1 = Clock.now_ns () in
+        b.depth <- depth;
+        b.spans <- { name; cat; args; t0; t1; depth } :: b.spans;
+        b.count <- b.count + 1)
+      f
+  end
+
+let clear () =
+  Mutex.lock buffers_mutex;
+  let all = !buffers in
+  Mutex.unlock buffers_mutex;
+  List.iter
+    (fun b ->
+      b.spans <- [];
+      b.count <- 0)
+    all
+
+let span_count () =
+  Mutex.lock buffers_mutex;
+  let all = !buffers in
+  Mutex.unlock buffers_mutex;
+  List.fold_left (fun acc b -> acc + b.count) 0 all
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event rendering
+
+   Each span becomes a B and an E event on its thread.  Events are
+   sorted by timestamp; at equal timestamps ends come before begins,
+   deeper ends first and shallower begins first, which preserves proper
+   nesting within a thread even for zero-length spans. *)
+
+type event = {
+  ets : int;          (* ns *)
+  ephase : char;      (* 'B' | 'E' *)
+  etid : int;
+  ekey : int;         (* tie-break within a timestamp *)
+  espan : span;
+}
+
+let events_of_buffer b =
+  List.fold_left
+    (fun acc s ->
+      { ets = s.t0; ephase = 'B'; etid = b.tid; ekey = s.depth; espan = s }
+      :: { ets = s.t1; ephase = 'E'; etid = b.tid; ekey = -s.depth; espan = s }
+      :: acc)
+    [] b.spans
+
+let compare_events a b =
+  let c = compare a.ets b.ets in
+  if c <> 0 then c
+  else
+    (* ends ('E') sort before begins ('B'): 'B' < 'E' in ASCII, so
+       flip; then deeper ends first / shallower begins first via ekey *)
+    let c = compare b.ephase a.ephase in
+    if c <> 0 then c else compare a.ekey b.ekey
+
+let args_json args =
+  Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) args)
+
+let event_json e =
+  let base =
+    [
+      ("name", Json.Str e.espan.name);
+      ("cat", Json.Str e.espan.cat);
+      ("ph", Json.Str (String.make 1 e.ephase));
+      (* Chrome expects microseconds *)
+      ("ts", Json.Num (float_of_int e.ets /. 1e3));
+      ("pid", Json.Num 1.0);
+      ("tid", Json.Num (float_of_int e.etid));
+    ]
+  in
+  let base =
+    if e.ephase = 'B' && e.espan.args <> [] then
+      base @ [ ("args", args_json e.espan.args) ]
+    else base
+  in
+  Json.Obj base
+
+let to_json () =
+  Mutex.lock buffers_mutex;
+  let all = !buffers in
+  Mutex.unlock buffers_mutex;
+  let events =
+    List.concat_map events_of_buffer all |> List.sort compare_events
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.map event_json events));
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+let write path =
+  let json = to_json () in
+  Out_channel.with_open_bin path (fun oc ->
+      Json.to_channel oc json;
+      Out_channel.output_char oc '\n')

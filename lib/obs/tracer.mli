@@ -1,0 +1,32 @@
+(** Span-based tracer with Chrome trace-event output.
+
+    Wrap stages in {!with_span}; when tracing is enabled (off by
+    default) completed spans accumulate in per-domain buffers and
+    {!write} renders them as a Chrome trace-event JSON file, viewable
+    in [chrome://tracing] or Perfetto.  When disabled, {!with_span}
+    costs a single atomic load around the wrapped function. *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+val enabled : unit -> bool
+
+val with_span :
+  ?cat:string -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [with_span ~cat ~args name f] runs [f ()], recording a span from
+    entry to exit (also on exception).  Spans nest; each records the
+    domain it ran on and its nesting depth. *)
+
+val clear : unit -> unit
+(** Drop all recorded spans (all domains). *)
+
+val span_count : unit -> int
+(** Number of completed spans currently buffered. *)
+
+val to_json : unit -> Json.t
+(** Render buffered spans as a Chrome trace-event document:
+    [{"traceEvents": [...], "displayTimeUnit": "ms"}] with paired
+    [ph:"B"]/[ph:"E"] events, timestamps in microseconds, one [tid]
+    per domain. *)
+
+val write : string -> unit
+(** [write path] writes {!to_json} to [path]. *)

@@ -110,6 +110,17 @@ type lookup =
   | Miss
   | Quarantined of { path : string; reason : string }
 
+(* Cache traffic counters.  Hit/miss splits depend on what earlier
+   processes left on disk, not on this run's scheduling, so they are
+   stable across job counts within one run — but still depend on disk
+   state, which tests control by using fresh cache directories. *)
+module M = struct
+  let hits = Sp_obs.Metrics.counter "pbcache.hits"
+  let misses = Sp_obs.Metrics.counter "pbcache.misses"
+  let quarantined = Sp_obs.Metrics.counter "pbcache.quarantined"
+  let stored = Sp_obs.Metrics.counter "pbcache.stored"
+end
+
 let quarantine path =
   let q = path ^ ".quarantined" in
   (try Sys.rename path q with Sys_error _ -> ());
@@ -117,24 +128,31 @@ let quarantine path =
 
 let find_whole ~dir ~key =
   let path = whole_path ~dir key in
-  if not (Sys.file_exists path) then Miss
+  if not (Sys.file_exists path) then begin
+    Sp_obs.Metrics.incr M.misses;
+    Miss
+  end
   else
     match Store.load path with
     | Error e ->
         ignore (quarantine path);
+        Sp_obs.Metrics.incr M.quarantined;
         Quarantined { path; reason = Store.error_message e }
     | Ok pb -> (
         match (pb.Pinball.kind, pb.Pinball.length) with
         | Pinball.Whole, Some total_insns ->
+            Sp_obs.Metrics.incr M.hits;
             Hit { Logger.pinball = pb; total_insns }
         | _ ->
             (* decodes fine but is not a whole pinball: a stale or
                hand-edited entry, equally untrustworthy *)
             ignore (quarantine path);
+            Sp_obs.Metrics.incr M.quarantined;
             Quarantined { path; reason = "not a whole pinball" })
 
 let store_whole ~dir ~key ~slice_insns ~slices_scale (w : Logger.whole) =
   let path = Store.save_path ~path:(whole_path ~dir key) w.Logger.pinball in
+  Sp_obs.Metrics.incr M.stored;
   append_manifest ~dir
     {
       key;

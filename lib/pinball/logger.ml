@@ -96,8 +96,9 @@ let scan_regions ?warmup (w : whole) points f =
     sorted;
   let machine = Snapshot.restore pb.Pinball.snapshot in
   let syscall = Replayer.recorded_syscall pb in
-  Array.iter
-    (fun (p : Sp_simpoint.Simpoints.point) ->
+  let last = Array.length sorted - 1 in
+  Array.iteri
+    (fun i (p : Sp_simpoint.Simpoints.point) ->
       let start = p.start_icount in
       if start > w.total_insns then
         invalid_arg "Logger.scan_regions: point beyond execution";
@@ -128,6 +129,11 @@ let scan_regions ?warmup (w : whole) points f =
         }
       in
       f region;
-      (* advance the forward pass over the region itself *)
-      ignore (Interp.run ~syscall ~fuel:p.length pb.Pinball.program machine))
+      (* advance the forward pass over the region itself, positioning
+         for the next point; after the final region the advance would
+         be pure waste — and skipping it keeps the instructions this
+         scan retires identical to what [capture_regions] retires, so
+         execution metrics match across the two replay strategies *)
+      if i < last then
+        ignore (Interp.run ~syscall ~fuel:p.length pb.Pinball.program machine))
     sorted

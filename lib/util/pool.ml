@@ -15,6 +15,20 @@
 
 let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
 
+(* Pool metrics are all scheduling-dependent (batch and task counts
+   change with the sequential fall-backs, busy time with load), so none
+   is registered stable. *)
+module M = struct
+  let batches = Sp_obs.Metrics.counter ~stable:false "pool.batches"
+  let tasks = Sp_obs.Metrics.counter ~stable:false "pool.tasks"
+
+  let domains_spawned =
+    Sp_obs.Metrics.counter ~stable:false "pool.domains_spawned"
+
+  let busy_seconds =
+    Sp_obs.Metrics.histogram ~stable:false "pool.domain_busy_seconds"
+end
+
 (* set while executing inside a pool worker; consulted to flatten
    nested parallelism *)
 let inside_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
@@ -41,12 +55,16 @@ let pooled_map ~jobs f arr =
   let failure = Atomic.make None in
   let worker () =
     Domain.DLS.set inside_worker true;
+    let t0 = Sp_obs.Clock.now_ns () in
     let continue = ref true in
     while !continue do
       let i = Atomic.fetch_and_add next 1 in
       if i >= n || Atomic.get failure <> None then continue := false
       else
-        match f arr.(i) with
+        match
+          Sp_obs.Metrics.incr M.tasks;
+          f arr.(i)
+        with
         | v -> results.(i) <- Some v
         | exception e ->
             let bt = Printexc.get_raw_backtrace () in
@@ -55,11 +73,15 @@ let pooled_map ~jobs f arr =
               (Atomic.compare_and_set failure None
                  (Some (Worker_exception (e, bt))));
             continue := false
-    done
+    done;
+    Sp_obs.Metrics.observe M.busy_seconds
+      (Sp_obs.Clock.seconds_of_ns (Sp_obs.Clock.now_ns () - t0))
   in
+  Sp_obs.Metrics.incr M.batches;
   let domains =
     Array.init (min jobs n) (fun _ -> Domain.spawn worker)
   in
+  Sp_obs.Metrics.add M.domains_spawned (Array.length domains);
   Array.iter Domain.join domains;
   (match Atomic.get failure with
   | Some (Worker_exception (e, bt)) -> Printexc.raise_with_backtrace e bt
@@ -73,8 +95,11 @@ let pooled_map ~jobs f arr =
 
 let parallel_map ?jobs f arr =
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
-  if jobs <= 1 || Array.length arr <= 1 || Domain.DLS.get inside_worker then
+  if jobs <= 1 || Array.length arr <= 1 || Domain.DLS.get inside_worker then begin
+    Sp_obs.Metrics.incr M.batches;
+    Sp_obs.Metrics.add M.tasks (Array.length arr);
     sequential_map f arr
+  end
   else pooled_map ~jobs f arr
 
 (* Chunked parallel iteration: [body lo hi] covers [lo, hi).  Chunk

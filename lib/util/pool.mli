@@ -8,7 +8,12 @@
     Parallel calls issued from {e inside} a pool worker run
     sequentially instead of nesting domains, so composed fan-outs
     (suite over benchmarks, replays within a benchmark) never
-    oversubscribe the machine. *)
+    oversubscribe the machine.
+
+    Observability: every batch records [pool.batches], [pool.tasks],
+    [pool.domains_spawned] and a [pool.domain_busy_seconds] histogram
+    in {!Sp_obs.Metrics}.  All pool metrics are registered unstable —
+    their values legitimately vary with [jobs]. *)
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count () - 1], at least 1 — one core is

@@ -118,3 +118,8 @@ let to_csv t =
   Buffer.contents buf
 
 let title t = t.title
+
+let headers t = t.headers
+
+let rows t =
+  List.filter_map (function Cells c -> Some c | Rule -> None) (List.rev t.rows)

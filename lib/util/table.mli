@@ -27,6 +27,12 @@ val to_csv : t -> string
 
 val title : t -> string option
 
+val headers : t -> string list
+
+val rows : t -> string list list
+(** Data rows in display order (rules skipped) — for machine-readable
+    re-encodings of a report (e.g. the CLI's [--json]). *)
+
 val fmt_f : ?dec:int -> float -> string
 (** Fixed-point float cell ([dec] decimals, default 2). *)
 

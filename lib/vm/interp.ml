@@ -30,6 +30,20 @@ let create ?mem ~entry () =
 
 let default_syscall n = Sp_util.Rng.hash_string (string_of_int n) land 0xFFFF
 
+(* Execution metrics, flushed once per [run] (and once per engine loop
+   for block counts) so the hot loops stay untouched.  Instruction and
+   TLB-refill totals are pure functions of the retired work and are
+   registered stable; per-tier run counts depend on which pipeline path
+   drove the interpreter, so they are not. *)
+module M = struct
+  let instructions = Sp_obs.Metrics.counter "vm.instructions"
+  let tlb_refills = Sp_obs.Metrics.counter "vm.tlb_refills"
+  let blocks = Sp_obs.Metrics.counter "vm.blocks_stepped"
+  let runs_plain = Sp_obs.Metrics.counter ~stable:false "vm.runs.plain"
+  let runs_block = Sp_obs.Metrics.counter ~stable:false "vm.runs.block"
+  let runs_hooked = Sp_obs.Metrics.counter ~stable:false "vm.runs.hooked"
+end
+
 let exec_alu op a b =
   match (op : Isa.alu_op) with
   | Add -> a + b
@@ -185,7 +199,9 @@ let run_block ~hooks ~syscall ~fuel (prog : Program.t) (m : machine) =
   let remaining = ref fuel in
   let status = ref Out_of_fuel in
   let running = ref (fuel > 0) in
+  let blocks = ref 0 in
   while !running do
+    incr blocks;
     let pc0 = m.pc in
     let bb = Array.unsafe_get bb_of_pc pc0 in
     if Array.unsafe_get is_leader pc0 then on_block bb;
@@ -322,6 +338,7 @@ let run_block ~hooks ~syscall ~fuel (prog : Program.t) (m : machine) =
         running := false);
     if !remaining <= 0 then running := false
   done;
+  Sp_obs.Metrics.add M.blocks !blocks;
   !status
 [@@inline never]
 
@@ -443,6 +460,22 @@ let run_hooked ~hooks ~syscall ~fuel (prog : Program.t) (m : machine) =
    machine state for any fuel split. *)
 let run ?(hooks = Hooks.nil) ?(syscall = default_syscall) ?(fuel = max_int)
     (prog : Program.t) (m : machine) =
-  if Hooks.is_nil hooks then run_plain ~syscall ~fuel prog m
-  else if Hooks.block_level hooks then run_block ~hooks ~syscall ~fuel prog m
-  else run_hooked ~hooks ~syscall ~fuel prog m
+  let icount0 = m.icount in
+  let tlb0 = Memory.tlb_refills m.mem in
+  let status =
+    if Hooks.is_nil hooks then begin
+      Sp_obs.Metrics.incr M.runs_plain;
+      run_plain ~syscall ~fuel prog m
+    end
+    else if Hooks.block_level hooks then begin
+      Sp_obs.Metrics.incr M.runs_block;
+      run_block ~hooks ~syscall ~fuel prog m
+    end
+    else begin
+      Sp_obs.Metrics.incr M.runs_hooked;
+      run_hooked ~hooks ~syscall ~fuel prog m
+    end
+  in
+  Sp_obs.Metrics.add M.instructions (m.icount - icount0);
+  Sp_obs.Metrics.add M.tlb_refills (Memory.tlb_refills m.mem - tlb0);
+  status

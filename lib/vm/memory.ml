@@ -29,6 +29,9 @@ type t = {
   int_tlb : int array array;
   float_tags : int array;
   float_tlb : float array array;
+  (* cumulative TLB refills (fast-path misses that installed an entry);
+     off the fast path, read by the interpreter's metrics flush *)
+  mutable tlb_refills : int;
 }
 
 let create () =
@@ -39,6 +42,7 @@ let create () =
     int_tlb = Array.make tlb_slots no_int_page;
     float_tags = Array.make tlb_slots (-1);
     float_tlb = Array.make tlb_slots no_float_page;
+    tlb_refills = 0;
   }
 
 let int_page t idx =
@@ -68,6 +72,7 @@ let load t addr =
   else
     match Hashtbl.find_opt t.int_pages idx with
     | Some p ->
+        t.tlb_refills <- t.tlb_refills + 1;
         Array.unsafe_set t.int_tags slot idx;
         Array.unsafe_set t.int_tlb slot p;
         Array.unsafe_get p (w land offset_mask)
@@ -82,6 +87,7 @@ let store t addr v =
       Array.unsafe_get t.int_tlb slot
     else begin
       let p = int_page t idx in
+      t.tlb_refills <- t.tlb_refills + 1;
       Array.unsafe_set t.int_tags slot idx;
       Array.unsafe_set t.int_tlb slot p;
       p
@@ -100,6 +106,7 @@ let loadf t addr =
   else
     match Hashtbl.find_opt t.float_pages idx with
     | Some p ->
+        t.tlb_refills <- t.tlb_refills + 1;
         Array.unsafe_set t.float_tags slot idx;
         Array.unsafe_set t.float_tlb slot p;
         Array.unsafe_get p (w land offset_mask)
@@ -114,12 +121,15 @@ let storef t addr v =
       Array.unsafe_get t.float_tlb slot
     else begin
       let p = float_page t idx in
+      t.tlb_refills <- t.tlb_refills + 1;
       Array.unsafe_set t.float_tags slot idx;
       Array.unsafe_set t.float_tlb slot p;
       p
     end
   in
   Array.unsafe_set p (w land offset_mask) v
+
+let tlb_refills t = t.tlb_refills
 
 let footprint_bytes t =
   (Hashtbl.length t.int_pages + Hashtbl.length t.float_pages) * page_bytes

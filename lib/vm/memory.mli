@@ -32,6 +32,12 @@ val page_bytes : int
 val footprint_bytes : t -> int
 (** Total bytes of pages touched so far (int + float views). *)
 
+val tlb_refills : t -> int
+(** Cumulative software-TLB refills (fast-path misses that installed an
+    entry) since this memory was created.  Deterministic for a given
+    access stream; the interpreter flushes deltas into the
+    [vm.tlb_refills] metric. *)
+
 val copy : t -> t
 (** Deep copy; the result shares nothing with the source. *)
 

@@ -19,4 +19,5 @@ let () =
       ("misc", Test_misc.suite);
       ("coverage", Test_coverage.suite);
       ("parallel", Test_parallel.suite);
+      ("obs", Test_obs.suite);
     ]

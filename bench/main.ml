@@ -140,10 +140,47 @@ let micro () =
       Test.make ~name:"kmeans-k20-2000x15"
         (Staged.stage (fun () ->
              ignore (Sp_simpoint.Kmeans.fit ~max_iters:10 ~k:20 points)));
+      (* cold variant: the points (and the fit's internal flat copies
+         and bound arrays) are freshly allocated every run, so the cost
+         of warming those pages is inside the measurement *)
+      Test.make ~name:"kmeans-k20-2000x15-cold"
+        (Staged.stage (fun () ->
+             let rng = Sp_util.Rng.create 7 in
+             let pts =
+               Array.init 2000 (fun _ ->
+                   Array.init 15 (fun _ -> Sp_util.Rng.float rng 1.0))
+             in
+             ignore (Sp_simpoint.Kmeans.fit ~max_iters:10 ~k:20 pts)));
       Test.make ~name:"cache-access"
         (Staged.stage (fun () ->
              addr := (!addr + 4096) land 0xFFFFF;
              ignore (Sp_cache.Cache.access cache !addr)));
+      (* 1 KiB stride = sets * line_bytes on the 32-set L1D: every
+         access lands in set 0, and cycling 64 tags through 32 ways
+         makes every access an eviction — the replacement-policy slow
+         path, where the MRU short-circuit can never fire *)
+      Test.make ~name:"cache-access-miss"
+        (Staged.stage
+           (let miss_cache =
+              Sp_cache.Cache.create Sp_cache.Config.allcache_table1.l1d
+            in
+            let miss_addr = ref 0 in
+            fun () ->
+              miss_addr := (!miss_addr + 1024) land 0xFFFF;
+              ignore (Sp_cache.Cache.access miss_cache !miss_addr)));
+      (* 4 KiB stride over a 32 MiB cycle: distinct line every access,
+         revisited only after the tags in its set have rotated out of
+         L1D, L2 and L3 alike — every access walks the full hierarchy
+         to memory *)
+      Test.make ~name:"cache-hier-walk"
+        (Staged.stage
+           (let hier =
+              Sp_cache.Hierarchy.create Sp_cache.Config.allcache_table1
+            in
+            let walk_addr = ref 0 in
+            fun () ->
+              walk_addr := (!walk_addr + 4096) land 0x1FF_FFFF;
+              Sp_cache.Hierarchy.read hier !walk_addr));
       Test.make ~name:"projection-2000-slices"
         (Staged.stage
            (let slices =

@@ -13,7 +13,12 @@ type policy = Lru | Fifo | Random
 type t
 
 val create : ?policy:policy -> ?seed:int -> Config.level -> t
-(** [seed] only matters for [Random] replacement (deterministic). *)
+(** [seed] only matters for [Random] replacement (deterministic).
+    @raise Invalid_argument (naming the level) if the geometry is
+    degenerate: [line_bytes] or the derived set count not a positive
+    power of two, [assoc < 1], or a size that is not
+    [sets * assoc * line_bytes] — the shift/mask indexing would
+    silently mis-shape otherwise. *)
 
 val config : t -> Config.level
 val policy : t -> policy
@@ -25,6 +30,15 @@ val access : t -> int -> bool
 val access_rw : t -> write:bool -> int -> bool
 (** Like {!access}; a write marks the line dirty, and evicting a dirty
     line counts a write-back. *)
+
+val access_bulk : t -> int -> unit
+(** [access_bulk c n] folds [n] guaranteed-hit read accesses into the
+    counters without touching replacement state.  Only sound when the
+    caller can prove each access would hit — e.g. repeats of the line
+    the cache just served, which are hits in place: no residency
+    change, no reorder (the line is already MRU under LRU; FIFO/Random
+    never reorder on hit), no dirty-bit change.  Statistics then stay
+    bit-identical to [n] individual {!access} calls. *)
 
 val warm : t -> int -> bool
 (** Like {!access} but does not count statistics — used for the paper's

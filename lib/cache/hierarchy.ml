@@ -71,6 +71,15 @@ let fetch (t : t) addr = walk t ~write:false t.l1i addr
 let read t addr = walk t ~write:false t.l1d addr
 let write t addr = walk t ~write:true t.l1d addr
 
+(* Same-line repeat filters: [n] guaranteed L1 hits folded straight
+   into the L1 counters.  A hit in L1 never reaches L2/L3, and a
+   repeat of the line L1 just served changes no replacement state, so
+   statistics stay bit-identical to [n] full walks.  During warming a
+   walk would count nothing and change nothing for a guaranteed hit,
+   so the batch is dropped entirely. *)
+let fetch_repeats (t : t) n = if not t.warming then Cache.access_bulk t.l1i n
+let read_repeats (t : t) n = if not t.warming then Cache.access_bulk t.l1d n
+
 type hit_level = L1 | L2 | L3 | Memory
 
 let latency_class = function L1 -> 0 | L2 -> 1 | L3 -> 2 | Memory -> 3

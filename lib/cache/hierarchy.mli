@@ -31,6 +31,19 @@ val read : t -> int -> unit
 val write : t -> int -> unit
 (** Data write; write-allocate, so it walks the same path as a read. *)
 
+val fetch_repeats : t -> int -> unit
+(** [fetch_repeats t n] counts [n] instruction fetches that are
+    guaranteed L1I hits (repeats of the line the last {!fetch}
+    touched) without walking: a repeat hit changes no replacement
+    state and never reaches L2/L3, so stats stay bit-identical to [n]
+    {!fetch} calls.  No-op while warming, exactly as [n] warmed
+    guaranteed hits would be. *)
+
+val read_repeats : t -> int -> unit
+(** Same-line filter for data reads: [n] guaranteed L1D hits, counters
+    only.  (Writes must still go through {!write} — a repeat write can
+    set the dirty bit.) *)
+
 (** The level that served an access — what a timing model needs. *)
 type hit_level = L1 | L2 | L3 | Memory
 

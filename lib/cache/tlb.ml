@@ -41,6 +41,12 @@ let access t addr =
     in
     if not l2_hit then t.walks <- t.walks + 1
 
+(* [n] guaranteed first-level hits (repeats of the page just
+   translated): counter-only, no replacement-state walk.  Exact for the
+   same reason as [Cache.access_bulk] — a first-level hit never reaches
+   the second level or the walk counter. *)
+let access_bulk t n = Cache.access_bulk t.l1 n
+
 let warm t addr =
   if not (Cache.warm t.l1 addr) then
     let l2_hit =

@@ -42,6 +42,11 @@ type stats = {
 val access : t -> int -> unit
 (** Translate the page containing a byte address. *)
 
+val access_bulk : t -> int -> unit
+(** [access_bulk t n] counts [n] guaranteed first-level hits without
+    walking — only sound for repeats of the page this TLB just
+    translated (statistics bit-identical to [n] {!access} calls). *)
+
 val warm : t -> int -> unit
 (** Translate without counting statistics. *)
 

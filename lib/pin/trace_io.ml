@@ -27,6 +27,7 @@ module Writer = struct
 
   let hooks t =
     {
+      Hooks.nil with
       Hooks.on_block = (fun bb -> emit t (fun oc -> Printf.fprintf oc "L %d\n" bb));
       on_block_exec =
         (fun bb len -> emit t (fun oc -> Printf.fprintf oc "X %d %d\n" bb len));

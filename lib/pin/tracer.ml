@@ -25,6 +25,7 @@ let push t e =
 
 let hooks t =
   {
+    Hooks.nil with
     Hooks.on_block = (fun bb -> push t (Block bb));
     on_block_exec = (fun bb len -> push t (Block_exec { bb; len }));
     on_instr = (fun pc kind -> push t (Instr { pc; kind = Sp_isa.Isa.kind_of_code kind }));

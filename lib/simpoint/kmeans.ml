@@ -14,27 +14,82 @@ let sq_distance a b =
   done;
   !d
 
-let nearest centroids p =
-  let best = ref 0 and best_d = ref infinity in
-  Array.iteri
-    (fun j c ->
-      let d = sq_distance p c in
-      if d < !best_d then begin
-        best_d := d;
-        best := j
-      end)
-    centroids;
+(* Points and centroids live row-major in flat float arrays ([i*dim ..
+   i*dim+dim-1] is row [i]): one allocation, no per-row indirection, and
+   the Lloyd inner loops walk memory sequentially.
+
+   All distance computations below accumulate coordinate squares in
+   index order with the exact operation sequence of {!sq_distance}, so
+   every produced value is bit-identical to the nested-array code. *)
+
+let flatten rows dim =
+  let n = Array.length rows in
+  let flat = Array.make (if n * dim = 0 then 1 else n * dim) 0.0 in
+  for i = 0 to n - 1 do
+    Array.blit rows.(i) 0 flat (i * dim) dim
+  done;
+  flat
+
+let sqd_flat a ao b bo dim =
+  let d = ref 0.0 in
+  for x = 0 to dim - 1 do
+    let v = Array.unsafe_get a (ao + x) -. Array.unsafe_get b (bo + x) in
+    d := !d +. (v *. v)
+  done;
+  !d
+
+(* Exhaustive nearest-centroid scan over flat rows: candidates in index
+   order under a strict [<] update, so ties keep the lowest index —
+   the selection contract every pruned path below must reproduce. *)
+let nearest_flat cents k pts po dim =
+  let best = ref 0 in
+  let best_d = ref (sqd_flat pts po cents 0 dim) in
+  for j = 1 to k - 1 do
+    let d = sqd_flat pts po cents (j * dim) dim in
+    if d < !best_d then begin
+      best_d := d;
+      best := j
+    end
+  done;
   (!best, !best_d)
 
 let assign ?jobs ~centroids points =
-  if Array.length points = 0 then [||]
+  let n = Array.length points in
+  if n = 0 then [||]
   else begin
-    let out = Array.make (Array.length points) 0 in
-    Sp_util.Pool.parallel_for ?jobs ~n:(Array.length points) (fun lo hi ->
-        for i = lo to hi - 1 do
-          out.(i) <- fst (nearest centroids points.(i))
-        done);
-    out
+    let k = Array.length centroids in
+    if k = 0 then Array.make n 0
+    else begin
+      let dim = Array.length points.(0) in
+      let pts = flatten points dim in
+      let cents = flatten centroids dim in
+      let out = Array.make n 0 in
+      Sp_util.Pool.parallel_for ?jobs ~n (fun lo hi ->
+          for i = lo to hi - 1 do
+            out.(i) <- fst (nearest_flat cents k pts (i * dim) dim)
+          done);
+      out
+    end
+  end
+
+(* Smallest [i] with [prefix.(i) >= target], or [n-1] when the target
+   overshoots the last entry — exactly the index the linear
+   accumulate-and-compare scan picks, because [prefix] holds that scan's
+   accumulator values (same summation order) and they are non-decreasing
+   (float addition of non-negative weights is monotone), which is what
+   makes the binary search sound. *)
+let weighted_pick prefix target =
+  let n = Array.length prefix in
+  if n = 0 then invalid_arg "Kmeans.weighted_pick: empty prefix";
+  if prefix.(n - 1) < target then n - 1
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    (* invariant: prefix.(hi) >= target, and prefix.(lo-1) < target *)
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if prefix.(mid) >= target then hi := mid else lo := mid + 1
+    done;
+    !lo
   end
 
 (* k-means++ seeding: first centroid uniform, then each next centroid
@@ -42,20 +97,22 @@ let assign ?jobs ~centroids points =
    nearest chosen centroid.  [total] tracks the sum of [d2]
    incrementally: entries only ever shrink when a new centroid gets
    closer, so the running total is adjusted by each delta instead of
-   re-summing the whole array per centroid. *)
-let seed_plus_plus rng k points =
-  let n = Array.length points in
-  let centroids = Array.make k points.(0) in
-  centroids.(0) <- points.(Sp_util.Rng.int rng n);
+   re-summing the whole array per centroid.  The draw itself builds the
+   prefix-sum of [d2] (same accumulation order as the old linear scan)
+   and binary-searches it, selecting the same index for the same RNG
+   draw. *)
+let seed_plus_plus rng k pts n dim =
+  let cents = Array.make (k * dim) 0.0 in
+  let first = Sp_util.Rng.int rng n in
+  Array.blit pts (first * dim) cents 0 dim;
   let total = ref 0.0 in
-  let d2 =
-    Array.map
-      (fun p ->
-        let d = sq_distance p centroids.(0) in
-        total := !total +. d;
-        d)
-      points
-  in
+  let d2 = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    let d = sqd_flat pts (i * dim) cents 0 dim in
+    total := !total +. d;
+    d2.(i) <- d
+  done;
+  let prefix = Array.make n 0.0 in
   for j = 1 to k - 1 do
     (* the running total can drift a hair below zero once all
        distances collapse; treat that as exhausted *)
@@ -64,29 +121,25 @@ let seed_plus_plus rng k points =
       if mass <= 0.0 then Sp_util.Rng.int rng n
       else begin
         let target = Sp_util.Rng.float rng mass in
-        let acc = ref 0.0 and pick = ref (n - 1) in
-        (try
-           for i = 0 to n - 1 do
-             acc := !acc +. d2.(i);
-             if !acc >= target then begin
-               pick := i;
-               raise Exit
-             end
-           done
-         with Exit -> ());
-        !pick
+        let acc = ref 0.0 in
+        for i = 0 to n - 1 do
+          acc := !acc +. d2.(i);
+          prefix.(i) <- !acc
+        done;
+        weighted_pick prefix target
       end
     in
-    centroids.(j) <- points.(chosen);
+    Array.blit pts (chosen * dim) cents (j * dim) dim;
+    let cj = j * dim in
     for i = 0 to n - 1 do
-      let d = sq_distance points.(i) centroids.(j) in
+      let d = sqd_flat pts (i * dim) cents cj dim in
       if d < d2.(i) then begin
         total := !total -. (d2.(i) -. d);
         d2.(i) <- d
       end
     done
   done;
-  Array.map Array.copy centroids
+  cents
 
 let fit ?(max_iters = 50) ?(seed = 42) ?(jobs = 1) ~k points =
   let n = Array.length points in
@@ -94,11 +147,12 @@ let fit ?(max_iters = 50) ?(seed = 42) ?(jobs = 1) ~k points =
   if k < 1 then invalid_arg "Kmeans.fit: k < 1";
   let k = min k n in
   let dim = Array.length points.(0) in
+  let pts = flatten points dim in
   let rng = Sp_util.Rng.create seed in
-  let centroids = seed_plus_plus rng k points in
+  let cents = seed_plus_plus rng k pts n dim in
   let assignment = Array.make n (-1) in
   let sizes = Array.make k 0 in
-  let sums = Array.init k (fun _ -> Array.make dim 0.0) in
+  let sums = Array.make (k * dim) 0.0 in
   let distortion = ref 0.0 in
   let changed = ref true in
   let iters = ref 0 in
@@ -111,12 +165,76 @@ let fit ?(max_iters = 50) ?(seed = 42) ?(jobs = 1) ~k points =
      whether jobs is 1 or 16. *)
   let best_j = Array.make n 0 in
   let best_d = Array.make n 0.0 in
+  (* Elkan-style lower-bound pruning state (invariants in DESIGN.md
+     §5g).  [lsq.(i*k+j)] is the exact squared distance from point [i]
+     to centroid [j] as last computed, and [dbase.(i*k+j)] the value of
+     [cum.(j)] at that moment; [cum.(j)] is a running over-estimate of
+     centroid [j]'s total Euclidean drift (each per-round displacement
+     is inflated by 1e-7 before accumulating, swamping every rounding
+     error in the sqrt and the sum).  By the triangle inequality the
+     current distance is at least [sqrt lsq - (cum - dbase)], so a
+     candidate with [lsq > (s + delta)^2 * 1.000001] (where [s] is the
+     running best distance, unsquared) is *strictly* farther than the
+     running best and can never win the naive scan's strict [<] update
+     nor tie it — skipping it leaves argmin and best distance
+     bit-identical.  Candidates that survive are measured with the full
+     {!sqd_flat} operation sequence, in index order, exactly as
+     {!nearest_flat} would. *)
+  let lsq = Array.make (n * k) 0.0 in
+  let dbase = Array.make (n * k) 0.0 in
+  let cum = Array.make k 0.0 in
+  let prev = Array.make (k * dim) 0.0 in
+  let first_search = ref true in
   let search () =
+    if !first_search then first_search := false
+    else
+      for j = 0 to k - 1 do
+        let step = sqrt (sqd_flat cents (j * dim) prev (j * dim) dim) in
+        cum.(j) <- cum.(j) +. (step *. 1.0000001)
+      done;
+    Array.blit cents 0 prev 0 (k * dim);
     Sp_util.Pool.parallel_for ~jobs ~n (fun lo hi ->
         for i = lo to hi - 1 do
-          let j, d = nearest centroids points.(i) in
-          best_j.(i) <- j;
-          best_d.(i) <- d
+          let po = i * dim in
+          let lrow = i * k in
+          (* measure last round's winner first: its distance is usually
+             already the minimum, so the bound test rejects almost every
+             other candidate.  Scan order doesn't affect the result: the
+             update below keeps the lowest index among computed
+             equal-minimum candidates, and a skipped candidate is
+             strictly above the running best, hence above the minimum. *)
+          let b0 =
+            let a = Array.unsafe_get assignment i in
+            if a >= 0 then a else 0
+          in
+          let d0 = sqd_flat pts po cents (b0 * dim) dim in
+          Array.unsafe_set lsq (lrow + b0) d0;
+          Array.unsafe_set dbase (lrow + b0) (Array.unsafe_get cum b0);
+          let best = ref b0 in
+          let bd = ref d0 in
+          let s = ref (sqrt d0) in
+          for j = 0 to k - 1 do
+            if j <> b0 then begin
+              let delta =
+                Array.unsafe_get cum j -. Array.unsafe_get dbase (lrow + j)
+              in
+              let t = !s +. delta in
+              if not (Array.unsafe_get lsq (lrow + j) > t *. t *. 1.000001)
+              then begin
+                let d = sqd_flat pts po cents (j * dim) dim in
+                Array.unsafe_set lsq (lrow + j) d;
+                Array.unsafe_set dbase (lrow + j) (Array.unsafe_get cum j);
+                if d < !bd then begin
+                  bd := d;
+                  best := j;
+                  s := sqrt d
+                end
+                else if d = !bd && j < !best then best := j
+              end
+            end
+          done;
+          best_j.(i) <- !best;
+          best_d.(i) <- !bd
         done)
   in
   while !changed && !iters < max_iters do
@@ -124,7 +242,7 @@ let fit ?(max_iters = 50) ?(seed = 42) ?(jobs = 1) ~k points =
     incr iters;
     distortion := 0.0;
     Array.fill sizes 0 k 0;
-    Array.iter (fun s -> Array.fill s 0 dim 0.0) sums;
+    Array.fill sums 0 (k * dim) 0.0;
     search ();
     for i = 0 to n - 1 do
       let j = best_j.(i) in
@@ -134,9 +252,10 @@ let fit ?(max_iters = 50) ?(seed = 42) ?(jobs = 1) ~k points =
       end;
       distortion := !distortion +. best_d.(i);
       sizes.(j) <- sizes.(j) + 1;
-      let s = sums.(j) and p = points.(i) in
+      let s = j * dim and p = i * dim in
       for x = 0 to dim - 1 do
-        s.(x) <- s.(x) +. p.(x)
+        Array.unsafe_set sums (s + x)
+          (Array.unsafe_get sums (s + x) +. Array.unsafe_get pts (p + x))
       done
     done;
     (* recompute centroids; re-seed empty clusters on the farthest point.
@@ -154,12 +273,14 @@ let fit ?(max_iters = 50) ?(seed = 42) ?(jobs = 1) ~k points =
             far := i
           end
         done;
-        centroids.(j) <- Array.copy points.(!far);
+        Array.blit pts (!far * dim) cents (j * dim) dim;
         changed := true
       end
       else begin
-        let s = sums.(j) and inv = 1.0 /. float_of_int sizes.(j) in
-        centroids.(j) <- Array.map (fun x -> x *. inv) s
+        let s = j * dim and inv = 1.0 /. float_of_int sizes.(j) in
+        for x = 0 to dim - 1 do
+          cents.(s + x) <- sums.(s + x) *. inv
+        done
       end
     done
   done;
@@ -173,6 +294,7 @@ let fit ?(max_iters = 50) ?(seed = 42) ?(jobs = 1) ~k points =
     sizes.(j) <- sizes.(j) + 1;
     distortion := !distortion +. best_d.(i)
   done;
+  let centroids = Array.init k (fun j -> Array.sub cents (j * dim) dim) in
   { k; assignment; centroids; sizes; distortion = !distortion }
 
 let within_cluster_variance result points =

@@ -28,6 +28,16 @@ val assign :
 
 val sq_distance : float array -> float array -> float
 
+val weighted_pick : float array -> float -> int
+(** [weighted_pick prefix target] returns the smallest index [i] with
+    [prefix.(i) >= target], or [Array.length prefix - 1] when [target]
+    exceeds the final entry — by binary search, valid because a prefix
+    sum of non-negative weights is non-decreasing.  This is exactly the
+    index a linear accumulate-and-compare scan over the underlying
+    weights picks, for any [target]; the k-means++ seeding draw relies
+    on that equivalence.
+    @raise Invalid_argument if [prefix] is empty. *)
+
 val within_cluster_variance : result -> float array array -> float array
 (** Mean squared distance to the centroid, per cluster (the paper's
     Figure 4 "variance in phase similarity"). *)

@@ -102,15 +102,29 @@ let fit ?components data =
   let means, stddevs = column_stats data in
   let z = standardize data in
   let nf = float_of_int n in
-  let cov =
-    Array.init d (fun i ->
-        Array.init d (fun j ->
-            let s = ref 0.0 in
-            for r = 0 to n - 1 do
-              s := !s +. (z.(r).(i) *. z.(r).(j))
-            done;
-            !s /. nf))
-  in
+  (* The O(n*d^2) covariance accumulation walks the standardised matrix
+     once per (i, j) pair; a flat row-major copy keeps those walks on
+     sequential cache lines instead of chasing row pointers.  Summation
+     stays in row order (and IEEE multiplication commutes exactly), so
+     filling j >= i and mirroring yields bit-identical entries to the
+     full nested scan. *)
+  let zf = Array.make (n * d) 0.0 in
+  for r = 0 to n - 1 do
+    Array.blit z.(r) 0 zf (r * d) d
+  done;
+  let cov = Array.init d (fun _ -> Array.make d 0.0) in
+  for i = 0 to d - 1 do
+    for j = i to d - 1 do
+      let s = ref 0.0 in
+      for r = 0 to n - 1 do
+        s :=
+          !s +. (Array.unsafe_get zf ((r * d) + i) *. Array.unsafe_get zf ((r * d) + j))
+      done;
+      let c = !s /. nf in
+      cov.(i).(j) <- c;
+      cov.(j).(i) <- c
+    done
+  done;
   let eigenvalues, vectors = jacobi_eigen cov in
   let order = Array.init d (fun i -> i) in
   Array.sort (fun a b -> compare eigenvalues.(b) eigenvalues.(a)) order;

@@ -1,6 +1,7 @@
 type t = {
   on_block : int -> unit;
   on_block_exec : int -> int -> unit;
+  on_block_mems : int -> int -> int array -> int array -> int -> unit;
   on_instr : int -> int -> unit;
   on_read : int -> unit;
   on_write : int -> unit;
@@ -11,10 +12,14 @@ let ignore1 (_ : int) = ()
 let ignore2 (_ : int) (_ : int) = ()
 let ignore_branch (_ : int) (_ : bool) = ()
 
+let ignore_mems (_ : int) (_ : int) (_ : int array) (_ : int array) (_ : int) =
+  ()
+
 let nil =
   {
     on_block = ignore1;
     on_block_exec = ignore2;
+    on_block_mems = ignore_mems;
     on_instr = ignore2;
     on_read = ignore1;
     on_write = ignore1;
@@ -28,8 +33,9 @@ let nil =
 let is_nil h =
   h == nil
   || (h.on_block == ignore1 && h.on_block_exec == ignore2
-      && h.on_instr == ignore2 && h.on_read == ignore1
-      && h.on_write == ignore1 && h.on_branch == ignore_branch)
+      && h.on_block_mems == ignore_mems && h.on_instr == ignore2
+      && h.on_read == ignore1 && h.on_write == ignore1
+      && h.on_branch == ignore_branch)
 
 (* A hook set is block-level when every per-instruction callback is the
    sentinel.  [on_block], [on_block_exec] and [on_branch] all fire at
@@ -47,6 +53,13 @@ let is_nil h =
 let block_level h =
   h.on_instr == ignore2 && h.on_read == ignore1 && h.on_write == ignore1
 
+(* [on_block_mems] is an aggregate like [on_block_exec]: the fused
+   engine delivers one segment per block entry, the per-instruction
+   engines deliver one single-instruction segment per retirement.  A
+   live callback here does not disqualify a set from block-stepping —
+   it selects the fused engine variant instead. *)
+let has_block_mems h = h.on_block_mems != ignore_mems
+
 let seq a b =
   let pick1 fa fb =
     if fa == ignore1 then fb
@@ -61,6 +74,13 @@ let seq a b =
   {
     on_block = pick1 a.on_block b.on_block;
     on_block_exec = pick2 a.on_block_exec b.on_block_exec;
+    on_block_mems =
+      (if a.on_block_mems == ignore_mems then b.on_block_mems
+       else if b.on_block_mems == ignore_mems then a.on_block_mems
+       else
+         fun pc n offs addrs nrefs ->
+           a.on_block_mems pc n offs addrs nrefs;
+           b.on_block_mems pc n offs addrs nrefs);
     on_instr = pick2 a.on_instr b.on_instr;
     on_read = pick1 a.on_read b.on_read;
     on_write = pick1 a.on_write b.on_write;
@@ -104,6 +124,22 @@ let fuse2 sentinel fs =
           (Array.unsafe_get arr i) x y
         done
 
+let fuse_mems fs =
+  match List.filter (fun f -> f != ignore_mems) fs with
+  | [] -> ignore_mems
+  | [ f ] -> f
+  | [ f; g ] ->
+      fun pc n offs addrs nrefs ->
+        f pc n offs addrs nrefs;
+        g pc n offs addrs nrefs
+  | fs ->
+      let arr = Array.of_list fs in
+      let len = Array.length arr in
+      fun pc n offs addrs nrefs ->
+        for i = 0 to len - 1 do
+          (Array.unsafe_get arr i) pc n offs addrs nrefs
+        done
+
 let seq_all = function
   | [] -> nil
   | [ h ] -> h
@@ -111,6 +147,7 @@ let seq_all = function
       {
         on_block = fuse1 ignore1 (List.map (fun h -> h.on_block) hs);
         on_block_exec = fuse2 ignore2 (List.map (fun h -> h.on_block_exec) hs);
+        on_block_mems = fuse_mems (List.map (fun h -> h.on_block_mems) hs);
         on_instr = fuse2 ignore2 (List.map (fun h -> h.on_instr) hs);
         on_read = fuse1 ignore1 (List.map (fun h -> h.on_read) hs);
         on_write = fuse1 ignore1 (List.map (fun h -> h.on_write) hs);

@@ -17,6 +17,21 @@ type t = {
           delivers [n = 1] per retirement.  Tools attached here must
           depend only on the multiplicity, never on instruction
           position; both deliveries then produce bit-identical results. *)
+  on_block_mems : int -> int -> int array -> int array -> int -> unit;
+      (** [pc0, n, offs, addrs, nrefs]: an aggregate of [n] consecutive
+          retired instructions starting at [pc0], carrying all of their
+          data references at once.  [offs.(r)] (for [r < nrefs]) is the
+          instruction index of reference [r] relative to [pc0], in
+          retirement order; [addrs.(r)] encodes its byte address [a] and
+          direction as [(a lsl 1) lor w] with [w = 1] for a write
+          ([a = addrs.(r) asr 1] recovers the address).  Segments
+          partition the retirement stream exactly — the fused
+          block-stepping engine delivers at most one segment per block
+          entry (splitting around [Sys] instructions so a raising
+          syscall handler still observes every earlier reference), the
+          per-instruction engine delivers [n = 1] segments.  The arrays
+          are reused between calls: callbacks must consume them before
+          returning and only read the first [nrefs] entries. *)
   on_instr : int -> int -> unit;
       (** [pc, kind_code] for every retired instruction *)
   on_read : int -> unit;  (** data byte address of each memory read *)
@@ -39,7 +54,16 @@ val block_level : t -> bool
     ([on_instr], [on_read], [on_write]) is a no-op.  The remaining
     callbacks all fire at most once per basic block, so the interpreter
     may run such a hook set on its block-stepping engine: hook dispatch
-    once per block entry, straight-line execution in between. *)
+    once per block entry, straight-line execution in between.
+    [on_block_mems] is itself a per-block aggregate, so a live callback
+    there keeps the set block-level (the interpreter picks its fused
+    engine). *)
+
+val has_block_mems : t -> bool
+(** True when the [on_block_mems] aggregate is live; decides
+    between the plain block-stepping engine and the fused one (and, for
+    per-instruction sets, whether single-instruction segments must be
+    delivered). *)
 
 val seq : t -> t -> t
 (** Run both hook sets, first argument first. *)

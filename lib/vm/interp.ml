@@ -41,7 +41,9 @@ module M = struct
   let blocks = Sp_obs.Metrics.counter "vm.blocks_stepped"
   let runs_plain = Sp_obs.Metrics.counter ~stable:false "vm.runs.plain"
   let runs_block = Sp_obs.Metrics.counter ~stable:false "vm.runs.block"
+  let runs_fused = Sp_obs.Metrics.counter ~stable:false "vm.runs.fused"
   let runs_hooked = Sp_obs.Metrics.counter ~stable:false "vm.runs.hooked"
+  let runs_mixed = Sp_obs.Metrics.counter ~stable:false "vm.runs.mixed"
 end
 
 let exec_alu op a b =
@@ -342,6 +344,257 @@ let run_block ~hooks ~syscall ~fuel (prog : Program.t) (m : machine) =
   !status
 [@@inline never]
 
+(* The fused block-stepping tier: [run_block] plus collection of the
+   straight-line body's data references into per-run buffers, delivered
+   to [on_block_mems] as one aggregate segment per block entry.  The
+   cache tool then walks the block's i-fetch line/page grid and its
+   data stream in one pass instead of being called back per
+   instruction.
+
+   Segment invariants (the exactness contract with the tool):
+   - segments partition the retirement stream: every retired
+     instruction belongs to exactly one segment, in order, so the
+     tool's reconstructed fetch stream is the per-instruction one;
+   - a [Sys] in the body flushes the segment up to and including the
+     syscall instruction *before* invoking the handler — the
+     per-instruction tier fires the fetch hook before executing, so a
+     raising handler must leave the tool having seen exactly the same
+     prefix;
+   - the terminator's references are collected (addresses are
+     computable before any state change) and the whole segment flushed
+     before the terminator's effect runs, so a [Call]/[Ret] stack
+     error also leaves the tool exactly one instruction ahead of the
+     machine, as the per-instruction tier does;
+   - reference buffers are reused across segments; offsets are relative
+     to the segment start and addresses carry the write bit in bit 0
+     (see [Hooks.on_block_mems]). *)
+let run_fused ~hooks ~syscall ~fuel (prog : Program.t) (m : machine) =
+  let instrs = prog.instrs in
+  let is_leader = prog.is_leader in
+  let bb_of_pc = prog.bb_of_pc in
+  let block_end = prog.block_end in
+  let regs = m.regs in
+  let fregs = m.fregs in
+  let mem = m.mem in
+  let on_block = hooks.Hooks.on_block in
+  let on_block_exec = hooks.Hooks.on_block_exec in
+  let on_block_mems = hooks.Hooks.on_block_mems in
+  let on_branch = hooks.Hooks.on_branch in
+  (* at most two references per instruction (Movs: read then write) *)
+  let cap = 2 * prog.max_block_len in
+  let offs = Array.make cap 0 in
+  let addrs = Array.make cap 0 in
+  let remaining = ref fuel in
+  let status = ref Out_of_fuel in
+  let running = ref (fuel > 0) in
+  let blocks = ref 0 in
+  while !running do
+    incr blocks;
+    let pc0 = m.pc in
+    let bb = Array.unsafe_get bb_of_pc pc0 in
+    if Array.unsafe_get is_leader pc0 then on_block bb;
+    let stop = Array.unsafe_get block_end bb in
+    let avail = stop - pc0 in
+    let n = if avail <= !remaining then avail else !remaining in
+    on_block_exec bb n;
+    m.icount <- m.icount + n;
+    remaining := !remaining - n;
+    let last = pc0 + n - 1 in
+    let seg_start = ref pc0 in
+    let nrefs = ref 0 in
+    for pc = pc0 to last - 1 do
+      match Array.unsafe_get instrs pc with
+      | Alu (op, rd, r1, r2) ->
+          Array.unsafe_set regs rd
+            (exec_alu op (Array.unsafe_get regs r1) (Array.unsafe_get regs r2))
+      | Alui (op, rd, r1, imm) ->
+          Array.unsafe_set regs rd (exec_alu op (Array.unsafe_get regs r1) imm)
+      | Li (rd, imm) -> Array.unsafe_set regs rd imm
+      | Mov (rd, rs) -> Array.unsafe_set regs rd (Array.unsafe_get regs rs)
+      | Load (rd, rs, off) ->
+          let a = Array.unsafe_get regs rs + off in
+          let r = !nrefs in
+          Array.unsafe_set offs r (pc - !seg_start);
+          Array.unsafe_set addrs r (a lsl 1);
+          nrefs := r + 1;
+          Array.unsafe_set regs rd (Memory.load mem a)
+      | Store (rv, rb, off) ->
+          let a = Array.unsafe_get regs rb + off in
+          let r = !nrefs in
+          Array.unsafe_set offs r (pc - !seg_start);
+          Array.unsafe_set addrs r ((a lsl 1) lor 1);
+          nrefs := r + 1;
+          Memory.store mem a (Array.unsafe_get regs rv)
+      | Movs (rdst, rsrc) ->
+          let src = Array.unsafe_get regs rsrc in
+          let dst = Array.unsafe_get regs rdst in
+          let r = !nrefs in
+          let o = pc - !seg_start in
+          Array.unsafe_set offs r o;
+          Array.unsafe_set addrs r (src lsl 1);
+          Array.unsafe_set offs (r + 1) o;
+          Array.unsafe_set addrs (r + 1) ((dst lsl 1) lor 1);
+          nrefs := r + 2;
+          Memory.store mem dst (Memory.load mem src)
+      | Falu (op, fd, f1, f2) ->
+          Array.unsafe_set fregs fd
+            (exec_falu op (Array.unsafe_get fregs f1)
+               (Array.unsafe_get fregs f2))
+      | Fload (fd, rs, off) ->
+          let a = Array.unsafe_get regs rs + off in
+          let r = !nrefs in
+          Array.unsafe_set offs r (pc - !seg_start);
+          Array.unsafe_set addrs r (a lsl 1);
+          nrefs := r + 1;
+          Array.unsafe_set fregs fd (Memory.loadf mem a)
+      | Fstore (fv, rb, off) ->
+          let a = Array.unsafe_get regs rb + off in
+          let r = !nrefs in
+          Array.unsafe_set offs r (pc - !seg_start);
+          Array.unsafe_set addrs r ((a lsl 1) lor 1);
+          nrefs := r + 1;
+          Memory.storef mem a (Array.unsafe_get fregs fv)
+      | Fmovi (fd, x) -> Array.unsafe_set fregs fd x
+      | Cvtif (fd, rs) ->
+          Array.unsafe_set fregs fd (float_of_int (Array.unsafe_get regs rs))
+      | Cvtfi (rd, fs) ->
+          Array.unsafe_set regs rd (int_of_float (Array.unsafe_get fregs fs))
+      | Sys (num, rd) ->
+          (* flush through the syscall instruction, then expose the
+             exact retirement index to the handler *)
+          on_block_mems !seg_start (pc - !seg_start + 1) offs addrs !nrefs;
+          nrefs := 0;
+          seg_start := pc + 1;
+          let bulk = m.icount in
+          m.icount <- bulk - (last - pc);
+          m.pc <- pc;
+          Array.unsafe_set regs rd (syscall num);
+          m.icount <- bulk
+      | Branch _ | Jump _ | Call _ | Ret | Halt ->
+          (* control instructions end their block *)
+          assert false
+    done;
+    let pc = last in
+    (* the terminator's data addresses depend only on registers, so they
+       can be collected — and the whole segment flushed — before its
+       effect runs (see the invariants above) *)
+    (match Array.unsafe_get instrs pc with
+    | Load (_, rs, off) ->
+        let r = !nrefs in
+        Array.unsafe_set offs r (pc - !seg_start);
+        Array.unsafe_set addrs r ((Array.unsafe_get regs rs + off) lsl 1);
+        nrefs := r + 1
+    | Store (_, rb, off) ->
+        let r = !nrefs in
+        Array.unsafe_set offs r (pc - !seg_start);
+        Array.unsafe_set addrs r
+          (((Array.unsafe_get regs rb + off) lsl 1) lor 1);
+        nrefs := r + 1
+    | Movs (rdst, rsrc) ->
+        let r = !nrefs in
+        let o = pc - !seg_start in
+        Array.unsafe_set offs r o;
+        Array.unsafe_set addrs r (Array.unsafe_get regs rsrc lsl 1);
+        Array.unsafe_set offs (r + 1) o;
+        Array.unsafe_set addrs (r + 1) ((Array.unsafe_get regs rdst lsl 1) lor 1);
+        nrefs := r + 2
+    | Fload (_, rs, off) ->
+        let r = !nrefs in
+        Array.unsafe_set offs r (pc - !seg_start);
+        Array.unsafe_set addrs r ((Array.unsafe_get regs rs + off) lsl 1);
+        nrefs := r + 1
+    | Fstore (_, rb, off) ->
+        let r = !nrefs in
+        Array.unsafe_set offs r (pc - !seg_start);
+        Array.unsafe_set addrs r
+          (((Array.unsafe_get regs rb + off) lsl 1) lor 1);
+        nrefs := r + 1
+    | _ -> ());
+    on_block_mems !seg_start (pc - !seg_start + 1) offs addrs !nrefs;
+    (match Array.unsafe_get instrs pc with
+    | Alu (op, rd, r1, r2) ->
+        Array.unsafe_set regs rd
+          (exec_alu op (Array.unsafe_get regs r1) (Array.unsafe_get regs r2));
+        m.pc <- pc + 1
+    | Alui (op, rd, r1, imm) ->
+        Array.unsafe_set regs rd (exec_alu op (Array.unsafe_get regs r1) imm);
+        m.pc <- pc + 1
+    | Li (rd, imm) ->
+        Array.unsafe_set regs rd imm;
+        m.pc <- pc + 1
+    | Mov (rd, rs) ->
+        Array.unsafe_set regs rd (Array.unsafe_get regs rs);
+        m.pc <- pc + 1
+    | Load (rd, rs, off) ->
+        let a = Array.unsafe_get regs rs + off in
+        Array.unsafe_set regs rd (Memory.load mem a);
+        m.pc <- pc + 1
+    | Store (rv, rb, off) ->
+        let a = Array.unsafe_get regs rb + off in
+        Memory.store mem a (Array.unsafe_get regs rv);
+        m.pc <- pc + 1
+    | Movs (rdst, rsrc) ->
+        let src = Array.unsafe_get regs rsrc in
+        let dst = Array.unsafe_get regs rdst in
+        Memory.store mem dst (Memory.load mem src);
+        m.pc <- pc + 1
+    | Falu (op, fd, f1, f2) ->
+        Array.unsafe_set fregs fd
+          (exec_falu op (Array.unsafe_get fregs f1) (Array.unsafe_get fregs f2));
+        m.pc <- pc + 1
+    | Fload (fd, rs, off) ->
+        let a = Array.unsafe_get regs rs + off in
+        Array.unsafe_set fregs fd (Memory.loadf mem a);
+        m.pc <- pc + 1
+    | Fstore (fv, rb, off) ->
+        let a = Array.unsafe_get regs rb + off in
+        Memory.storef mem a (Array.unsafe_get fregs fv);
+        m.pc <- pc + 1
+    | Fmovi (fd, x) ->
+        Array.unsafe_set fregs fd x;
+        m.pc <- pc + 1
+    | Cvtif (fd, rs) ->
+        Array.unsafe_set fregs fd (float_of_int (Array.unsafe_get regs rs));
+        m.pc <- pc + 1
+    | Cvtfi (rd, fs) ->
+        Array.unsafe_set regs rd (int_of_float (Array.unsafe_get fregs fs));
+        m.pc <- pc + 1
+    | Sys (num, rd) ->
+        m.pc <- pc;
+        Array.unsafe_set regs rd (syscall num);
+        m.pc <- pc + 1
+    | Branch (c, r1, r2, target) ->
+        let taken =
+          eval_cond c (Array.unsafe_get regs r1) (Array.unsafe_get regs r2)
+        in
+        on_branch pc taken;
+        m.pc <- (if taken then target else pc + 1)
+    | Jump target -> m.pc <- target
+    | Call target ->
+        if m.sp >= stack_depth then begin
+          m.pc <- pc;
+          raise (Stack_error (Printf.sprintf "call-stack overflow at pc %d" pc))
+        end;
+        m.callstack.(m.sp) <- pc + 1;
+        m.sp <- m.sp + 1;
+        m.pc <- target
+    | Ret ->
+        if m.sp <= 0 then begin
+          m.pc <- pc;
+          raise (Stack_error (Printf.sprintf "ret on empty stack at pc %d" pc))
+        end;
+        m.sp <- m.sp - 1;
+        m.pc <- m.callstack.(m.sp)
+    | Halt ->
+        m.pc <- pc;
+        status := Halted;
+        running := false);
+    if !remaining <= 0 then running := false
+  done;
+  Sp_obs.Metrics.add M.blocks !blocks;
+  !status
+[@@inline never]
+
 let run_hooked ~hooks ~syscall ~fuel (prog : Program.t) (m : machine) =
   let instrs = prog.instrs in
   let kinds = prog.kinds in
@@ -452,11 +705,164 @@ let run_hooked ~hooks ~syscall ~fuel (prog : Program.t) (m : machine) =
   !status
 [@@inline never]
 
+(* [run_hooked] plus [on_block_mems] delivery: when a fused (segment
+   consuming) tool is seq'd with genuinely per-instruction hooks, the
+   set cannot block-step, but the fused tool must still see every
+   retirement exactly once.  This copy delivers one single-instruction
+   segment per retired instruction — flushed after execution for
+   ordinary instructions, but *before* a syscall handler runs and
+   before a [Call]/[Ret] stack error is raised, matching the fetch
+   visibility of the per-instruction hooks.  Kept separate from
+   [run_hooked] so hook sets without a fused tool pay nothing. *)
+let run_mixed ~hooks ~syscall ~fuel (prog : Program.t) (m : machine) =
+  let instrs = prog.instrs in
+  let kinds = prog.kinds in
+  let is_leader = prog.is_leader in
+  let bb_of_pc = prog.bb_of_pc in
+  let regs = m.regs in
+  let fregs = m.fregs in
+  let mem = m.mem in
+  let on_block = hooks.Hooks.on_block in
+  let on_block_exec = hooks.Hooks.on_block_exec in
+  let has_block_exec = on_block_exec != Hooks.nil.Hooks.on_block_exec in
+  let on_block_mems = hooks.Hooks.on_block_mems in
+  let on_instr = hooks.Hooks.on_instr in
+  let on_read = hooks.Hooks.on_read in
+  let on_write = hooks.Hooks.on_write in
+  let on_branch = hooks.Hooks.on_branch in
+  (* single-instruction segments: both offsets are 0, at most two refs *)
+  let offs = Array.make 2 0 in
+  let addrs = Array.make 2 0 in
+  let remaining = ref fuel in
+  let status = ref Out_of_fuel in
+  let running = ref (fuel > 0) in
+  while !running do
+    let pc = m.pc in
+    if Array.unsafe_get is_leader pc then on_block (Array.unsafe_get bb_of_pc pc);
+    if has_block_exec then on_block_exec (Array.unsafe_get bb_of_pc pc) 1;
+    on_instr pc (Array.unsafe_get kinds pc);
+    m.icount <- m.icount + 1;
+    decr remaining;
+    (match Array.unsafe_get instrs pc with
+    | Alu (op, rd, r1, r2) ->
+        Array.unsafe_set regs rd
+          (exec_alu op (Array.unsafe_get regs r1) (Array.unsafe_get regs r2));
+        on_block_mems pc 1 offs addrs 0;
+        m.pc <- pc + 1
+    | Alui (op, rd, r1, imm) ->
+        Array.unsafe_set regs rd (exec_alu op (Array.unsafe_get regs r1) imm);
+        on_block_mems pc 1 offs addrs 0;
+        m.pc <- pc + 1
+    | Li (rd, imm) ->
+        Array.unsafe_set regs rd imm;
+        on_block_mems pc 1 offs addrs 0;
+        m.pc <- pc + 1
+    | Mov (rd, rs) ->
+        Array.unsafe_set regs rd (Array.unsafe_get regs rs);
+        on_block_mems pc 1 offs addrs 0;
+        m.pc <- pc + 1
+    | Load (rd, rs, off) ->
+        let a = Array.unsafe_get regs rs + off in
+        on_read a;
+        Array.unsafe_set regs rd (Memory.load mem a);
+        Array.unsafe_set addrs 0 (a lsl 1);
+        on_block_mems pc 1 offs addrs 1;
+        m.pc <- pc + 1
+    | Store (rv, rb, off) ->
+        let a = Array.unsafe_get regs rb + off in
+        on_write a;
+        Memory.store mem a (Array.unsafe_get regs rv);
+        Array.unsafe_set addrs 0 ((a lsl 1) lor 1);
+        on_block_mems pc 1 offs addrs 1;
+        m.pc <- pc + 1
+    | Movs (rdst, rsrc) ->
+        let src = Array.unsafe_get regs rsrc in
+        let dst = Array.unsafe_get regs rdst in
+        on_read src;
+        on_write dst;
+        Memory.store mem dst (Memory.load mem src);
+        Array.unsafe_set addrs 0 (src lsl 1);
+        Array.unsafe_set addrs 1 ((dst lsl 1) lor 1);
+        on_block_mems pc 1 offs addrs 2;
+        m.pc <- pc + 1
+    | Falu (op, fd, f1, f2) ->
+        Array.unsafe_set fregs fd
+          (exec_falu op (Array.unsafe_get fregs f1) (Array.unsafe_get fregs f2));
+        on_block_mems pc 1 offs addrs 0;
+        m.pc <- pc + 1
+    | Fload (fd, rs, off) ->
+        let a = Array.unsafe_get regs rs + off in
+        on_read a;
+        Array.unsafe_set fregs fd (Memory.loadf mem a);
+        Array.unsafe_set addrs 0 (a lsl 1);
+        on_block_mems pc 1 offs addrs 1;
+        m.pc <- pc + 1
+    | Fstore (fv, rb, off) ->
+        let a = Array.unsafe_get regs rb + off in
+        on_write a;
+        Memory.storef mem a (Array.unsafe_get fregs fv);
+        Array.unsafe_set addrs 0 ((a lsl 1) lor 1);
+        on_block_mems pc 1 offs addrs 1;
+        m.pc <- pc + 1
+    | Fmovi (fd, x) ->
+        Array.unsafe_set fregs fd x;
+        on_block_mems pc 1 offs addrs 0;
+        m.pc <- pc + 1
+    | Cvtif (fd, rs) ->
+        Array.unsafe_set fregs fd (float_of_int (Array.unsafe_get regs rs));
+        on_block_mems pc 1 offs addrs 0;
+        m.pc <- pc + 1
+    | Cvtfi (rd, fs) ->
+        Array.unsafe_set regs rd (int_of_float (Array.unsafe_get fregs fs));
+        on_block_mems pc 1 offs addrs 0;
+        m.pc <- pc + 1
+    | Branch (c, r1, r2, target) ->
+        let taken =
+          eval_cond c (Array.unsafe_get regs r1) (Array.unsafe_get regs r2)
+        in
+        on_branch pc taken;
+        on_block_mems pc 1 offs addrs 0;
+        m.pc <- (if taken then target else pc + 1)
+    | Jump target ->
+        on_block_mems pc 1 offs addrs 0;
+        m.pc <- target
+    | Call target ->
+        on_block_mems pc 1 offs addrs 0;
+        if m.sp >= stack_depth then
+          raise (Stack_error (Printf.sprintf "call-stack overflow at pc %d" pc));
+        m.callstack.(m.sp) <- pc + 1;
+        m.sp <- m.sp + 1;
+        m.pc <- target
+    | Ret ->
+        on_block_mems pc 1 offs addrs 0;
+        if m.sp <= 0 then
+          raise (Stack_error (Printf.sprintf "ret on empty stack at pc %d" pc));
+        m.sp <- m.sp - 1;
+        m.pc <- m.callstack.(m.sp)
+    | Sys (n, rd) ->
+        (* flush before the handler: a raising handler must leave the
+           fused tool having seen this instruction's fetch *)
+        on_block_mems pc 1 offs addrs 0;
+        Array.unsafe_set regs rd (syscall n);
+        m.pc <- pc + 1
+    | Halt ->
+        on_block_mems pc 1 offs addrs 0;
+        status := Halted;
+        running := false);
+    if !remaining <= 0 then running := false
+  done;
+  !status
+[@@inline never]
+
 (* Engine tiers, fastest applicable wins:
-   - nil hooks        -> [run_plain]: zero dispatch, per-instruction walk
-   - block-level only -> [run_block]: dispatch once per basic block
-   - per-instr hooks  -> [run_hooked]: dispatch on every retirement
-   All three retire identical instruction streams and leave identical
+   - nil hooks                     -> [run_plain]: zero dispatch
+   - block-level only              -> [run_block]: dispatch per block
+   - block-level + fused tool      -> [run_fused]: per-block dispatch,
+     data references delivered as one aggregate segment per block
+   - per-instr hooks               -> [run_hooked]: dispatch per retirement
+   - per-instr hooks + fused tool  -> [run_mixed]: [run_hooked] plus
+     single-instruction segment delivery
+   All tiers retire identical instruction streams and leave identical
    machine state for any fuel split. *)
 let run ?(hooks = Hooks.nil) ?(syscall = default_syscall) ?(fuel = max_int)
     (prog : Program.t) (m : machine) =
@@ -467,9 +873,18 @@ let run ?(hooks = Hooks.nil) ?(syscall = default_syscall) ?(fuel = max_int)
       Sp_obs.Metrics.incr M.runs_plain;
       run_plain ~syscall ~fuel prog m
     end
-    else if Hooks.block_level hooks then begin
-      Sp_obs.Metrics.incr M.runs_block;
-      run_block ~hooks ~syscall ~fuel prog m
+    else if Hooks.block_level hooks then
+      if Hooks.has_block_mems hooks then begin
+        Sp_obs.Metrics.incr M.runs_fused;
+        run_fused ~hooks ~syscall ~fuel prog m
+      end
+      else begin
+        Sp_obs.Metrics.incr M.runs_block;
+        run_block ~hooks ~syscall ~fuel prog m
+      end
+    else if Hooks.has_block_mems hooks then begin
+      Sp_obs.Metrics.incr M.runs_mixed;
+      run_mixed ~hooks ~syscall ~fuel prog m
     end
     else begin
       Sp_obs.Metrics.incr M.runs_hooked;

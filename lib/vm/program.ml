@@ -14,6 +14,12 @@ type block = {
      by kind code — lets block-level tools credit a whole block without
      re-scanning its body *)
   kind_counts : int array;
+  (* static instruction-fetch footprint: byte address of the leader and
+     byte extent of the straight-line body.  Instructions are fixed
+     size, so a cache tool derives the block's fetched line/page sets
+     for any power-of-two geometry by shifting the two endpoints. *)
+  fetch_base : int;
+  fetch_bytes : int;
 }
 
 type t = {
@@ -27,6 +33,9 @@ type t = {
      Kept as a flat array so the block-stepping interpreter finds the
      straight-line extent of the current block with one load. *)
   block_end : int array;
+  (* longest straight-line block body, in instructions — sizes the
+     reference buffers of the fused cache-simulation engine *)
+  max_block_len : int;
   entry : int;
   code_base : int;
 }
@@ -81,13 +90,16 @@ let of_instrs ?(name = "anon") ?(entry = 0) ?(code_base = 0x40_0000) instrs =
       let k = kinds.(pc) in
       kind_counts.(k) <- kind_counts.(k) + 1
     done;
+    let len = last - !start + 1 in
     blocks :=
       {
         id;
         start_pc = !start;
-        len = last - !start + 1;
+        len;
         term = terminator_of_instr instrs.(last);
         kind_counts;
+        fetch_base = code_base + (!start * Isa.bytes_per_instr);
+        fetch_bytes = len * Isa.bytes_per_instr;
       }
       :: !blocks
   in
@@ -107,6 +119,7 @@ let of_instrs ?(name = "anon") ?(entry = 0) ?(code_base = 0x40_0000) instrs =
     is_leader = leader;
     blocks;
     block_end = Array.map (fun b -> b.start_pc + b.len) blocks;
+    max_block_len = Array.fold_left (fun m b -> max m b.len) 0 blocks;
     entry;
     code_base;
   }

@@ -23,6 +23,14 @@ type block = {
       (** instructions of each [Isa.kind] in the block, indexed by kind
           code — block-level tools credit a whole block from this table
           instead of re-scanning its body *)
+  fetch_base : int;
+      (** byte address of the leader's instruction fetch
+          ([code_base + start_pc * Isa.bytes_per_instr]) *)
+  fetch_bytes : int;
+      (** byte extent of the straight-line fetch stream
+          ([len * Isa.bytes_per_instr]); with [fetch_base] this bounds
+          the block's i-fetch line/page footprint for any power-of-two
+          cache geometry by shifting the span endpoints *)
 }
 
 type t = private {
@@ -34,6 +42,9 @@ type t = private {
   blocks : block array;
   block_end : int array;    (** exclusive end pc per block id, for the
                                 block-stepping interpreter *)
+  max_block_len : int;      (** longest straight-line block body, in
+                                instructions — sizes the fused engine's
+                                reference buffers *)
   entry : int;
   code_base : int;          (** byte address of pc 0, for i-fetch addresses *)
 }

@@ -371,6 +371,7 @@ let prop_engines_agree =
         let mh = Interp.create ~entry:0 () in
         let full_hooks =
           {
+            Hooks.nil with
             Hooks.on_block = (fun bb -> h_events := E_block bb :: !h_events);
             on_block_exec = (fun bb n -> h_bx := (bb, n) :: !h_bx);
             on_instr = (fun pc k -> h_events := E_instr (pc, k) :: !h_events);

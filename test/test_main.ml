@@ -15,6 +15,7 @@ let () =
       ("extensions", Test_extensions.suite);
       ("properties", Test_properties.suite);
       ("blockstep", Test_blockstep.suite);
+      ("fusedcache", Test_fusedcache.suite);
       ("models", Test_models.suite);
       ("misc", Test_misc.suite);
       ("coverage", Test_coverage.suite);

@@ -299,6 +299,7 @@ let test_hooks_fire () =
   let block_insns = ref 0 in
   let hooks =
     {
+      Hooks.nil with
       Hooks.on_block = (fun _ -> incr blocks);
       on_block_exec = (fun _ n -> block_insns := !block_insns + n);
       on_instr = (fun _ _ -> incr instr_count);
@@ -340,6 +341,7 @@ let test_hooks_seq_all_flat_order () =
   let log = ref [] in
   let mk tag =
     {
+      Hooks.nil with
       Hooks.on_block = (fun _ -> log := ("b" ^ tag) :: !log);
       on_block_exec = (fun _ _ -> log := ("x" ^ tag) :: !log);
       on_instr = (fun _ _ -> log := ("i" ^ tag) :: !log);

@@ -47,20 +47,36 @@ let all_experiments =
 let usage () =
   Printf.printf
     "usage: main.exe [--fast] [--quiet] [--csv DIR] [--jobs N] \
-     [--trace-out FILE] [experiment...]\n";
+     [--trace-out FILE] [--gate NAME:MAXRATIO] [experiment...]\n";
   Printf.printf "experiments: %s\n" (String.concat " " all_experiments);
   Printf.printf
     "--jobs N: worker domains for the parallel stages (suite fan-out, cold\n\
     \  regional replays, k-means); 1 = sequential, 0 = hardware default.\n\
     \  Falls back to $SPECREPRO_JOBS.  Results are identical for every N.\n";
+  Printf.printf
+    "--gate NAME:MAXRATIO (repeatable, implies micro): fail if micro NAME\n\
+    \  measures more than MAXRATIO x its recorded BENCH_micro.json value.\n";
   exit 0
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks *)
 
-let micro () =
+let micro ?(gates = []) () =
   let open Bechamel in
   let open Toolkit in
+  (* recorded baseline, read before this run overwrites the file; [None]
+     when absent or unreadable (deltas are skipped, gates fail loudly) *)
+  let json_file = "BENCH_micro.json" in
+  let baseline =
+    match Sp_obs.Json.parse_file json_file with
+    | Ok (Sp_obs.Json.Obj kvs) ->
+        Some
+          (List.filter_map
+             (fun (k, v) ->
+               Option.map (fun f -> (k, f)) (Sp_obs.Json.to_float v))
+             kvs)
+    | Ok _ | Error _ -> None
+  in
   (* fixtures *)
   let spec = Sp_workloads.Suite.find "620.omnetpp_s" in
   let built = Sp_workloads.Benchspec.build ~slices_scale:0.02 spec in
@@ -90,10 +106,24 @@ let micro () =
   in
   let tests =
     [
+      (* pinned to the per-instruction reference tier: this micro tracks
+         the decode-dispatch loop itself and must stay comparable to its
+         recorded history from before the compiled tier existed *)
       Test.make ~name:"interp-10k-insns"
         (Staged.stage (fun () ->
              let m = Sp_vm.Interp.create ~entry:prog.Sp_vm.Program.entry () in
-             ignore (Sp_vm.Interp.run ~fuel:10_000 prog m)));
+             ignore
+               (Sp_vm.Interp.run ~engine:Sp_vm.Interp.Reference ~fuel:10_000
+                  prog m)));
+      (* same replay on the compiled-block tier: straight-line closures,
+         no per-instruction decode (program compilation is cached, so
+         only the first run pays it) *)
+      Test.make ~name:"interp-10k-compiled"
+        (Staged.stage (fun () ->
+             let m = Sp_vm.Interp.create ~entry:prog.Sp_vm.Program.entry () in
+             ignore
+               (Sp_vm.Interp.run ~engine:Sp_vm.Interp.Compiled ~fuel:10_000
+                  prog m)));
       (* hook-dispatch cost in isolation: a seq_all of nil hook sets must
          collapse onto the interpreter's zero-dispatch fast path... *)
       Test.make ~name:"hook-dispatch-nil-10k"
@@ -121,6 +151,16 @@ let micro () =
              let m = Sp_vm.Interp.create ~entry:prog.Sp_vm.Program.entry () in
              ignore (Sp_vm.Interp.run ~hooks ~fuel:10_000 prog m);
              Sp_pin.Bbv_tool.finish bbv));
+      (* the single-pass profile stage: BBV + ldst-mix + instruction mix
+         from one combined block-level consumer — what the pipeline's
+         log+profile stage pays per retired span *)
+      Test.make ~name:"interp-10k-profile-combined"
+        (Staged.stage (fun () ->
+             let t = Sp_pin.Profile_tool.create ~slice_len:1_000 prog in
+             let hooks = Sp_vm.Hooks.seq_all [ Sp_pin.Profile_tool.hooks t ] in
+             let m = Sp_vm.Interp.create ~entry:prog.Sp_vm.Program.entry () in
+             ignore (Sp_vm.Interp.run ~hooks ~fuel:10_000 prog m);
+             Sp_pin.Profile_tool.finish t));
       Test.make ~name:"interp-10k-ldst"
         (Staged.stage
            (* one persistent machine: the kernel never halts, so each run
@@ -220,14 +260,67 @@ let micro () =
         (fun name ols ->
           match Bechamel.Analyze.OLS.estimates ols with
           | Some [ t ] ->
-              Printf.printf "  %-28s %12.1f ns/run\n%!" name t;
-              measured := (strip_group name, t) :: !measured
+              let short = strip_group name in
+              let delta =
+                match
+                  Option.bind baseline (fun b -> List.assoc_opt short b)
+                with
+                | Some old when old > 0.0 ->
+                    Printf.sprintf "  (%+.1f%% vs recorded)"
+                      ((t -. old) /. old *. 100.0)
+                | Some _ | None -> ""
+              in
+              Printf.printf "  %-28s %12.1f ns/run%s\n%!" name t delta;
+              measured := (short, t) :: !measured
           | _ -> Printf.printf "  %-28s (no estimate)\n%!" name)
         results)
     tests;
+  (* regression gates: each compares this run against the recorded
+     baseline; a missing baseline file or micro is a configuration
+     error and fails with a message naming what to fix, not a raise *)
+  List.iter
+    (fun (gname, ratio) ->
+      let fail msg =
+        Printf.eprintf "[bench] gate %s:%g cannot run: %s\n%!" gname ratio msg;
+        exit 2
+      in
+      let b =
+        match baseline with
+        | None ->
+            fail
+              (Printf.sprintf
+                 "no recorded baseline (%s missing or unreadable); run \
+                  `main.exe micro` on a known-good tree and commit the file"
+                 json_file)
+        | Some b -> b
+      in
+      let old =
+        match List.assoc_opt gname b with
+        | None ->
+            fail
+              (Printf.sprintf "micro %S is not recorded in %s" gname json_file)
+        | Some o -> o
+      in
+      let cur =
+        match List.assoc_opt gname !measured with
+        | None -> fail (Printf.sprintf "micro %S was not measured" gname)
+        | Some c -> c
+      in
+      if cur > old *. ratio then begin
+        Printf.eprintf
+          "[bench] gate %s FAILED: %.1f ns/run vs recorded %.1f ns/run \
+           (%.2fx, allowed %.2fx)\n\
+           %!"
+          gname cur old (cur /. old) ratio;
+        exit 1
+      end
+      else
+        Printf.printf "  gate %-21s OK: %.1f ns/run vs recorded %.1f (%.2fx \
+                       <= %.2fx)\n%!"
+          gname cur old (cur /. old) ratio)
+    gates;
   (* machine-readable mirror of the report, so the perf trajectory of
      the interp/BBV/memory micros can be tracked across PRs *)
-  let json_file = "BENCH_micro.json" in
   let oc = open_out json_file in
   Printf.fprintf oc "{\n";
   List.iteri
@@ -258,6 +351,26 @@ let () =
     | [] -> None
   in
   let trace_out = trace_out args in
+  let rec gates = function
+    | "--gate" :: spec :: rest -> (
+        let bad () =
+          Printf.eprintf "bad --gate %S (want NAME:MAXRATIO, e.g. %s)\n" spec
+            "interp-10k-insns:1.5";
+          exit 2
+        in
+        match String.index_opt spec ':' with
+        | None -> bad ()
+        | Some i -> (
+            let name = String.sub spec 0 i in
+            let r = String.sub spec (i + 1) (String.length spec - i - 1) in
+            match float_of_string_opt r with
+            | Some ratio when ratio > 0.0 && name <> "" ->
+                (name, ratio) :: gates rest
+            | _ -> bad ()))
+    | _ :: rest -> gates rest
+    | [] -> []
+  in
+  let gates = gates args in
   let jobs =
     let rec from_args = function
       | "--jobs" :: n :: _ -> int_of_string_opt n
@@ -275,7 +388,7 @@ let () =
   let wanted =
     let rec strip = function
       | "--csv" :: _ :: rest | "--jobs" :: _ :: rest
-      | "--trace-out" :: _ :: rest ->
+      | "--trace-out" :: _ :: rest | "--gate" :: _ :: rest ->
           strip rest
       | a :: rest when String.length a > 1 && a.[0] = '-' -> strip rest
       | a :: rest -> a :: strip rest
@@ -283,7 +396,10 @@ let () =
     in
     strip args
   in
-  let wanted = if wanted = [] then all_experiments else wanted in
+  let wanted =
+    if wanted = [] then if gates <> [] then [ "micro" ] else all_experiments
+    else wanted
+  in
   List.iter
     (fun w ->
       if not (List.mem w all_experiments) then begin
@@ -379,7 +495,7 @@ let () =
               Sp_util.Table.add_row t [ h.metric; h.paper; h.measured ])
             (Experiments.headlines (Lazy.force suite_results));
           emit name [ t ]
-      | "micro" -> micro ()
+      | "micro" -> micro ~gates ()
       | _ -> assert false))
     wanted;
   (match trace_out with

@@ -293,12 +293,17 @@ let profile_cmd =
         let options = options_of common in
         let profile = Pipeline.profile_for_sweep ~options spec in
         let w = profile.Pipeline.sweep_whole_stats in
+        let imix = profile.Pipeline.sweep_imix in
         if json then
           emit_json ~command:"profile"
             [
               ("benchmark", str spec.Sp_workloads.Benchspec.name);
               ("slices", numi (Array.length profile.Pipeline.sweep_slices));
               ("whole", run_stats_json w);
+              ( "imix",
+                Sp_obs.Json.Obj
+                  (Array.to_list
+                     (Array.map (fun (name, c) -> (name, numi c)) imix)) );
             ]
         else begin
           Printf.printf "%s: %.0f instructions, %d slices\n"
@@ -306,6 +311,13 @@ let profile_cmd =
             (Array.length profile.Pipeline.sweep_slices);
           Printf.printf "instruction mix: %s\n"
             (Format.asprintf "%a" Sp_pin.Mix.pp w.Runstats.mix);
+          Printf.printf "by kind:%s\n"
+            (String.concat ""
+               (List.filter_map
+                  (fun (name, c) ->
+                    if c = 0 then None
+                    else Some (Printf.sprintf " %s=%d" name c))
+                  (Array.to_list imix)));
           Printf.printf
             "cache miss rates (Table I hierarchy, capacity-scaled): L1D \
              %.2f%% L2 %.2f%% L3 %.2f%%\n"

@@ -310,9 +310,13 @@ let run_benchmark ?(options = default_options) spec =
   let prog = built.Benchspec.program in
   progressf options "[%s] logging whole pinball (%d planted phases)...\n"
     bench spec.Benchspec.planted_phases;
-  (* one instrumented pass: logger + BBVs + ldstmix + allcache + timing *)
-  let bbv = Bbv_tool.create ~slice_len:options.slice_insns prog in
-  let mixt = Ldstmix.create () in
+  (* one instrumented pass: logger + single-pass profiler (BBVs +
+     ldst-mix + instruction-mix from one hook) + allcache + timing.
+     The stage wants several profiles from the same replay, so it takes
+     [Profile_tool] — the combined streaming consumer — rather than
+     seq'ing the dedicated per-profile tools; single-profile callers
+     (regional replays below) keep the dedicated tools. *)
+  let profile = Profile_tool.create ~slice_len:options.slice_insns prog in
   let cache =
     Allcache_tool.create ~config:options.cache_config
       ~prefetch:options.next_line_prefetch prog
@@ -324,16 +328,15 @@ let run_benchmark ?(options = default_options) spec =
           log_whole_cached ~options ~slice_insns:options.slice_insns ~spec
             ~tools:
               [
-                Bbv_tool.hooks bbv;
-                Ldstmix.hooks mixt;
+                Profile_tool.hooks profile;
                 Allcache_tool.hooks cache;
                 Sp_cpu.Interval_core.hooks core;
               ]
             prog
         in
-        Bbv_tool.finish bbv;
+        Profile_tool.finish profile;
         Sp_cache.Hierarchy.observe_stats (Allcache_tool.stats cache);
-        (whole, Bbv_tool.slices bbv))
+        (whole, Profile_tool.slices profile))
   in
   progressf options "[%s] %d instructions, %d slices; selecting points...\n"
     bench whole.Logger.total_insns (Array.length slices);
@@ -351,7 +354,7 @@ let run_benchmark ?(options = default_options) spec =
   in
   let whole_stats =
     Runstats.of_whole ~label:"Whole" ~insns:whole.Logger.total_insns
-      ~mix:(Ldstmix.mix mixt) ~cache:(Allcache_tool.stats cache)
+      ~mix:(Profile_tool.ldst_mix profile) ~cache:(Allcache_tool.stats cache)
       ~cpi:(Sp_cpu.Interval_core.cpi core)
   in
   let native =
@@ -461,6 +464,7 @@ type sweep_profile = {
   sweep_whole : Logger.whole;
   sweep_slices : Bbv_tool.slice array;
   sweep_whole_stats : Runstats.run_stats;
+  sweep_imix : (string * int) array;
 }
 
 let profile_for_sweep ?(options = default_options) ?slice_insns spec =
@@ -477,8 +481,9 @@ let profile_for_sweep ?(options = default_options) ?slice_insns spec =
     Benchspec.build ~slice_insns ~slices_scale:options.slices_scale spec
   in
   let prog = built.Benchspec.program in
-  let bbv = Bbv_tool.create ~slice_len:slice_insns prog in
-  let mixt = Ldstmix.create () in
+  (* several profiles wanted from one replay: take the combined
+     streaming profiler, as the [run_benchmark] log+profile stage does *)
+  let profile = Profile_tool.create ~slice_len:slice_insns prog in
   let cache =
     Allcache_tool.create ~config:options.cache_config
       ~prefetch:options.next_line_prefetch prog
@@ -488,21 +493,24 @@ let profile_for_sweep ?(options = default_options) ?slice_insns spec =
     log_whole_cached ~options ~slice_insns ~spec
       ~tools:
         [
-          Bbv_tool.hooks bbv;
-          Ldstmix.hooks mixt;
+          Profile_tool.hooks profile;
           Allcache_tool.hooks cache;
           Sp_cpu.Interval_core.hooks core;
         ]
       prog
   in
-  Bbv_tool.finish bbv;
+  Profile_tool.finish profile;
   {
     sweep_built = built;
     sweep_whole = whole;
-    sweep_slices = Bbv_tool.slices bbv;
+    sweep_slices = Profile_tool.slices profile;
     sweep_whole_stats =
       Runstats.of_whole ~label:"Full Run" ~insns:whole.Logger.total_insns
-        ~mix:(Ldstmix.mix mixt)
+        ~mix:(Profile_tool.ldst_mix profile)
         ~cache:(Allcache_tool.stats cache)
         ~cpi:(Sp_cpu.Interval_core.cpi core);
+    sweep_imix =
+      Array.init Sp_isa.Isa.num_kinds (fun k ->
+          ( Sp_isa.Isa.kind_name (Sp_isa.Isa.kind_of_code k),
+            Profile_tool.kind_count profile k ));
   }

@@ -136,6 +136,9 @@ type sweep_profile = {
   sweep_whole : Sp_pinball.Logger.whole;
   sweep_slices : Sp_pin.Bbv_tool.slice array;
   sweep_whole_stats : Runstats.run_stats;
+  sweep_imix : (string * int) array;
+      (** dynamic instruction mix, [(Isa.kind_name, count)] per kind
+          code — a free by-product of the single-pass profile stage *)
 }
 
 val profile_for_sweep :

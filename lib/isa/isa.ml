@@ -121,6 +121,21 @@ let kind_of_code = function
 
 let num_kinds = 13
 
+let kind_name = function
+  | K_alu -> "alu"
+  | K_mul -> "mul"
+  | K_div -> "div"
+  | K_falu -> "falu"
+  | K_fmul -> "fmul"
+  | K_fdiv -> "fdiv"
+  | K_load -> "load"
+  | K_store -> "store"
+  | K_movs -> "movs"
+  | K_branch -> "branch"
+  | K_jump -> "jump"
+  | K_sys -> "sys"
+  | K_halt -> "halt"
+
 let is_control = function
   | Branch _ | Jump _ | Call _ | Ret | Halt -> true
   | Alu _ | Alui _ | Li _ | Mov _ | Load _ | Store _ | Movs _ | Falu _

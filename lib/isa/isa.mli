@@ -81,6 +81,10 @@ val kind_code : kind -> int
 val kind_of_code : int -> kind
 val num_kinds : int
 
+val kind_name : kind -> string
+(** Lower-case mnemonic of a kind, e.g. ["falu"] — stable across
+    releases, used in reports and JSON output. *)
+
 val is_control : instr -> bool
 (** True for every instruction that may change the PC. *)
 

@@ -31,6 +31,13 @@ val hooks : t -> Hooks.t
     block: block credit that crosses a slice boundary is split at the
     exact instruction. *)
 
+val add : t -> int -> int -> unit
+(** [add t bb n] credits [n] retirements of block [bb] directly — the
+    callback behind {!hooks}, exposed so combined consumers
+    ({!Profile_tool}) can feed the collector from their own hook
+    without a second hook record in the chain.  Identical splitting
+    behaviour at slice boundaries. *)
+
 val finish : t -> unit
 (** Close the trailing partial slice, if any.  Call after the run. *)
 

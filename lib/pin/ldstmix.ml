@@ -15,6 +15,8 @@ let class_of_kind =
       | K_sys | K_halt ->
           Isa.mem_class_code No_mem)
 
+let class_code_of_kind code = class_of_kind.(code)
+
 let create () = { counts = Array.make 4 0 }
 
 let hooks t =

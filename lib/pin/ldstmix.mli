@@ -7,6 +7,12 @@ open Sp_vm
 
 type t
 
+val class_code_of_kind : int -> int
+(** [Isa.mem_class_code] of an instruction's memory-operand class,
+    indexed by [Isa.kind_code] — the static classification behind this
+    tool, exposed so combined consumers ({!Profile_tool}) reproduce its
+    counts bit-for-bit from per-kind totals. *)
+
 val create : unit -> t
 val hooks : t -> Hooks.t
 

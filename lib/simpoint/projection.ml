@@ -16,6 +16,21 @@ let matrix_entry ~seed ~block ~dim =
   (Int64.to_float bits /. 9007199254740992.0 *. 2.0) -. 1.0
 
 let project ?(dim = default_dim) ~seed (slices : Sp_pin.Bbv_tool.slice array) =
+  (* The same static block appears in most slices, so hashing the
+     matrix entries per (slice, block) visit recomputes each row
+     hundreds of times.  Memoise rows in one flat array, filled lazily
+     on first touch; the accumulation loop below is unchanged (same
+     visit order, same adds), so the output is bit-identical to
+     hashing inline. *)
+  let max_block = ref (-1) in
+  Array.iter
+    (fun (s : Sp_pin.Bbv_tool.slice) ->
+      Array.iter
+        (fun (block, _) -> if block > !max_block then max_block := block)
+        s.bbv)
+    slices;
+  let rows = Array.make ((!max_block + 1) * dim) 0.0 in
+  let have = Array.make (!max_block + 1) false in
   Array.map
     (fun (s : Sp_pin.Bbv_tool.slice) ->
       let v = Array.make dim 0.0 in
@@ -24,8 +39,18 @@ let project ?(dim = default_dim) ~seed (slices : Sp_pin.Bbv_tool.slice array) =
         Array.iter
           (fun (block, count) ->
             let w = float_of_int count /. total in
+            let base = block * dim in
+            if not (Array.unsafe_get have block) then begin
+              for d = 0 to dim - 1 do
+                Array.unsafe_set rows (base + d)
+                  (matrix_entry ~seed ~block ~dim:d)
+              done;
+              Array.unsafe_set have block true
+            end;
             for d = 0 to dim - 1 do
-              v.(d) <- v.(d) +. (w *. matrix_entry ~seed ~block ~dim:d)
+              Array.unsafe_set v d
+                (Array.unsafe_get v d
+                +. (w *. Array.unsafe_get rows (base + d)))
             done)
           s.bbv;
       v)

@@ -1,6 +1,7 @@
 type t = {
   on_block : int -> unit;
   on_block_exec : int -> int -> unit;
+  on_block_span : int -> int -> unit;
   on_block_mems : int -> int -> int array -> int array -> int -> unit;
   on_instr : int -> int -> unit;
   on_read : int -> unit;
@@ -19,6 +20,7 @@ let nil =
   {
     on_block = ignore1;
     on_block_exec = ignore2;
+    on_block_span = ignore2;
     on_block_mems = ignore_mems;
     on_instr = ignore2;
     on_read = ignore1;
@@ -33,6 +35,7 @@ let nil =
 let is_nil h =
   h == nil
   || (h.on_block == ignore1 && h.on_block_exec == ignore2
+      && h.on_block_span == ignore2
       && h.on_block_mems == ignore_mems && h.on_instr == ignore2
       && h.on_read == ignore1 && h.on_write == ignore1
       && h.on_branch == ignore_branch)
@@ -49,9 +52,19 @@ let is_nil h =
    fuel boundary / mid-block resume), while the per-instruction engine
    fires it with n = 1 per retired instruction.  Tools attached to it
    must therefore be insensitive to batching — pure counters like BBV
-   collection, not position-dependent watchers. *)
+   collection, not position-dependent watchers.
+
+   [on_block_span pc0 n] is the positional sibling of [on_block_exec]:
+   "n consecutive instructions starting at pc0 retired".  Spans
+   partition the retirement stream exactly, so a tool can classify
+   every retired instruction (kind, memory class) from the static
+   program without per-instruction dispatch.  It is still a block-level
+   aggregate — at most one call per block entry on the block-stepping
+   engines — so a live callback keeps the set block-level. *)
 let block_level h =
   h.on_instr == ignore2 && h.on_read == ignore1 && h.on_write == ignore1
+
+let has_block_span h = h.on_block_span != ignore2
 
 (* [on_block_mems] is an aggregate like [on_block_exec]: the fused
    engine delivers one segment per block entry, the per-instruction
@@ -74,6 +87,7 @@ let seq a b =
   {
     on_block = pick1 a.on_block b.on_block;
     on_block_exec = pick2 a.on_block_exec b.on_block_exec;
+    on_block_span = pick2 a.on_block_span b.on_block_span;
     on_block_mems =
       (if a.on_block_mems == ignore_mems then b.on_block_mems
        else if b.on_block_mems == ignore_mems then a.on_block_mems
@@ -147,6 +161,7 @@ let seq_all = function
       {
         on_block = fuse1 ignore1 (List.map (fun h -> h.on_block) hs);
         on_block_exec = fuse2 ignore2 (List.map (fun h -> h.on_block_exec) hs);
+        on_block_span = fuse2 ignore2 (List.map (fun h -> h.on_block_span) hs);
         on_block_mems = fuse_mems (List.map (fun h -> h.on_block_mems) hs);
         on_instr = fuse2 ignore2 (List.map (fun h -> h.on_instr) hs);
         on_read = fuse1 ignore1 (List.map (fun h -> h.on_read) hs);

@@ -17,6 +17,19 @@ type t = {
           delivers [n = 1] per retirement.  Tools attached here must
           depend only on the multiplicity, never on instruction
           position; both deliveries then produce bit-identical results. *)
+  on_block_span : int -> int -> unit;
+      (** [pc0, n]: [n] consecutive instructions starting at pc [pc0]
+          retired.  The positional sibling of [on_block_exec]: spans
+          partition the retirement stream exactly (block engines deliver
+          at most one span per block entry — truncated at a fuel
+          boundary, started mid-block on resume — per-instruction
+          engines deliver [n = 1] spans), so a tool can classify every
+          retired instruction against the static program (kind, memory
+          class) without per-instruction dispatch.  Tools must be
+          insensitive to how the stream is batched into spans; all
+          engines then produce bit-identical results.  Still a
+          block-level aggregate: a live callback here keeps the set
+          eligible for block-stepping. *)
   on_block_mems : int -> int -> int array -> int array -> int -> unit;
       (** [pc0, n, offs, addrs, nrefs]: an aggregate of [n] consecutive
           retired instructions starting at [pc0], carrying all of their
@@ -58,6 +71,9 @@ val block_level : t -> bool
     [on_block_mems] is itself a per-block aggregate, so a live callback
     there keeps the set block-level (the interpreter picks its fused
     engine). *)
+
+val has_block_span : t -> bool
+(** True when the [on_block_span] aggregate is live. *)
 
 val has_block_mems : t -> bool
 (** True when the [on_block_mems] aggregate is live; decides

@@ -44,6 +44,7 @@ module M = struct
   let runs_fused = Sp_obs.Metrics.counter ~stable:false "vm.runs.fused"
   let runs_hooked = Sp_obs.Metrics.counter ~stable:false "vm.runs.hooked"
   let runs_mixed = Sp_obs.Metrics.counter ~stable:false "vm.runs.mixed"
+  let runs_compiled = Sp_obs.Metrics.counter ~stable:false "vm.runs.compiled"
 end
 
 let exec_alu op a b =
@@ -197,6 +198,8 @@ let run_block ~hooks ~syscall ~fuel (prog : Program.t) (m : machine) =
   let mem = m.mem in
   let on_block = hooks.Hooks.on_block in
   let on_block_exec = hooks.Hooks.on_block_exec in
+  let on_block_span = hooks.Hooks.on_block_span in
+  let has_span = on_block_span != Hooks.nil.Hooks.on_block_span in
   let on_branch = hooks.Hooks.on_branch in
   let remaining = ref fuel in
   let status = ref Out_of_fuel in
@@ -211,6 +214,7 @@ let run_block ~hooks ~syscall ~fuel (prog : Program.t) (m : machine) =
     let avail = stop - pc0 in
     let n = if avail <= !remaining then avail else !remaining in
     on_block_exec bb n;
+    if has_span then on_block_span pc0 n;
     m.icount <- m.icount + n;
     remaining := !remaining - n;
     let last = pc0 + n - 1 in
@@ -378,6 +382,8 @@ let run_fused ~hooks ~syscall ~fuel (prog : Program.t) (m : machine) =
   let mem = m.mem in
   let on_block = hooks.Hooks.on_block in
   let on_block_exec = hooks.Hooks.on_block_exec in
+  let on_block_span = hooks.Hooks.on_block_span in
+  let has_span = on_block_span != Hooks.nil.Hooks.on_block_span in
   let on_block_mems = hooks.Hooks.on_block_mems in
   let on_branch = hooks.Hooks.on_branch in
   (* at most two references per instruction (Movs: read then write) *)
@@ -397,6 +403,7 @@ let run_fused ~hooks ~syscall ~fuel (prog : Program.t) (m : machine) =
     let avail = stop - pc0 in
     let n = if avail <= !remaining then avail else !remaining in
     on_block_exec bb n;
+    if has_span then on_block_span pc0 n;
     m.icount <- m.icount + n;
     remaining := !remaining - n;
     let last = pc0 + n - 1 in
@@ -606,6 +613,8 @@ let run_hooked ~hooks ~syscall ~fuel (prog : Program.t) (m : machine) =
   let on_block = hooks.Hooks.on_block in
   let on_block_exec = hooks.Hooks.on_block_exec in
   let has_block_exec = on_block_exec != Hooks.nil.Hooks.on_block_exec in
+  let on_block_span = hooks.Hooks.on_block_span in
+  let has_span = on_block_span != Hooks.nil.Hooks.on_block_span in
   let on_instr = hooks.Hooks.on_instr in
   let on_read = hooks.Hooks.on_read in
   let on_write = hooks.Hooks.on_write in
@@ -619,6 +628,7 @@ let run_hooked ~hooks ~syscall ~fuel (prog : Program.t) (m : machine) =
     (* block-level tools seq'd with per-instruction ones still see every
        retirement, one block-credit at a time *)
     if has_block_exec then on_block_exec (Array.unsafe_get bb_of_pc pc) 1;
+    if has_span then on_block_span pc 1;
     on_instr pc (Array.unsafe_get kinds pc);
     m.icount <- m.icount + 1;
     decr remaining;
@@ -725,6 +735,8 @@ let run_mixed ~hooks ~syscall ~fuel (prog : Program.t) (m : machine) =
   let on_block = hooks.Hooks.on_block in
   let on_block_exec = hooks.Hooks.on_block_exec in
   let has_block_exec = on_block_exec != Hooks.nil.Hooks.on_block_exec in
+  let on_block_span = hooks.Hooks.on_block_span in
+  let has_span = on_block_span != Hooks.nil.Hooks.on_block_span in
   let on_block_mems = hooks.Hooks.on_block_mems in
   let on_instr = hooks.Hooks.on_instr in
   let on_read = hooks.Hooks.on_read in
@@ -740,6 +752,7 @@ let run_mixed ~hooks ~syscall ~fuel (prog : Program.t) (m : machine) =
     let pc = m.pc in
     if Array.unsafe_get is_leader pc then on_block (Array.unsafe_get bb_of_pc pc);
     if has_block_exec then on_block_exec (Array.unsafe_get bb_of_pc pc) 1;
+    if has_span then on_block_span pc 1;
     on_instr pc (Array.unsafe_get kinds pc);
     m.icount <- m.icount + 1;
     decr remaining;
@@ -854,34 +867,646 @@ let run_mixed ~hooks ~syscall ~fuel (prog : Program.t) (m : machine) =
   !status
 [@@inline never]
 
-(* Engine tiers, fastest applicable wins:
-   - nil hooks                     -> [run_plain]: zero dispatch
-   - block-level only              -> [run_block]: dispatch per block
+(* ------------------------------------------------------------------ *)
+(* The compiled tier.
+
+   A pre-compilation pass walks the program once and turns every basic
+   block into a chain of straight-line OCaml closures: one closure per
+   instruction, each performing its effect on the raw machine arrays
+   and tail-calling the next.  Executing a block is then one indirect
+   call per instruction with no opcode decode, no per-instruction fuel
+   check and no pc bookkeeping — the pc is implicit in which closure is
+   running and is only materialised where an engine contract requires
+   it (syscalls, stack errors, chain exits).  Unconditional terminators
+   with a forward static target ([Jump]/[Call]/fallthrough into the
+   next leader) chain directly into the target block's closure, fusing
+   superblocks; forward-only chaining makes the closure graph a DAG, so
+   compilation in decreasing pc order always finds its continuations
+   already built, and [max_chain_insns] bounds how much fuel a single
+   dispatch can consume.
+
+   Compiled closures are built once per program and shared across runs,
+   so they cannot capture any per-run state: machine, syscall handler
+   and hooks travel in a [cenv] handed to every closure.
+
+   Contracts kept in lockstep with the other engines:
+   - hook events: each block's closure chain starts with a prologue
+     firing [on_block]/[on_block_exec]/[on_block_span] exactly as
+     [run_block] does at a block entry; mid-block resume entries fire
+     the partial aggregates without [on_block];
+   - [m.icount] is bulk-advanced for the whole chain at dispatch, and
+     every [Sys] closure rolls it back to the exact per-instruction
+     value (the remainder of its chain is a compile-time constant), so
+     pinball syscall logging stays tier-independent; a [Call] overflow
+     rolls back the same way before raising;
+   - fuel: a chain is dispatched only when the remaining fuel covers it
+     entirely; otherwise the run tail is delegated to the
+     block-stepping tier (or the plain tier when nothing is hooked),
+     which lands the fuel boundary on exactly the same instruction with
+     identical partial-block events and machine state. *)
+
+type cenv = {
+  cm : machine;
+  cregs : int array;
+  cfregs : float array;
+  cmem : Memory.t;
+  csyscall : int -> int;
+  c_block : int -> unit;
+  c_block_exec : int -> int -> unit;
+  c_span : int -> int -> unit;
+  c_branch : int -> bool -> unit;
+  c_hooked : bool;
+  mutable c_halted : bool;
+}
+
+type compiled = {
+  entry_code : (cenv -> unit) array;
+      (* per pc: closure executing from pc to the end of its chain *)
+  entry_len : int array;
+      (* instructions the chain from pc retires (all-or-nothing) *)
+  entry_blocks : int array;
+      (* block entries the chain from pc makes, for [M.blocks] *)
+}
+
+(* Upper bound on the instructions one chain dispatch may retire.
+   Chains are all-or-nothing against the remaining fuel, so this also
+   bounds how early the dispatcher must hand a run's tail to the
+   interpreted fallback. *)
+let max_chain_insns = 1024
+
+(* One non-control instruction: perform the effect, tail-call [next].
+   [clen_next] is the number of instructions the rest of the chain
+   retires after this one — the compile-time icount rollback a [Sys]
+   needs to expose the exact per-instruction count to its handler. *)
+let compile_straight pc (i : Isa.instr) ~(next : cenv -> unit) ~clen_next :
+    cenv -> unit =
+  match i with
+  | Alu (op, rd, r1, r2) -> (
+      match (op : Isa.alu_op) with
+      | Add ->
+          fun e ->
+            let regs = e.cregs in
+            Array.unsafe_set regs rd
+              (Array.unsafe_get regs r1 + Array.unsafe_get regs r2);
+            next e
+      | Sub ->
+          fun e ->
+            let regs = e.cregs in
+            Array.unsafe_set regs rd
+              (Array.unsafe_get regs r1 - Array.unsafe_get regs r2);
+            next e
+      | Mul ->
+          fun e ->
+            let regs = e.cregs in
+            Array.unsafe_set regs rd
+              (Array.unsafe_get regs r1 * Array.unsafe_get regs r2);
+            next e
+      | Div ->
+          fun e ->
+            let regs = e.cregs in
+            let b = Array.unsafe_get regs r2 in
+            Array.unsafe_set regs rd
+              (if b = 0 then 0 else Array.unsafe_get regs r1 / b);
+            next e
+      | Rem ->
+          fun e ->
+            let regs = e.cregs in
+            let b = Array.unsafe_get regs r2 in
+            Array.unsafe_set regs rd
+              (if b = 0 then 0 else Array.unsafe_get regs r1 mod b);
+            next e
+      | And ->
+          fun e ->
+            let regs = e.cregs in
+            Array.unsafe_set regs rd
+              (Array.unsafe_get regs r1 land Array.unsafe_get regs r2);
+            next e
+      | Or ->
+          fun e ->
+            let regs = e.cregs in
+            Array.unsafe_set regs rd
+              (Array.unsafe_get regs r1 lor Array.unsafe_get regs r2);
+            next e
+      | Xor ->
+          fun e ->
+            let regs = e.cregs in
+            Array.unsafe_set regs rd
+              (Array.unsafe_get regs r1 lxor Array.unsafe_get regs r2);
+            next e
+      | Shl ->
+          fun e ->
+            let regs = e.cregs in
+            Array.unsafe_set regs rd
+              (Array.unsafe_get regs r1 lsl (Array.unsafe_get regs r2 land 63));
+            next e
+      | Shr ->
+          fun e ->
+            let regs = e.cregs in
+            Array.unsafe_set regs rd
+              (Array.unsafe_get regs r1 lsr (Array.unsafe_get regs r2 land 63));
+            next e)
+  | Alui (op, rd, r1, imm) -> (
+      match (op : Isa.alu_op) with
+      | Add ->
+          fun e ->
+            let regs = e.cregs in
+            Array.unsafe_set regs rd (Array.unsafe_get regs r1 + imm);
+            next e
+      | Sub ->
+          fun e ->
+            let regs = e.cregs in
+            Array.unsafe_set regs rd (Array.unsafe_get regs r1 - imm);
+            next e
+      | Mul ->
+          fun e ->
+            let regs = e.cregs in
+            Array.unsafe_set regs rd (Array.unsafe_get regs r1 * imm);
+            next e
+      | Div ->
+          let z = imm = 0 in
+          fun e ->
+            let regs = e.cregs in
+            Array.unsafe_set regs rd
+              (if z then 0 else Array.unsafe_get regs r1 / imm);
+            next e
+      | Rem ->
+          let z = imm = 0 in
+          fun e ->
+            let regs = e.cregs in
+            Array.unsafe_set regs rd
+              (if z then 0 else Array.unsafe_get regs r1 mod imm);
+            next e
+      | And ->
+          fun e ->
+            let regs = e.cregs in
+            Array.unsafe_set regs rd (Array.unsafe_get regs r1 land imm);
+            next e
+      | Or ->
+          fun e ->
+            let regs = e.cregs in
+            Array.unsafe_set regs rd (Array.unsafe_get regs r1 lor imm);
+            next e
+      | Xor ->
+          fun e ->
+            let regs = e.cregs in
+            Array.unsafe_set regs rd (Array.unsafe_get regs r1 lxor imm);
+            next e
+      | Shl ->
+          let s = imm land 63 in
+          fun e ->
+            let regs = e.cregs in
+            Array.unsafe_set regs rd (Array.unsafe_get regs r1 lsl s);
+            next e
+      | Shr ->
+          let s = imm land 63 in
+          fun e ->
+            let regs = e.cregs in
+            Array.unsafe_set regs rd (Array.unsafe_get regs r1 lsr s);
+            next e)
+  | Li (rd, imm) ->
+      fun e ->
+        Array.unsafe_set e.cregs rd imm;
+        next e
+  | Mov (rd, rs) ->
+      fun e ->
+        let regs = e.cregs in
+        Array.unsafe_set regs rd (Array.unsafe_get regs rs);
+        next e
+  | Load (rd, rs, off) ->
+      fun e ->
+        let regs = e.cregs in
+        let a = Array.unsafe_get regs rs + off in
+        Array.unsafe_set regs rd (Memory.load e.cmem a);
+        next e
+  | Store (rv, rb, off) ->
+      fun e ->
+        let regs = e.cregs in
+        let a = Array.unsafe_get regs rb + off in
+        Memory.store e.cmem a (Array.unsafe_get regs rv);
+        next e
+  | Movs (rdst, rsrc) ->
+      fun e ->
+        let regs = e.cregs in
+        let mem = e.cmem in
+        let src = Array.unsafe_get regs rsrc in
+        let dst = Array.unsafe_get regs rdst in
+        Memory.store mem dst (Memory.load mem src);
+        next e
+  | Falu (op, fd, f1, f2) -> (
+      match (op : Isa.falu_op) with
+      | Fadd ->
+          fun e ->
+            let fregs = e.cfregs in
+            Array.unsafe_set fregs fd
+              (Array.unsafe_get fregs f1 +. Array.unsafe_get fregs f2);
+            next e
+      | Fsub ->
+          fun e ->
+            let fregs = e.cfregs in
+            Array.unsafe_set fregs fd
+              (Array.unsafe_get fregs f1 -. Array.unsafe_get fregs f2);
+            next e
+      | Fmul ->
+          fun e ->
+            let fregs = e.cfregs in
+            Array.unsafe_set fregs fd
+              (Array.unsafe_get fregs f1 *. Array.unsafe_get fregs f2);
+            next e
+      | Fdiv ->
+          fun e ->
+            let fregs = e.cfregs in
+            let b = Array.unsafe_get fregs f2 in
+            Array.unsafe_set fregs fd
+              (if b = 0.0 then 0.0 else Array.unsafe_get fregs f1 /. b);
+            next e)
+  | Fload (fd, rs, off) ->
+      fun e ->
+        let a = Array.unsafe_get e.cregs rs + off in
+        Array.unsafe_set e.cfregs fd (Memory.loadf e.cmem a);
+        next e
+  | Fstore (fv, rb, off) ->
+      fun e ->
+        let a = Array.unsafe_get e.cregs rb + off in
+        Memory.storef e.cmem a (Array.unsafe_get e.cfregs fv);
+        next e
+  | Fmovi (fd, x) ->
+      fun e ->
+        Array.unsafe_set e.cfregs fd x;
+        next e
+  | Cvtif (fd, rs) ->
+      fun e ->
+        Array.unsafe_set e.cfregs fd
+          (float_of_int (Array.unsafe_get e.cregs rs));
+        next e
+  | Cvtfi (rd, fs) ->
+      fun e ->
+        Array.unsafe_set e.cregs rd
+          (int_of_float (Array.unsafe_get e.cfregs fs));
+        next e
+  | Sys (num, rd) ->
+      let rb = clen_next in
+      fun e ->
+        (* expose the exact retirement index and pc to the handler: the
+           chain's bulk advance overshoots by the statically known
+           remainder [rb] *)
+        let m = e.cm in
+        let bulk = m.icount in
+        m.icount <- bulk - rb;
+        m.pc <- pc;
+        Array.unsafe_set e.cregs rd (e.csyscall num);
+        m.icount <- bulk;
+        next e
+  | Branch _ | Jump _ | Call _ | Ret | Halt ->
+      (* control instructions are compiled by the terminator pass *)
+      assert false
+
+let compile_branch pc c r1 r2 target : cenv -> unit =
+  let next_pc = pc + 1 in
+  match (c : Isa.cond) with
+  | Eq ->
+      fun e ->
+        let regs = e.cregs in
+        let taken = Array.unsafe_get regs r1 = Array.unsafe_get regs r2 in
+        if e.c_hooked then e.c_branch pc taken;
+        e.cm.pc <- (if taken then target else next_pc)
+  | Ne ->
+      fun e ->
+        let regs = e.cregs in
+        let taken = Array.unsafe_get regs r1 <> Array.unsafe_get regs r2 in
+        if e.c_hooked then e.c_branch pc taken;
+        e.cm.pc <- (if taken then target else next_pc)
+  | Lt ->
+      fun e ->
+        let regs = e.cregs in
+        let taken = Array.unsafe_get regs r1 < Array.unsafe_get regs r2 in
+        if e.c_hooked then e.c_branch pc taken;
+        e.cm.pc <- (if taken then target else next_pc)
+  | Le ->
+      fun e ->
+        let regs = e.cregs in
+        let taken = Array.unsafe_get regs r1 <= Array.unsafe_get regs r2 in
+        if e.c_hooked then e.c_branch pc taken;
+        e.cm.pc <- (if taken then target else next_pc)
+  | Gt ->
+      fun e ->
+        let regs = e.cregs in
+        let taken = Array.unsafe_get regs r1 > Array.unsafe_get regs r2 in
+        if e.c_hooked then e.c_branch pc taken;
+        e.cm.pc <- (if taken then target else next_pc)
+  | Ge ->
+      fun e ->
+        let regs = e.cregs in
+        let taken = Array.unsafe_get regs r1 >= Array.unsafe_get regs r2 in
+        if e.c_hooked then e.c_branch pc taken;
+        e.cm.pc <- (if taken then target else next_pc)
+
+let compile (prog : Program.t) : compiled =
+  let instrs = prog.instrs in
+  let n = Array.length instrs in
+  let blocks = prog.blocks in
+  let bb_of_pc = prog.bb_of_pc in
+  let nblocks = Array.length blocks in
+  let unreachable (_ : cenv) = assert false in
+  (* [code.(pc)]: closure for the in-chain continuation at [pc] — block
+     leaders carry their hook prologue, body pcs do not, so a chain
+     link into a leader fires the next block's events exactly like a
+     fresh [run_block] entry.  [entry_code.(pc)] is what the dispatcher
+     calls: the same closure for leaders, a partial-aggregate wrapper
+     for mid-block resume points.  Index [n] catches a program that
+     runs off the end (the per-instruction tiers fault on the
+     out-of-range fetch; here it raises cleanly). *)
+  let code : (cenv -> unit) array = Array.make (n + 1) unreachable in
+  let entry_code : (cenv -> unit) array = Array.make (n + 1) unreachable in
+  let clen = Array.make (n + 1) 0 in
+  let entry_blocks = Array.make (n + 1) 0 in
+  (* dynamic block entries made by a chain entering block [b] *)
+  let blocks_from = Array.make nblocks 1 in
+  entry_code.(n) <-
+    (fun _ -> invalid_arg "Interp: execution ran off the end of the program");
+  (* Decreasing block order: every chain target (strictly beyond the
+     current terminator) is already compiled and wrapped. *)
+  for b = nblocks - 1 downto 0 do
+    let blk = blocks.(b) in
+    let start = blk.Program.start_pc in
+    let len = blk.Program.len in
+    let term_pc = start + len - 1 in
+    let chainable t = t > term_pc && t < n && len + clen.(t) <= max_chain_insns in
+    (match instrs.(term_pc) with
+    | Branch (c, r1, r2, target) ->
+        code.(term_pc) <- compile_branch term_pc c r1 r2 target;
+        clen.(term_pc) <- 1
+    | Jump target ->
+        if chainable target then begin
+          (* the jump's only effect is the pc change the chain link
+             makes implicit: compile it to the target's closure *)
+          code.(term_pc) <- code.(target);
+          clen.(term_pc) <- 1 + clen.(target);
+          blocks_from.(b) <- 1 + blocks_from.(bb_of_pc.(target))
+        end
+        else begin
+          code.(term_pc) <- (fun e -> e.cm.pc <- target);
+          clen.(term_pc) <- 1
+        end
+    | Call target ->
+        let ret_pc = term_pc + 1 in
+        if chainable target then begin
+          let tgt = code.(target) in
+          let rb = clen.(target) in
+          code.(term_pc) <-
+            (fun e ->
+              let m = e.cm in
+              if m.sp >= stack_depth then begin
+                m.icount <- m.icount - rb;
+                m.pc <- term_pc;
+                raise
+                  (Stack_error
+                     (Printf.sprintf "call-stack overflow at pc %d" term_pc))
+              end;
+              m.callstack.(m.sp) <- ret_pc;
+              m.sp <- m.sp + 1;
+              tgt e);
+          clen.(term_pc) <- 1 + clen.(target);
+          blocks_from.(b) <- 1 + blocks_from.(bb_of_pc.(target))
+        end
+        else begin
+          code.(term_pc) <-
+            (fun e ->
+              let m = e.cm in
+              if m.sp >= stack_depth then begin
+                m.pc <- term_pc;
+                raise
+                  (Stack_error
+                     (Printf.sprintf "call-stack overflow at pc %d" term_pc))
+              end;
+              m.callstack.(m.sp) <- ret_pc;
+              m.sp <- m.sp + 1;
+              m.pc <- target);
+          clen.(term_pc) <- 1
+        end
+    | Ret ->
+        code.(term_pc) <-
+          (fun e ->
+            let m = e.cm in
+            if m.sp <= 0 then begin
+              m.pc <- term_pc;
+              raise
+                (Stack_error
+                   (Printf.sprintf "ret on empty stack at pc %d" term_pc))
+            end;
+            m.sp <- m.sp - 1;
+            m.pc <- m.callstack.(m.sp));
+        clen.(term_pc) <- 1
+    | Halt ->
+        code.(term_pc) <-
+          (fun e ->
+            e.cm.pc <- term_pc;
+            e.c_halted <- true);
+        clen.(term_pc) <- 1
+    | i ->
+        (* fallthrough terminator: a non-control instruction whose
+           successor is a leader (or the end of the program) *)
+        let succ = term_pc + 1 in
+        if chainable succ then begin
+          code.(term_pc) <-
+            compile_straight term_pc i ~next:code.(succ) ~clen_next:clen.(succ);
+          clen.(term_pc) <- 1 + clen.(succ);
+          blocks_from.(b) <- 1 + blocks_from.(bb_of_pc.(succ))
+        end
+        else begin
+          code.(term_pc) <-
+            compile_straight term_pc i
+              ~next:(fun e -> e.cm.pc <- succ)
+              ~clen_next:0;
+          clen.(term_pc) <- 1
+        end);
+    for pc = term_pc - 1 downto start do
+      code.(pc) <-
+        compile_straight pc instrs.(pc) ~next:code.(pc + 1)
+          ~clen_next:clen.(pc + 1);
+      clen.(pc) <- 1 + clen.(pc + 1)
+    done;
+    (* leader prologue: the block's events, then the straight body *)
+    let plain_start = code.(start) in
+    code.(start) <-
+      (fun e ->
+        if e.c_hooked then begin
+          e.c_block b;
+          e.c_block_exec b len;
+          e.c_span start len
+        end;
+        plain_start e);
+    entry_code.(start) <- code.(start);
+    entry_blocks.(start) <- blocks_from.(b);
+    (* mid-block resume entries: partial aggregates, no [on_block] —
+       matching [run_block] resuming inside a block *)
+    for pc = start + 1 to term_pc do
+      let npart = term_pc + 1 - pc in
+      let body = code.(pc) in
+      entry_code.(pc) <-
+        (fun e ->
+          if e.c_hooked then begin
+            e.c_block_exec b npart;
+            e.c_span pc npart
+          end;
+          body e);
+      entry_blocks.(pc) <- blocks_from.(b)
+    done
+  done;
+  { entry_code; entry_len = clen; entry_blocks }
+
+(* Per-domain cache of compiled programs, keyed by physical identity of
+   the [Program.t].  Compilation is deterministic and self-contained,
+   so worker domains compile independently instead of sharing (no locks
+   on the replay hot path); the bound only guards against unbounded
+   growth when many distinct programs flow through one domain. *)
+let compiled_cache_limit = 32
+
+let compiled_cache : (Program.t * compiled) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let compiled_for (prog : Program.t) : compiled =
+  let cache = Domain.DLS.get compiled_cache in
+  match !cache with
+  | (p0, c0) :: _ when p0 == prog -> c0
+  | entries -> (
+      let rec find = function
+        | [] -> None
+        | (p, (c : compiled)) :: _ when p == prog -> Some c
+        | _ :: rest -> find rest
+      in
+      match find entries with
+      | Some c ->
+          (* move-to-front keeps the repeated-replay case one compare *)
+          cache := (prog, c) :: List.filter (fun (p, _) -> p != prog) entries;
+          c
+      | None ->
+          let c = compile prog in
+          let entries =
+            if List.length entries >= compiled_cache_limit then
+              List.filteri (fun i _ -> i < compiled_cache_limit - 1) entries
+            else entries
+          in
+          cache := (prog, c) :: entries;
+          c)
+
+let run_compiled ~hooks ~syscall ~fuel (prog : Program.t) (m : machine) =
+  let c = compiled_for prog in
+  let e =
+    {
+      cm = m;
+      cregs = m.regs;
+      cfregs = m.fregs;
+      cmem = m.mem;
+      csyscall = syscall;
+      c_block = hooks.Hooks.on_block;
+      c_block_exec = hooks.Hooks.on_block_exec;
+      c_span = hooks.Hooks.on_block_span;
+      c_branch = hooks.Hooks.on_branch;
+      c_hooked = not (Hooks.is_nil hooks);
+      c_halted = false;
+    }
+  in
+  let entry_code = c.entry_code in
+  let entry_len = c.entry_len in
+  let entry_blocks = c.entry_blocks in
+  let remaining = ref fuel in
+  let blocks = ref 0 in
+  let status = ref Out_of_fuel in
+  let running = ref (fuel > 0) in
+  while !running do
+    let pc = m.pc in
+    let len = Array.unsafe_get entry_len pc in
+    if len <= !remaining then begin
+      m.icount <- m.icount + len;
+      remaining := !remaining - len;
+      blocks := !blocks + Array.unsafe_get entry_blocks pc;
+      (Array.unsafe_get entry_code pc) e;
+      if e.c_halted then begin
+        status := Halted;
+        running := false
+      end
+      else if !remaining <= 0 then running := false
+    end
+    else begin
+      (* Not enough fuel for the whole chain: the block-stepping tier
+         (or the plain tier when nothing is hooked) retires exactly
+         [remaining] instructions from here, landing the fuel boundary
+         on the same instruction with identical partial-block events
+         and machine state. *)
+      status :=
+        (if e.c_hooked then run_block ~hooks ~syscall ~fuel:!remaining prog m
+         else run_plain ~syscall ~fuel:!remaining prog m);
+      running := false
+    end
+  done;
+  (* [vm.blocks_stepped] counts only hooked runs, mirroring the other
+     tiers: nil-hook runs historically go through [run_plain] (which
+     never counts) and their fuel splits legitimately differ between
+     replay strategies (sequential scan vs capture-then-fan-out), so
+     counting them would break the metric's jobs-invariance.  Hooked
+     runs count exactly what [run_block] would for the same fuel. *)
+  if e.c_hooked then Sp_obs.Metrics.add M.blocks !blocks;
+  !status
+[@@inline never]
+
+type engine = Auto | Reference | Block_step | Compiled
+
+(* Engine tiers, fastest applicable wins under [Auto]:
+   - nil hooks                     -> [run_compiled]: one closure call
+     per instruction, chained per superblock, zero decode
+   - block-level only              -> [run_compiled] with the block
+     prologues firing the aggregates
    - block-level + fused tool      -> [run_fused]: per-block dispatch,
      data references delivered as one aggregate segment per block
    - per-instr hooks               -> [run_hooked]: dispatch per retirement
    - per-instr hooks + fused tool  -> [run_mixed]: [run_hooked] plus
      single-instruction segment delivery
-   All tiers retire identical instruction streams and leave identical
-   machine state for any fuel split. *)
-let run ?(hooks = Hooks.nil) ?(syscall = default_syscall) ?(fuel = max_int)
-    (prog : Program.t) (m : machine) =
+   [engine] pins the run at (at most) a given tier for differential
+   testing: [Reference] forces the per-instruction family, [Block_step]
+   the block-stepping family.  A pin never changes what the hook set
+   can observe — sets needing per-instruction or fused delivery keep
+   their engine regardless.  All tiers retire identical instruction
+   streams and leave identical machine state for any fuel split. *)
+let run ?(engine = Auto) ?(hooks = Hooks.nil) ?(syscall = default_syscall)
+    ?(fuel = max_int) (prog : Program.t) (m : machine) =
   let icount0 = m.icount in
   let tlb0 = Memory.tlb_refills m.mem in
   let status =
     if Hooks.is_nil hooks then begin
-      Sp_obs.Metrics.incr M.runs_plain;
-      run_plain ~syscall ~fuel prog m
+      match engine with
+      | Auto | Compiled ->
+          Sp_obs.Metrics.incr M.runs_compiled;
+          run_compiled ~hooks:Hooks.nil ~syscall ~fuel prog m
+      | Block_step ->
+          Sp_obs.Metrics.incr M.runs_block;
+          run_block ~hooks:Hooks.nil ~syscall ~fuel prog m
+      | Reference ->
+          Sp_obs.Metrics.incr M.runs_plain;
+          run_plain ~syscall ~fuel prog m
     end
-    else if Hooks.block_level hooks then
+    else if Hooks.block_level hooks then begin
       if Hooks.has_block_mems hooks then begin
-        Sp_obs.Metrics.incr M.runs_fused;
-        run_fused ~hooks ~syscall ~fuel prog m
+        match engine with
+        | Reference ->
+            Sp_obs.Metrics.incr M.runs_mixed;
+            run_mixed ~hooks ~syscall ~fuel prog m
+        | Auto | Block_step | Compiled ->
+            Sp_obs.Metrics.incr M.runs_fused;
+            run_fused ~hooks ~syscall ~fuel prog m
       end
       else begin
-        Sp_obs.Metrics.incr M.runs_block;
-        run_block ~hooks ~syscall ~fuel prog m
+        match engine with
+        | Auto | Compiled ->
+            Sp_obs.Metrics.incr M.runs_compiled;
+            run_compiled ~hooks ~syscall ~fuel prog m
+        | Block_step ->
+            Sp_obs.Metrics.incr M.runs_block;
+            run_block ~hooks ~syscall ~fuel prog m
+        | Reference ->
+            Sp_obs.Metrics.incr M.runs_hooked;
+            run_hooked ~hooks ~syscall ~fuel prog m
       end
+    end
     else if Hooks.has_block_mems hooks then begin
       Sp_obs.Metrics.incr M.runs_mixed;
       run_mixed ~hooks ~syscall ~fuel prog m

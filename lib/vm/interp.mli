@@ -26,7 +26,21 @@ val default_syscall : int -> int
 (** Deterministic syscall used when none is supplied: channel [n] returns
     a fixed hash of [n] — the "recorded input" of a default environment. *)
 
+type engine =
+  | Auto
+      (** fastest tier the hook set admits: the compiled-block tier for
+          nil and plain block-level sets, the fused block-stepper when
+          an [on_block_mems] consumer is live, the per-instruction
+          engines when per-instruction hooks are. *)
+  | Reference
+      (** pin to the per-instruction reference family — the engines the
+          differential suites compare everything else against. *)
+  | Block_step
+      (** pin to (at most) the block-stepping family. *)
+  | Compiled  (** explicit request for the compiled tier; same as [Auto]. *)
+
 val run :
+  ?engine:engine ->
   ?hooks:Hooks.t ->
   ?syscall:(int -> int) ->
   ?fuel:int ->
@@ -35,8 +49,16 @@ val run :
   status
 (** Execute until [Halt] or until [fuel] instructions have retired.
 
+    [engine] (default [Auto]) caps which engine tier may run.  Pins
+    exist for differential testing and benchmarking; they never change
+    observable behaviour — every tier retires the same instruction
+    stream, fires equivalent hook events and leaves bit-identical
+    machine state for any fuel split — only how fast it happens.  A pin
+    is a ceiling, not a demand: a hook set that needs per-instruction
+    or fused delivery keeps the engine that can provide it.
+
     Semantics notes: integer division/remainder by zero yields 0 (the
     machine never traps); shift counts are masked to 6 bits; call-stack
-    depth is bounded (overflow raises [Failure]). *)
+    depth is bounded (overflow raises [Stack_error]). *)
 
 exception Stack_error of string

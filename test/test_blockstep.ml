@@ -276,9 +276,15 @@ let test_syscall n = ((n * 37) + 11) land 0xFF
 (* ------------------------------------------------------------------ *)
 (* Helpers over the real engines *)
 
+(* This suite targets the block-stepping tier, so every run is pinned
+   to [Block_step] — under [Auto] the interpreter now routes block-level
+   hook sets to the compiled tier (covered by test_compiled.ml), which
+   would silently drop [run_block] from coverage.  Sets with live
+   per-instruction hooks keep the per-instruction engine regardless of
+   the pin. *)
 let run_engine ~hooks ~syscall ~fuel p m =
   try
-    match Interp.run ~hooks ~syscall ~fuel p m with
+    match Interp.run ~engine:Interp.Block_step ~hooks ~syscall ~fuel p m with
     | Interp.Halted -> R_halted
     | Interp.Out_of_fuel -> R_fuel
   with Interp.Stack_error msg -> R_stack msg
@@ -462,7 +468,9 @@ let prop_fuel_split =
            while !left > 0 && !outcome = R_fuel do
              let f = min chunk !left in
              left := !left - f;
-             match Interp.run ~hooks ~syscall ~fuel:f p m with
+             match
+               Interp.run ~engine:Interp.Block_step ~hooks ~syscall ~fuel:f p m
+             with
              | Interp.Halted -> outcome := R_halted
              | Interp.Out_of_fuel -> ()
            done
@@ -488,7 +496,10 @@ let prop_fuel_split =
         in
         let outcome =
           try
-            match Interp.run ~hooks ~syscall ~fuel:test_fuel p m with
+            match
+              Interp.run ~engine:Interp.Block_step ~hooks ~syscall
+                ~fuel:test_fuel p m
+            with
             | Interp.Halted -> R_halted
             | Interp.Out_of_fuel -> R_fuel
           with Interp.Stack_error msg -> R_stack msg
@@ -569,8 +580,8 @@ let prop_bbv_slices =
         let m = Interp.create ~entry:0 () in
         (try
            ignore
-             (Interp.run ~hooks:(hooks_of bbv) ~syscall:test_syscall
-                ~fuel:test_fuel p m)
+             (Interp.run ~engine:Interp.Block_step ~hooks:(hooks_of bbv)
+                ~syscall:test_syscall ~fuel:test_fuel p m)
          with Interp.Stack_error _ -> ());
         Bbv_tool.finish bbv;
         Bbv_tool.slices bbv

@@ -15,6 +15,7 @@ let () =
       ("extensions", Test_extensions.suite);
       ("properties", Test_properties.suite);
       ("blockstep", Test_blockstep.suite);
+      ("compiled", Test_compiled.suite);
       ("fusedcache", Test_fusedcache.suite);
       ("models", Test_models.suite);
       ("misc", Test_misc.suite);

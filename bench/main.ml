@@ -47,7 +47,8 @@ let all_experiments =
 let usage () =
   Printf.printf
     "usage: main.exe [--fast] [--quiet] [--csv DIR] [--jobs N] \
-     [--trace-out FILE] [--gate NAME:MAXRATIO] [experiment...]\n";
+     [--trace-out FILE] [--gate NAME:MAXRATIO] [--gate-all MAXRATIO] \
+     [experiment...]\n";
   Printf.printf "experiments: %s\n" (String.concat " " all_experiments);
   Printf.printf
     "--jobs N: worker domains for the parallel stages (suite fan-out, cold\n\
@@ -56,12 +57,16 @@ let usage () =
   Printf.printf
     "--gate NAME:MAXRATIO (repeatable, implies micro): fail if micro NAME\n\
     \  measures more than MAXRATIO x its recorded BENCH_micro.json value.\n";
+  Printf.printf
+    "--gate-all MAXRATIO (implies micro): gate every micro recorded in\n\
+    \  BENCH_micro.json at MAXRATIO; explicit --gate flags override the\n\
+    \  ratio for the micros they name.\n";
   exit 0
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks *)
 
-let micro ?(gates = []) () =
+let micro ?(gates = []) ?gate_all () =
   let open Bechamel in
   let open Toolkit in
   (* recorded baseline, read before this run overwrites the file; [None]
@@ -103,6 +108,40 @@ let micro ?(gates = []) () =
     Sp_vm.Asm.alui a Sp_isa.Isa.And 1 1 0xFFFFF;
     Sp_vm.Asm.jump a top;
     Sp_vm.Asm.assemble a
+  in
+  (* 40k-instruction kernel with loads, stores and a recorded input
+     every iteration, logged once as a whole pinball; 4 points of 2000
+     instructions with 1500-instruction warm prefixes then drive the
+     whole warm-replay stage (prefix capture + prefixed replay) per
+     run — the path [warm_replay_points] parallelises *)
+  let warm_whole, warm_points =
+    let a = Sp_vm.Asm.create ~name:"warm-replay-4pt" () in
+    Sp_vm.Asm.li a 1 0;
+    Sp_vm.Asm.loop_down a ~counter:5 ~from:4_000 (fun () ->
+        Sp_vm.Asm.store a 2 1 0;
+        Sp_vm.Asm.load a 3 1 64;
+        Sp_vm.Asm.alui a Sp_isa.Isa.Add 1 1 8;
+        Sp_vm.Asm.alui a Sp_isa.Isa.And 1 1 0xFFFFF;
+        Sp_vm.Asm.alu a Sp_isa.Isa.Add 4 4 3;
+        Sp_vm.Asm.sys a 0 6;
+        Sp_vm.Asm.alu a Sp_isa.Isa.Xor 4 4 6;
+        Sp_vm.Asm.store a 4 1 128);
+    Sp_vm.Asm.halt a;
+    let kernel = Sp_vm.Asm.assemble a in
+    let whole =
+      Sp_pinball.Logger.log_whole ~benchmark:"warm-replay-4pt" kernel
+    in
+    let points =
+      Array.init 4 (fun i ->
+          {
+            Sp_simpoint.Simpoints.cluster = i;
+            slice_index = i;
+            start_icount = 8_000 * (i + 1);
+            length = 2_000;
+            weight = 0.25;
+          })
+    in
+    (whole, points)
   in
   let tests =
     [
@@ -221,6 +260,15 @@ let micro ?(gates = []) () =
             fun () ->
               walk_addr := (!walk_addr + 4096) land 0x1FF_FFFF;
               Sp_cache.Hierarchy.read hier !walk_addr));
+      (* the full warm-replay stage over the 40k-insn fixture: carve
+         four warm-prefixed regional pinballs, replay each (1500 warm +
+         2000 measured insns) with fresh per-point tools — what the
+         pipeline pays per warm point, capture included *)
+      Test.make ~name:"warm-replay-4pt"
+        (Staged.stage (fun () ->
+             ignore
+               (Pipeline.warm_replay_points Pipeline.default_options
+                  ~warmup_insns:1_500 warm_whole warm_points)));
       Test.make ~name:"projection-2000-slices"
         (Staged.stage
            (let slices =
@@ -275,6 +323,30 @@ let micro ?(gates = []) () =
           | _ -> Printf.printf "  %-28s (no estimate)\n%!" name)
         results)
     tests;
+  (* --gate-all RATIO expands to one gate per micro in the recorded
+     baseline (so micros added this run are gated from their next
+     recording); explicit --gate flags keep their own ratio *)
+  let gates =
+    match gate_all with
+    | None -> gates
+    | Some ratio -> (
+        match baseline with
+        | None ->
+            Printf.eprintf
+              "[bench] --gate-all %g cannot run: no recorded baseline (%s \
+               missing or unreadable); run `main.exe micro` on a known-good \
+               tree and commit the file\n\
+               %!"
+              ratio json_file;
+            exit 2
+        | Some b ->
+            gates
+            @ List.filter_map
+                (fun (name, _) ->
+                  if List.mem_assoc name gates then None
+                  else Some (name, ratio))
+                b)
+  in
   (* regression gates: each compares this run against the recorded
      baseline; a missing baseline file or micro is a configuration
      error and fails with a message naming what to fix, not a raise *)
@@ -371,6 +443,18 @@ let () =
     | [] -> []
   in
   let gates = gates args in
+  let rec gate_all = function
+    | "--gate-all" :: r :: _ -> (
+        match float_of_string_opt r with
+        | Some ratio when ratio > 0.0 -> Some ratio
+        | _ ->
+            Printf.eprintf "bad --gate-all %S (want MAXRATIO > 0, e.g. 1.5)\n"
+              r;
+            exit 2)
+    | _ :: rest -> gate_all rest
+    | [] -> None
+  in
+  let gate_all = gate_all args in
   let jobs =
     let rec from_args = function
       | "--jobs" :: n :: _ -> int_of_string_opt n
@@ -388,7 +472,8 @@ let () =
   let wanted =
     let rec strip = function
       | "--csv" :: _ :: rest | "--jobs" :: _ :: rest
-      | "--trace-out" :: _ :: rest | "--gate" :: _ :: rest ->
+      | "--trace-out" :: _ :: rest | "--gate" :: _ :: rest
+      | "--gate-all" :: _ :: rest ->
           strip rest
       | a :: rest when String.length a > 1 && a.[0] = '-' -> strip rest
       | a :: rest -> a :: strip rest
@@ -397,7 +482,9 @@ let () =
     strip args
   in
   let wanted =
-    if wanted = [] then if gates <> [] then [ "micro" ] else all_experiments
+    if wanted = [] then
+      if gates <> [] || gate_all <> None then [ "micro" ]
+      else all_experiments
     else wanted
   in
   List.iter
@@ -495,7 +582,7 @@ let () =
               Sp_util.Table.add_row t [ h.metric; h.paper; h.measured ])
             (Experiments.headlines (Lazy.force suite_results));
           emit name [ t ]
-      | "micro" -> micro ~gates ()
+      | "micro" -> micro ~gates ?gate_all ()
       | _ -> assert false))
     wanted;
   (match trace_out with

@@ -12,9 +12,9 @@
 
    Pipeline-driving subcommands share one options surface (the [common]
    term group below): --scale, --quiet, --jobs, --pinball-cache,
-   --slice-insns and --trace-out mean the same thing everywhere they
-   appear.  Reporting subcommands all take --json and emit one schema
-   ("specrepro/v1"). *)
+   --profile-cache, --warmup-insns, --slice-insns and --trace-out mean
+   the same thing everywhere they appear.  Reporting subcommands all
+   take --json and emit one schema ("specrepro/v1"). *)
 
 open Cmdliner
 open Specrepro
@@ -27,6 +27,8 @@ type common = {
   quiet : bool;
   jobs : int;
   pinball_cache : string option;
+  profile_cache : string option;
+  warmup_insns : int option;
   slice_insns : int option;
   trace_out : string option;
 }
@@ -69,6 +71,43 @@ let cache_arg =
     & opt (some string) None
     & info [ "pinball-cache" ] ~docv:"DIR" ~doc ~env)
 
+let profile_cache_arg =
+  let doc =
+    "Content-addressed profile-result cache directory.  The log+profile \
+     stage's outputs (BBV slices, instruction mix, whole-run cache and \
+     timing statistics) are stored keyed by (benchmark, slice length, \
+     scale, warmup) and decoded by later invocations instead of replaying \
+     the whole program under instrumentation; corrupt entries are \
+     quarantined and recomputed.  Unless $(b,--pinball-cache) is also \
+     given, the same directory caches the whole pinballs, so a fully-warm \
+     re-run skips whole-program execution entirely."
+  in
+  let env =
+    Cmd.Env.info "SPECREPRO_PROFILE_CACHE"
+      ~doc:"Default for $(b,--profile-cache)."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile-cache" ] ~docv:"DIR" ~doc ~env)
+
+let warmup_insns_arg =
+  let doc =
+    "Warmup window per simulation point, in simulated instructions: each \
+     warm regional replay trains the caches and predictor on this many \
+     instructions preceding the point (clamped to the previous point's \
+     end) before measuring.  Default: 150000, sized against the scaled \
+     L3 as the paper sizes its 500M-cycle warmup against the real one."
+  in
+  let env =
+    Cmd.Env.info "SPECREPRO_WARMUP_INSNS"
+      ~doc:"Default for $(b,--warmup-insns)."
+  in
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "warmup-insns" ] ~docv:"N" ~doc ~env)
+
 let slice_insns_arg =
   let doc =
     "Override the profiling slice length in simulated instructions \
@@ -87,12 +126,22 @@ let trace_out_arg =
     value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
 
 let common_term =
-  let make scale quiet jobs pinball_cache slice_insns trace_out =
-    { scale; quiet; jobs; pinball_cache; slice_insns; trace_out }
+  let make scale quiet jobs pinball_cache profile_cache warmup_insns
+      slice_insns trace_out =
+    {
+      scale;
+      quiet;
+      jobs;
+      pinball_cache;
+      profile_cache;
+      warmup_insns;
+      slice_insns;
+      trace_out;
+    }
   in
   Term.(
     const make $ scale_arg $ quiet_arg $ jobs_arg $ cache_arg
-    $ slice_insns_arg $ trace_out_arg)
+    $ profile_cache_arg $ warmup_insns_arg $ slice_insns_arg $ trace_out_arg)
 
 let resolve_jobs jobs = if jobs <= 0 then Sp_util.Pool.default_jobs () else jobs
 
@@ -104,9 +153,12 @@ let options_of c =
       Pipeline.slices_scale = c.scale;
       slice_insns =
         Option.value ~default:base.Pipeline.slice_insns c.slice_insns;
+      warmup_insns =
+        Option.value ~default:base.Pipeline.warmup_insns c.warmup_insns;
       progress = not c.quiet;
       jobs = resolve_jobs c.jobs;
       pinball_cache = c.pinball_cache;
+      profile_cache = c.profile_cache;
     }
 
 (* Run [f] with span tracing enabled when --trace-out was given; the

@@ -16,6 +16,7 @@ type options = {
   progress : bool;
   jobs : int;
   pinball_cache : string option;
+  profile_cache : string option;
 }
 
 let default_options =
@@ -42,6 +43,7 @@ let default_options =
        every stage is bit-for-bit identical across job counts anyway *)
     jobs = 1;
     pinball_cache = None;
+    profile_cache = None;
   }
 
 (* Resolve every derived knob up front, producing the single [options]
@@ -49,6 +51,14 @@ let default_options =
    the pipeline-level jobs knob unless the caller left it sequential).
    Idempotent, so the explicit calls in the entry points compose. *)
 let normalize options =
+  (* a profile cache is only fully effective with a pinball cache (the
+     whole pinball is what a profile hit replays nothing of), so it
+     doubles as the pinball cache directory unless one was given *)
+  let options =
+    match (options.profile_cache, options.pinball_cache) with
+    | Some dir, None -> { options with pinball_cache = Some dir }
+    | _ -> options
+  in
   if options.jobs > 1 then
     {
       options with
@@ -66,7 +76,11 @@ type selection_summary = {
 
 type stage_timing = { stage : string; seconds : float }
 
-type run_report = { jobs_used : int; stages : stage_timing list }
+type run_report = {
+  jobs_used : int;
+  warmup_insns_used : int;
+  stages : stage_timing list;
+}
 
 type bench_result = {
   spec : Benchspec.t;
@@ -88,6 +102,7 @@ let run_report_to_json (r : run_report) =
   Sp_obs.Json.Obj
     [
       ("jobs", Sp_obs.Json.Num (float_of_int r.jobs_used));
+      ("warmup_insns", Sp_obs.Json.Num (float_of_int r.warmup_insns_used));
       ( "stages",
         Sp_obs.Json.List
           (List.map
@@ -108,6 +123,7 @@ module M = struct
   let benchmarks = Sp_obs.Metrics.counter "pipeline.benchmarks"
   let stages_run = Sp_obs.Metrics.counter "pipeline.stages_run"
   let stage_seconds = Sp_obs.Metrics.histogram "pipeline.stage_seconds"
+  let warm_points = Sp_obs.Metrics.counter "warm.points"
 end
 
 (* Wrap one pipeline stage: a trace span (when tracing is on), a wall
@@ -189,7 +205,81 @@ let replay_points options (whole : Logger.whole) points =
     |> Array.to_list
   end
 
+(* Replay one warm-prefixed regional pinball under fresh per-point
+   tools: the prefix runs with the cache and timing tools warming
+   (state trains, statistics stay zero), the flag flips at the
+   prefix/region boundary, and the region runs measured with a fresh
+   per-point ldst-mix attached.  Fresh tools are exactly equivalent to
+   the shared scan's [reset_state] at each window start — construction
+   and reset produce identical state under the pipeline's replacement
+   policies (LRU/FIFO; [Random] keeps a replacement RNG that a reset
+   does not re-seed) — so per-point statistics are bit-identical to
+   the {!warm_replay_points_scan} reference, while every point becomes
+   an independent job for the domain pool. *)
+let replay_warm_point options (wr : Logger.warm_region) =
+  Sp_obs.Tracer.with_span ~cat:"warm" "warm-point" @@ fun () ->
+  let pb = wr.Logger.warm_pinball in
+  let prog = pb.Pinball.program in
+  let mixt = Ldstmix.create () in
+  let cache =
+    Allcache_tool.create ~config:options.cache_config
+      ~prefetch:options.next_line_prefetch prog
+  in
+  let core = Sp_cpu.Interval_core.create ~config:options.core_config prog in
+  let warm_hooks =
+    [ Allcache_tool.hooks cache; Sp_cpu.Interval_core.hooks core ]
+  in
+  Allcache_tool.set_warming cache true;
+  Sp_cpu.Interval_core.set_warming core true;
+  let result =
+    Replayer.replay_prefixed ~prefix_tools:warm_hooks
+      ~tools:(Ldstmix.hooks mixt :: warm_hooks)
+      ~prefix:wr.Logger.warm_prefix
+      ~on_region:(fun () ->
+        Allcache_tool.set_warming cache false;
+        Sp_cpu.Interval_core.set_warming core false)
+      pb
+  in
+  let cluster, weight =
+    match pb.Pinball.kind with
+    | Pinball.Region r -> (r.cluster, r.weight)
+    | Pinball.Whole -> (-1, 1.0)
+  in
+  let cache_stats = Allcache_tool.stats cache in
+  Sp_cache.Hierarchy.observe_stats cache_stats;
+  Sp_obs.Metrics.incr M.warm_points;
+  {
+    Runstats.cluster;
+    weight;
+    insns = result.Replayer.retired;
+    mix = Ldstmix.mix mixt;
+    cache = cache_stats;
+    cpi = Sp_cpu.Interval_core.cpi core;
+  }
+
 let warm_replay_points options ~warmup_insns (whole : Logger.whole) points =
+  (* pre-sort by start so the capture scan and the result list match
+     the sequential shared-scan reference's order exactly *)
+  let sorted = Array.copy points in
+  Array.sort
+    (fun (a : Sp_simpoint.Simpoints.point) b ->
+      compare a.start_icount b.start_icount)
+    sorted;
+  let regions =
+    Sp_obs.Tracer.with_span ~cat:"warm" "warm-capture" (fun () ->
+        Logger.capture_warm_regions ~warmup_insns whole sorted)
+  in
+  Sp_util.Pool.parallel_map ~jobs:options.jobs (replay_warm_point options)
+    regions
+  |> Array.to_list
+
+(* The pre-parallel implementation — one shared forward scan with
+   shared warm tools, reset at each window start — kept verbatim as
+   the differential reference the equivalence suite replays against
+   (metric observation moved inside the loop so per-point cache
+   metrics match the parallel path's).  Not used by the pipeline. *)
+let warm_replay_points_scan options ~warmup_insns (whole : Logger.whole)
+    points =
   let prog = whole.Logger.pinball.Pinball.program in
   let warm_cache =
     Allcache_tool.create ~config:options.cache_config
@@ -231,33 +321,27 @@ let warm_replay_points options ~warmup_insns (whole : Logger.whole) points =
         | Pinball.Region r -> (r.cluster, r.weight)
         | Pinball.Whole -> (-1, 1.0)
       in
+      let cache_stats = Allcache_tool.stats warm_cache in
+      Sp_cache.Hierarchy.observe_stats cache_stats;
       acc :=
         {
           Runstats.cluster;
           weight;
           insns = result.Replayer.retired;
           mix = Ldstmix.mix mixt;
-          cache = Allcache_tool.stats warm_cache;
+          cache = cache_stats;
           cpi = Sp_cpu.Interval_core.cpi warm_core;
         }
         :: !acc);
-  (* warm tool state is shared across the scan: fold its totals into
-     the cache metrics once, at the end *)
-  Sp_cache.Hierarchy.observe_stats (Allcache_tool.stats warm_cache);
   List.rev !acc
 
-(* Produce the whole pinball with [tools] piggybacked: either log it
-   fresh, or — when a pinball cache is configured and holds a valid
-   entry for this (benchmark, slice, scale) key — replay the cached
-   artifact under the same tools.  Replay reproduces the logged
-   execution bit-for-bit (recorded inputs included), so the tools
-   observe an identical event stream either way and every downstream
-   statistic is unchanged.  Cache failures are never fatal: corrupt or
-   stale entries are quarantined with a warning and recomputed. *)
-let log_whole_cached ~options ~slice_insns ~(spec : Benchspec.t) ~tools prog =
-  let log () =
-    Logger.log_whole ~benchmark:spec.Benchspec.name ~extra_tools:tools prog
-  in
+(* The pinball-cache skeleton: produce the whole pinball by logging
+   ([log]), unless a cache directory is configured and holds a valid
+   entry for this (benchmark, slice, scale) key — then [on_hit] decides
+   what to do with the cached artifact.  Cache failures are never
+   fatal: corrupt or stale entries are quarantined with a warning and
+   recomputed. *)
+let whole_cached ~options ~slice_insns ~(spec : Benchspec.t) ~log ~on_hit =
   match options.pinball_cache with
   | None -> log ()
   | Some dir -> (
@@ -278,11 +362,7 @@ let log_whole_cached ~options ~slice_insns ~(spec : Benchspec.t) ~tools prog =
       in
       match Artifact_cache.find_whole ~dir ~key with
       | Artifact_cache.Hit whole ->
-          progressf options
-            "[%s] pinball cache hit (%s): replaying cached whole pinball \
-             instead of re-logging\n"
-            spec.Benchspec.name key;
-          ignore (Replayer.replay ~tools whole.Logger.pinball);
+          on_hit ~key whole;
           whole
       | Artifact_cache.Miss -> log_and_store ()
       | Artifact_cache.Quarantined { path; reason } ->
@@ -292,6 +372,150 @@ let log_whole_cached ~options ~slice_insns ~(spec : Benchspec.t) ~tools prog =
              recomputing\n"
             spec.Benchspec.name path reason;
           log_and_store ())
+
+(* Produce the whole pinball with [tools] piggybacked: either log it
+   fresh, or replay the cached artifact under the same tools.  Replay
+   reproduces the logged execution bit-for-bit (recorded inputs
+   included), so the tools observe an identical event stream either
+   way and every downstream statistic is unchanged. *)
+let log_whole_cached ~options ~slice_insns ~(spec : Benchspec.t) ~tools prog =
+  whole_cached ~options ~slice_insns ~spec
+    ~log:(fun () ->
+      Logger.log_whole ~benchmark:spec.Benchspec.name ~extra_tools:tools prog)
+    ~on_hit:(fun ~key whole ->
+      progressf options
+        "[%s] pinball cache hit (%s): replaying cached whole pinball \
+         instead of re-logging\n"
+        spec.Benchspec.name key;
+      ignore (Replayer.replay ~tools whole.Logger.pinball))
+
+(* Produce the whole pinball with no instrumentation at all — a
+   profile-cache hit already has every statistic the instrumented
+   replay would measure.  A pinball-cache hit is then a plain load
+   (zero execution); a miss re-logs on the interpreter's nil-hook
+   compiled fast path and stores the artifact for next time. *)
+let whole_uninstrumented ~options ~slice_insns ~(spec : Benchspec.t) prog =
+  whole_cached ~options ~slice_insns ~spec
+    ~log:(fun () -> Logger.log_whole ~benchmark:spec.Benchspec.name prog)
+    ~on_hit:(fun ~key:_ _whole -> ())
+
+(* What the log+profile stage produces besides the pinball, however it
+   was obtained: everything downstream stages derive whole-run figures
+   from.  [kind_counts] rather than the finished mix, because the mix
+   (and the imix table) are cheap pure folds over it. *)
+type profile_data = {
+  prof_slices : Bbv_tool.slice array;
+  prof_kind_counts : int array;
+  prof_cache_stats : Sp_cache.Hierarchy.stats;
+  prof_core_stats : Sp_cpu.Interval_core.stats;
+}
+
+(* One instrumented pass: logger + single-pass profiler (BBVs +
+   ldst-mix + instruction-mix from one hook) + allcache + timing.
+   The stage wants several profiles from the same replay, so it takes
+   [Profile_tool] — the combined streaming consumer — rather than
+   seq'ing the dedicated per-profile tools; single-profile callers
+   (regional replays) keep the dedicated tools. *)
+let measure_profile ~options ~slice_insns ~spec prog =
+  let profile = Profile_tool.create ~slice_len:slice_insns prog in
+  let cache =
+    Allcache_tool.create ~config:options.cache_config
+      ~prefetch:options.next_line_prefetch prog
+  in
+  let core = Sp_cpu.Interval_core.create ~config:options.core_config prog in
+  let whole =
+    log_whole_cached ~options ~slice_insns ~spec
+      ~tools:
+        [
+          Profile_tool.hooks profile;
+          Allcache_tool.hooks cache;
+          Sp_cpu.Interval_core.hooks core;
+        ]
+      prog
+  in
+  Profile_tool.finish profile;
+  ( whole,
+    {
+      prof_slices = Profile_tool.slices profile;
+      prof_kind_counts = Profile_tool.kind_counts profile;
+      prof_cache_stats = Allcache_tool.stats cache;
+      prof_core_stats = Sp_cpu.Interval_core.stats core;
+    } )
+
+(* The whole log+profile stage, through the profile-result cache when
+   one is configured: a hit replaces the instrumented whole-program
+   replay with a decode of the stored slices, kind counts and whole-run
+   cache/timing statistics (all bit-identical to remeasuring, since the
+   logged execution is deterministic by construction).  The pinball
+   itself comes from the pinball cache or an uninstrumented re-log.
+   Cache trouble of any kind falls back to measuring. *)
+let log_and_profile ~options ~slice_insns ~(spec : Benchspec.t) prog =
+  let bench = spec.Benchspec.name in
+  let measured () = measure_profile ~options ~slice_insns ~spec prog in
+  let whole, data =
+    match options.profile_cache with
+    | None -> measured ()
+    | Some dir -> (
+        let key =
+          Profile_store.key ~benchmark:bench ~slice_insns
+            ~slices_scale:options.slices_scale
+            ~warmup_insns:options.warmup_insns
+        in
+        let store ((whole : Logger.whole), data) =
+          (try
+             ignore
+               (Profile_store.store ~dir ~key
+                  {
+                    Profile_store.benchmark = bench;
+                    total_insns = whole.Logger.total_insns;
+                    slices = data.prof_slices;
+                    kind_counts = data.prof_kind_counts;
+                    cache_stats = data.prof_cache_stats;
+                    core_stats = data.prof_core_stats;
+                  })
+           with Sys_error m | Failure m ->
+             Sp_obs.Log.printf
+               "[%s] profile cache: could not store entry (%s)\n" bench m);
+          (whole, data)
+        in
+        match Profile_store.find ~dir ~key with
+        | Profile_store.Hit d -> (
+            let whole = whole_uninstrumented ~options ~slice_insns ~spec prog in
+            (* the entry was measured over this exact execution: its
+               instruction total must agree with the pinball's *)
+            if whole.Logger.total_insns = d.Profile_store.total_insns then begin
+              progressf options
+                "[%s] profile cache hit (%s): skipping the instrumented \
+                 whole-program replay\n"
+                bench key;
+              ( whole,
+                {
+                  prof_slices = d.Profile_store.slices;
+                  prof_kind_counts = d.Profile_store.kind_counts;
+                  prof_cache_stats = d.Profile_store.cache_stats;
+                  prof_core_stats = d.Profile_store.core_stats;
+                } )
+            end
+            else begin
+              Sp_obs.Log.printf
+                "[%s] profile cache: quarantined stale entry %s (instruction \
+                 total %d, pinball has %d); recomputing\n"
+                bench
+                (Profile_store.path ~dir ~key)
+                d.Profile_store.total_insns whole.Logger.total_insns;
+              ignore (Profile_store.quarantine (Profile_store.path ~dir ~key));
+              store (measured ())
+            end)
+        | Profile_store.Miss -> store (measured ())
+        | Profile_store.Quarantined { path; reason } ->
+            Sp_obs.Log.printf
+              "[%s] profile cache: quarantined corrupt entry %s (%s); \
+               recomputing\n"
+              bench path reason;
+            store (measured ()))
+  in
+  Sp_cache.Hierarchy.observe_stats data.prof_cache_stats;
+  (whole, data)
 
 let run_benchmark ?(options = default_options) spec =
   let options = normalize options in
@@ -310,34 +534,11 @@ let run_benchmark ?(options = default_options) spec =
   let prog = built.Benchspec.program in
   progressf options "[%s] logging whole pinball (%d planted phases)...\n"
     bench spec.Benchspec.planted_phases;
-  (* one instrumented pass: logger + single-pass profiler (BBVs +
-     ldst-mix + instruction-mix from one hook) + allcache + timing.
-     The stage wants several profiles from the same replay, so it takes
-     [Profile_tool] — the combined streaming consumer — rather than
-     seq'ing the dedicated per-profile tools; single-profile callers
-     (regional replays below) keep the dedicated tools. *)
-  let profile = Profile_tool.create ~slice_len:options.slice_insns prog in
-  let cache =
-    Allcache_tool.create ~config:options.cache_config
-      ~prefetch:options.next_line_prefetch prog
-  in
-  let core = Sp_cpu.Interval_core.create ~config:options.core_config prog in
-  let whole, slices =
+  let whole, prof =
     stage ~bench ~timings "log+profile" (fun () ->
-        let whole =
-          log_whole_cached ~options ~slice_insns:options.slice_insns ~spec
-            ~tools:
-              [
-                Profile_tool.hooks profile;
-                Allcache_tool.hooks cache;
-                Sp_cpu.Interval_core.hooks core;
-              ]
-            prog
-        in
-        Profile_tool.finish profile;
-        Sp_cache.Hierarchy.observe_stats (Allcache_tool.stats cache);
-        (whole, Profile_tool.slices profile))
+        log_and_profile ~options ~slice_insns:options.slice_insns ~spec prog)
   in
+  let slices = prof.prof_slices in
   progressf options "[%s] %d instructions, %d slices; selecting points...\n"
     bench whole.Logger.total_insns (Array.length slices);
   let sel =
@@ -354,12 +555,12 @@ let run_benchmark ?(options = default_options) spec =
   in
   let whole_stats =
     Runstats.of_whole ~label:"Whole" ~insns:whole.Logger.total_insns
-      ~mix:(Profile_tool.ldst_mix profile) ~cache:(Allcache_tool.stats cache)
-      ~cpi:(Sp_cpu.Interval_core.cpi core)
+      ~mix:(Profile_tool.ldst_mix_of_kind_counts prof.prof_kind_counts)
+      ~cache:prof.prof_cache_stats
+      ~cpi:(Sp_cpu.Interval_core.cpi_of_stats prof.prof_core_stats)
   in
   let native =
-    Sp_perf.Native.sample_of_stats ~name:bench
-      (Sp_cpu.Interval_core.stats core)
+    Sp_perf.Native.sample_of_stats ~name:bench prof.prof_core_stats
   in
   progressf options "[%s] %d simulation points; replaying regions...\n" bench
     (Array.length sel.Sp_simpoint.Simpoints.points);
@@ -389,13 +590,18 @@ let run_benchmark ?(options = default_options) spec =
         bic_curve = sel.Sp_simpoint.Simpoints.bic_curve;
       };
     whole = whole_stats;
-    whole_core = Sp_cpu.Interval_core.stats core;
+    whole_core = prof.prof_core_stats;
     point_stats = cold;
     warm_point_stats = warm;
     native;
     variance;
     wall_seconds = wall;
-    report = { jobs_used = options.jobs; stages = List.rev !timings };
+    report =
+      {
+        jobs_used = options.jobs;
+        warmup_insns_used = options.warmup_insns;
+        stages = List.rev !timings;
+      };
   }
 
 (* Whole benchmarks are the coarsest unit of independent work: fan them
@@ -481,36 +687,21 @@ let profile_for_sweep ?(options = default_options) ?slice_insns spec =
     Benchspec.build ~slice_insns ~slices_scale:options.slices_scale spec
   in
   let prog = built.Benchspec.program in
-  (* several profiles wanted from one replay: take the combined
-     streaming profiler, as the [run_benchmark] log+profile stage does *)
-  let profile = Profile_tool.create ~slice_len:slice_insns prog in
-  let cache =
-    Allcache_tool.create ~config:options.cache_config
-      ~prefetch:options.next_line_prefetch prog
-  in
-  let core = Sp_cpu.Interval_core.create ~config:options.core_config prog in
-  let whole =
-    log_whole_cached ~options ~slice_insns ~spec
-      ~tools:
-        [
-          Profile_tool.hooks profile;
-          Allcache_tool.hooks cache;
-          Sp_cpu.Interval_core.hooks core;
-        ]
-      prog
-  in
-  Profile_tool.finish profile;
+  (* the same cached log+profile stage [run_benchmark] uses: several
+     profiles from one instrumented replay, or from the profile-result
+     cache when one is configured *)
+  let whole, prof = log_and_profile ~options ~slice_insns ~spec prog in
   {
     sweep_built = built;
     sweep_whole = whole;
-    sweep_slices = Profile_tool.slices profile;
+    sweep_slices = prof.prof_slices;
     sweep_whole_stats =
       Runstats.of_whole ~label:"Full Run" ~insns:whole.Logger.total_insns
-        ~mix:(Profile_tool.ldst_mix profile)
-        ~cache:(Allcache_tool.stats cache)
-        ~cpi:(Sp_cpu.Interval_core.cpi core);
+        ~mix:(Profile_tool.ldst_mix_of_kind_counts prof.prof_kind_counts)
+        ~cache:prof.prof_cache_stats
+        ~cpi:(Sp_cpu.Interval_core.cpi_of_stats prof.prof_core_stats);
     sweep_imix =
       Array.init Sp_isa.Isa.num_kinds (fun k ->
           ( Sp_isa.Isa.kind_name (Sp_isa.Isa.kind_of_code k),
-            Profile_tool.kind_count profile k ));
+            prof.prof_kind_counts.(k) ));
   }

@@ -38,15 +38,31 @@ type options = {
           identical either way.  Corrupt or stale entries are
           quarantined with a warning and recomputed, never fatal.
           [None] (the default) disables caching. *)
+  profile_cache : string option;
+      (** content-addressed profile-result cache directory
+          ({!Sp_pinball.Profile_store}).  When set, the log+profile
+          stage memoises its outputs (BBV slices, per-kind instruction
+          counts, whole-run cache and timing statistics) keyed by
+          md5(generation|benchmark|slice_insns|scale|warmup); a later
+          run with the same parameters skips the instrumented
+          whole-program replay entirely and decodes the entry instead —
+          bit-identical, since the logged execution is deterministic.
+          Unless [pinball_cache] is also set, the same directory caches
+          the whole pinballs (see {!normalize}), so a fully-warm re-run
+          performs no whole-program execution at all.  Same robustness
+          contract as the pinball cache.  [None] (the default)
+          disables it. *)
 }
 
 val default_options : options
 
 val normalize : options -> options
 (** Resolve derived knobs once ([simpoint_config] inherits [jobs] when
-    parallel), producing the single value every stage receives.
-    Idempotent; the entry points apply it themselves, so callers only
-    need it when invoking stage building blocks directly. *)
+    parallel; [pinball_cache] defaults to the [profile_cache] directory
+    when only the latter is set), producing the single value every
+    stage receives.  Idempotent; the entry points apply it themselves,
+    so callers only need it when invoking stage building blocks
+    directly. *)
 
 (** What simulation-point selection found (the clustering metadata,
     minus the bulky per-slice vectors). *)
@@ -65,6 +81,8 @@ type stage_timing = { stage : string; seconds : float }
     unconditionally — it does not require tracing to be enabled. *)
 type run_report = {
   jobs_used : int;  (** the effective [options.jobs] for this run *)
+  warmup_insns_used : int;
+      (** the effective [options.warmup_insns] for this run *)
   stages : stage_timing list;
 }
 
@@ -156,4 +174,19 @@ val replay_points :
 val warm_replay_points :
   options -> warmup_insns:int -> Sp_pinball.Logger.whole ->
   Sp_simpoint.Simpoints.point array -> Runstats.point_stats list
-(** Warmup Regional replays with the given warmup window. *)
+(** Warmup Regional replays with the given warmup window.  Each point
+    is carved as a self-contained warm-prefixed regional pinball
+    ({!Sp_pinball.Logger.capture_warm_regions}) and replayed with fresh
+    per-point tool state ({!Sp_pinball.Replayer.replay_prefixed}), so
+    the replays fan out across the domain pool ([options.jobs]);
+    results are bit-identical to {!warm_replay_points_scan} at every
+    job count. *)
+
+val warm_replay_points_scan :
+  options -> warmup_insns:int -> Sp_pinball.Logger.whole ->
+  Sp_simpoint.Simpoints.point array -> Runstats.point_stats list
+(** The sequential shared-scan implementation warm replay used before
+    it was parallelised: one forward pass over the whole execution,
+    shared warm tools reset at each window start.  Kept as the
+    differential reference for the equivalence suite; the pipeline
+    itself always uses {!warm_replay_points}. *)

@@ -141,6 +141,10 @@ let instructions t = t.instructions
 let cpi t =
   if t.instructions = 0 then 0.0 else cycles t /. float_of_int t.instructions
 
+let cpi_of_stats (s : stats) =
+  if s.instructions = 0 then 0.0
+  else s.cycles /. float_of_int s.instructions
+
 let stats t =
   {
     instructions = t.instructions;

@@ -37,6 +37,12 @@ val cycles : t -> float
 val instructions : t -> int
 val stats : t -> stats
 
+val cpi_of_stats : stats -> float
+(** {!cpi} recomputed from a {!stats} record — bit-identical to the
+    [cpi] of the core that produced it (same formula on the same
+    values), for consumers that persist stats and rebuild derived
+    figures later. *)
+
 val set_warming : t -> bool -> unit
 (** While warming, caches and the predictor train but neither cycles nor
     counters accumulate. *)

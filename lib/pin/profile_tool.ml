@@ -74,17 +74,23 @@ let kind_count t code = t.kind_counts.(code)
    classification [Ldstmix] applies per retirement, so the class counts
    — and the [Mix.of_counts] fractions built from them — are bit-equal
    to a dedicated ldstmix replay. *)
-let ldst_counts t =
+let ldst_counts_of_kind_counts kc =
   let cls = Array.make 4 0 in
   Array.iteri
     (fun k c ->
       let ci = Ldstmix.class_code_of_kind k in
       cls.(ci) <- cls.(ci) + c)
-    t.kind_counts;
+    kc;
   cls
+
+let ldst_counts t = ldst_counts_of_kind_counts t.kind_counts
 
 let ldst_count t c = (ldst_counts t).(Isa.mem_class_code c)
 
-let ldst_mix t =
-  let c = ldst_counts t in
+let ldst_mix_of_kind_counts kc =
+  let c = ldst_counts_of_kind_counts kc in
   Mix.of_counts ~no_mem:c.(0) ~mem_r:c.(1) ~mem_w:c.(2) ~mem_rw:c.(3)
+
+let ldst_mix t = ldst_mix_of_kind_counts t.kind_counts
+
+let kind_counts t = Array.copy t.kind_counts

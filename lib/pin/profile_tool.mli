@@ -44,9 +44,20 @@ val by_kind : t -> Sp_isa.Isa.kind -> int
 val kind_count : t -> int -> int
 (** Same, indexed by [Isa.kind_code]. *)
 
+val kind_counts : t -> int array
+(** A copy of the whole per-kind count vector (indexed by
+    [Isa.kind_code]) — the raw material persisted by the pipeline's
+    profile-result cache. *)
+
 val ldst_count : t -> Sp_isa.Isa.mem_class -> int
 (** Memory-class dynamic count, as {!Ldstmix.count}. *)
 
 val ldst_mix : t -> Mix.t
 (** Memory-operand distribution, bit-identical to a dedicated
     {!Ldstmix} replay ({!Ldstmix.mix}). *)
+
+val ldst_mix_of_kind_counts : int array -> Mix.t
+(** {!ldst_mix} recomputed from a persisted per-kind count vector
+    ({!kind_counts}) — the same static classification fold, so the
+    result is bit-identical to the mix of the tool that produced the
+    counts. *)

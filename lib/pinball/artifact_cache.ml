@@ -206,8 +206,17 @@ let gc ~dir =
           remove ();
           report := { !report with removed_tmp = !report.removed_tmp + 1 }
         end
-        else if Filename.check_suffix name ".pb" then
+        else if Filename.check_suffix name ".pb" then begin
           match Store.verify path with
+          | Ok () -> report := { !report with kept = !report.kept + 1 }
+          | Error _ ->
+              remove ();
+              report :=
+                { !report with removed_corrupt = !report.removed_corrupt + 1 }
+        end
+        else if Filename.check_suffix name ".prof" then
+          (* profile-stage entries share the directory (and this GC) *)
+          match Profile_store.verify path with
           | Ok () -> report := { !report with kept = !report.kept + 1 }
           | Error _ ->
               remove ();

@@ -25,6 +25,34 @@ val capture_regions :
     non-overlapping (simulation points always are: they are distinct
     slices). *)
 
+type warm_region = {
+  warm_prefix : int;
+      (** warmup instructions at the front of [warm_pinball]: the
+          effective window, after clamping against the previous region's
+          end (and program start) *)
+  warm_pinball : Pinball.t;
+      (** self-contained [(warmup, region)] pinball of length
+          [warm_prefix + point.length], snapshotted [warm_prefix]
+          instructions before the point; its recorded inputs cover the
+          whole window, including inputs consumed inside the prefix *)
+}
+
+val capture_warm_regions :
+  warmup_insns:int ->
+  whole ->
+  Sp_simpoint.Simpoints.point array ->
+  warm_region array
+(** Like {!capture_regions}, but each region is extended backwards by up
+    to [warmup_insns] instructions, making every warm point a
+    self-contained pinball replayable with fresh per-point tool state
+    ({!Replayer.replay_prefixed}).  The prefix is clamped exactly as the
+    {!scan_regions} warm window is: to the gap since the previous
+    point's end, and to program start — so prefix lengths (and therefore
+    warm statistics) match the shared-scan reference bit for bit.
+    Returns regions in the order given.
+    @raise Invalid_argument if [warmup_insns] is negative, a point lies
+    beyond the execution, or points overlap. *)
+
 type warmup = {
   length : int;             (** instructions to warm before each point *)
   hooks : Hooks.t;          (** attached during the warmup window *)

@@ -267,6 +267,91 @@ let test_pinball_cache_reuse () =
   Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
   Sys.rmdir dir
 
+let test_profile_cache_reuse () =
+  let dir = Filename.temp_file "spprof" "" in
+  Sys.remove dir;
+  let spec = Sp_workloads.Suite.find "648.exchange2_s" in
+  let options =
+    { tiny_options with collect_variance = false; profile_cache = Some dir }
+  in
+  (* everything the cached entry feeds: whole-run stats, the CPI-stack
+     core stats, selection and both replay flavours *)
+  let fingerprint (r : Pipeline.bench_result) =
+    ( ( r.Pipeline.whole_insns,
+        r.Pipeline.whole,
+        r.Pipeline.whole_core,
+        r.Pipeline.native ),
+      ( r.Pipeline.selection.chosen_k,
+        r.Pipeline.selection.points,
+        r.Pipeline.point_stats,
+        r.Pipeline.warm_point_stats ) )
+  in
+  let counter name =
+    Option.value ~default:0.0
+      (Sp_obs.Metrics.counter_value (Sp_obs.Metrics.stable_snapshot ()) name)
+  in
+  let baseline =
+    fingerprint
+      (Pipeline.run_benchmark
+         ~options:{ options with profile_cache = None }
+         spec)
+  in
+  (* a cold cached run profiles, stores, and matches the uncached run *)
+  Sp_obs.Metrics.reset ();
+  let cold = fingerprint (Pipeline.run_benchmark ~options spec) in
+  Alcotest.(check bool) "cold cached run matches uncached" true
+    (Stdlib.compare cold baseline = 0);
+  Alcotest.(check (float 0.0)) "cold run misses once" 1.0
+    (counter "profcache.misses");
+  Alcotest.(check (float 0.0)) "cold run stores once" 1.0
+    (counter "profcache.stores");
+  let key =
+    Sp_pinball.Profile_store.key ~benchmark:"648.exchange2_s"
+      ~slice_insns:options.Pipeline.slice_insns
+      ~slices_scale:options.Pipeline.slices_scale
+      ~warmup_insns:options.Pipeline.warmup_insns
+  in
+  let entry = Sp_pinball.Profile_store.path ~dir ~key in
+  Alcotest.(check bool) "profile entry written" true (Sys.file_exists entry);
+  (* a warm run decodes the entry instead of re-profiling; every
+     downstream statistic stays bit-identical *)
+  Sp_obs.Metrics.reset ();
+  let warm = fingerprint (Pipeline.run_benchmark ~options spec) in
+  Alcotest.(check bool) "profile hit matches uncached" true
+    (Stdlib.compare warm baseline = 0);
+  Alcotest.(check (float 0.0)) "warm run hits once" 1.0
+    (counter "profcache.hits");
+  Alcotest.(check (float 0.0)) "warm run stores nothing" 0.0
+    (counter "profcache.stores");
+  (* corrupt the entry: quarantined, recomputed, re-stored — never
+     fatal, still bit-identical *)
+  let data = In_channel.with_open_bin entry In_channel.input_all in
+  let broken = Bytes.of_string data in
+  let mid = String.length data / 2 in
+  Bytes.set broken mid (Char.chr (Char.code (Bytes.get broken mid) lxor 0x01));
+  Out_channel.with_open_bin entry (fun oc -> Out_channel.output_bytes oc broken);
+  Sp_obs.Metrics.reset ();
+  let recomputed = fingerprint (Pipeline.run_benchmark ~options spec) in
+  Alcotest.(check bool) "corrupt entry recomputed" true
+    (Stdlib.compare recomputed baseline = 0);
+  Alcotest.(check (float 0.0)) "quarantined once" 1.0
+    (counter "profcache.quarantines");
+  Alcotest.(check bool) "entry re-stored" true (Sys.file_exists entry);
+  (match Sp_pinball.Profile_store.verify entry with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "re-stored entry invalid: %s" e);
+  (* the shared-directory GC verifies .prof entries alongside .pb ones:
+     the quarantined residue goes, valid entries of both kinds stay *)
+  let gc = Sp_pinball.Artifact_cache.gc ~dir in
+  Alcotest.(check bool) "gc swept the quarantined entry" true
+    (gc.Sp_pinball.Artifact_cache.removed_quarantined >= 1);
+  Alcotest.(check int) "gc removed nothing valid" 0
+    gc.Sp_pinball.Artifact_cache.removed_corrupt;
+  Alcotest.(check bool) "entry survives gc" true (Sys.file_exists entry);
+  Sp_obs.Metrics.reset ();
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Sys.rmdir dir
+
 let suite =
   [
     Alcotest.test_case "pipeline basics" `Quick test_pipeline_basics;
@@ -283,4 +368,5 @@ let suite =
     Alcotest.test_case "figure tables render" `Quick test_fig_tables_render;
     Alcotest.test_case "pipeline deterministic" `Quick test_pipeline_deterministic;
     Alcotest.test_case "pinball cache reuse" `Quick test_pinball_cache_reuse;
+    Alcotest.test_case "profile cache reuse" `Quick test_profile_cache_reuse;
   ]

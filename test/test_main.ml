@@ -21,5 +21,6 @@ let () =
       ("misc", Test_misc.suite);
       ("coverage", Test_coverage.suite);
       ("parallel", Test_parallel.suite);
+      ("warmreplay", Test_warmreplay.suite);
       ("obs", Test_obs.suite);
     ]

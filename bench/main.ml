@@ -32,6 +32,7 @@ let all_experiments =
     "ablation-prefetch";
     "ablation-roi";
     "sampling";
+    "samplers";
     "smarts";
     "vli";
     "subset";
@@ -281,6 +282,27 @@ let micro ?(gates = []) ?gate_all () =
                   })
             in
             fun () -> ignore (Sp_simpoint.Projection.project ~seed:1 slices)));
+      (* the full stratified select tier over 2000 slices with five
+         planted phases: projection + pilot k-means + Neyman allocation
+         + within-stratum systematic draws — what `--sampler stratified`
+         pays at the select stage *)
+      Test.make ~name:"select-stratified-2000-slices"
+        (Staged.stage
+           (let slices =
+              Array.init 2000 (fun i ->
+                  {
+                    Sp_pin.Bbv_tool.index = i;
+                    start_icount = i * 100;
+                    length = 100;
+                    bbv =
+                      Array.init 20 (fun b ->
+                          ((b * 3) + (60 * (i mod 5)), 5));
+                  })
+            in
+            fun () ->
+              ignore
+                (Sp_simpoint.Sampler.select Sp_simpoint.Sampler.Stratified
+                   ~slice_len:100 slices)));
     ]
   in
   let benchmark test =
@@ -556,6 +578,7 @@ let () =
           emit name [ Experiments.ablation_prefetch ~options () ]
       | "ablation-roi" -> emit name [ Experiments.ablation_roi ~options () ]
       | "sampling" -> emit name [ Experiments.sampling ~options () ]
+      | "samplers" -> emit name [ Experiments.samplers ~options () ]
       | "smarts" -> emit name [ Experiments.smarts ~options () ]
       | "vli" -> emit name [ Experiments.vli ~options () ]
       | "subset" ->

@@ -11,10 +11,10 @@
      report      aggregate a --trace-out file into per-stage totals
 
    Pipeline-driving subcommands share one options surface (the [common]
-   term group below): --scale, --quiet, --jobs, --pinball-cache,
-   --profile-cache, --warmup-insns, --slice-insns and --trace-out mean
-   the same thing everywhere they appear.  Reporting subcommands all
-   take --json and emit one schema ("specrepro/v1"). *)
+   term group below): --scale, --quiet, --jobs, --sampler,
+   --pinball-cache, --profile-cache, --warmup-insns, --slice-insns and
+   --trace-out mean the same thing everywhere they appear.  Reporting
+   subcommands all take --json and emit one schema ("specrepro/v1"). *)
 
 open Cmdliner
 open Specrepro
@@ -26,6 +26,7 @@ type common = {
   scale : float;
   quiet : bool;
   jobs : int;
+  sampler : Sp_simpoint.Sampler.kind;
   pinball_cache : string option;
   profile_cache : string option;
   warmup_insns : int option;
@@ -53,6 +54,21 @@ let jobs_arg =
   in
   let env = Cmd.Env.info "SPECREPRO_JOBS" ~doc:"Default for $(b,--jobs)." in
   Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc ~env)
+
+let sampler_arg =
+  let doc =
+    "Simulation-point sampling methodology for the select stage: \
+     $(b,simpoint) (k-means phase clustering with BIC-guided k, the \
+     default), $(b,systematic) (periodic SMARTS-style design), \
+     $(b,stratified) (two-phase stratified sampling with Neyman \
+     allocation) or $(b,rss) (ranked-set sampling with repeated \
+     subsampling).  Replay and warm-replay are sampler-agnostic."
+  in
+  let env = Cmd.Env.info "SPECREPRO_SAMPLER" ~doc:"Default for $(b,--sampler)." in
+  Arg.(
+    value
+    & opt (enum Sp_simpoint.Sampler.kind_enum) Sp_simpoint.Sampler.Simpoint
+    & info [ "sampler" ] ~docv:"SAMPLER" ~doc ~env)
 
 let cache_arg =
   let doc =
@@ -126,12 +142,13 @@ let trace_out_arg =
     value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
 
 let common_term =
-  let make scale quiet jobs pinball_cache profile_cache warmup_insns
+  let make scale quiet jobs sampler pinball_cache profile_cache warmup_insns
       slice_insns trace_out =
     {
       scale;
       quiet;
       jobs;
+      sampler;
       pinball_cache;
       profile_cache;
       warmup_insns;
@@ -140,7 +157,7 @@ let common_term =
     }
   in
   Term.(
-    const make $ scale_arg $ quiet_arg $ jobs_arg $ cache_arg
+    const make $ scale_arg $ quiet_arg $ jobs_arg $ sampler_arg $ cache_arg
     $ profile_cache_arg $ warmup_insns_arg $ slice_insns_arg $ trace_out_arg)
 
 let resolve_jobs jobs = if jobs <= 0 then Sp_util.Pool.default_jobs () else jobs
@@ -151,6 +168,7 @@ let options_of c =
     {
       base with
       Pipeline.slices_scale = c.scale;
+      sampler = c.sampler;
       slice_insns =
         Option.value ~default:base.Pipeline.slice_insns c.slice_insns;
       warmup_insns =
@@ -411,19 +429,27 @@ let simpoints_cmd =
         in
         let profile = Pipeline.profile_for_sweep ~options spec in
         let sel =
-          Sp_simpoint.Simpoints.select ~config:options.Pipeline.simpoint_config
-            ~slice_len:options.Pipeline.slice_insns
+          Sp_simpoint.Sampler.select ~config:options.Pipeline.simpoint_config
+            options.Pipeline.sampler ~slice_len:options.Pipeline.slice_insns
             profile.Pipeline.sweep_slices
         in
         if json then
           emit_json ~command:"simpoints"
             [
               ("benchmark", str spec.Sp_workloads.Benchspec.name);
-              ("chosen_k", numi sel.Sp_simpoint.Simpoints.chosen_k);
-              ("num_slices", numi sel.Sp_simpoint.Simpoints.num_slices);
+              ( "sampler",
+                str (Sp_simpoint.Sampler.name options.Pipeline.sampler) );
+              ("chosen_k", numi sel.Sp_simpoint.Sampler.groups);
+              ( "num_slices",
+                numi (Array.length profile.Pipeline.sweep_slices) );
+              ( "diagnostics",
+                Sp_obs.Json.Obj
+                  (List.map
+                     (fun (k, v) -> (k, num v))
+                     sel.Sp_simpoint.Sampler.diagnostics) );
               ( "points",
                 Sp_obs.Json.List
-                  (Array.to_list sel.Sp_simpoint.Simpoints.points
+                  (Array.to_list sel.Sp_simpoint.Sampler.points
                   |> List.map (fun (p : Sp_simpoint.Simpoints.point) ->
                          Sp_obs.Json.Obj
                            [
@@ -435,14 +461,16 @@ let simpoints_cmd =
                            ])) );
             ]
         else begin
-          Printf.printf "%s: %d simulation points over %d slices\n"
-            spec.Sp_workloads.Benchspec.name sel.Sp_simpoint.Simpoints.chosen_k
-            sel.Sp_simpoint.Simpoints.num_slices;
+          Printf.printf "%s: %d simulation points over %d slices (%s)\n"
+            spec.Sp_workloads.Benchspec.name
+            (Array.length sel.Sp_simpoint.Sampler.points)
+            (Array.length profile.Pipeline.sweep_slices)
+            (Sp_simpoint.Sampler.name options.Pipeline.sampler);
           Array.iter
             (fun p ->
               Printf.printf "  %s\n"
                 (Format.asprintf "%a" Sp_simpoint.Simpoints.pp_point p))
-            sel.Sp_simpoint.Simpoints.points
+            sel.Sp_simpoint.Sampler.points
         end;
         match out with
         | None -> ()
@@ -452,7 +480,7 @@ let simpoints_cmd =
               (Sp_pinball.Store.save ~dir
                  profile.Pipeline.sweep_whole.Sp_pinball.Logger.pinball);
             Sp_pinball.Logger.scan_regions profile.Pipeline.sweep_whole
-              sel.Sp_simpoint.Simpoints.points (fun pb ->
+              sel.Sp_simpoint.Sampler.points (fun pb ->
                 ignore (Sp_pinball.Store.save ~dir pb);
                 incr saved);
             if not json then
@@ -771,8 +799,8 @@ let experiment_cmd =
   let name_arg =
     let doc =
       "Experiment: table1, table3, fig3a, fig3b, ablation-bic, \
-       ablation-proj, ablation-prefetch, sampling, statcache, models, rate \
-       (suite-wide figures live in bench/main.exe)."
+       ablation-proj, ablation-prefetch, sampling, samplers, statcache, \
+       models, rate (suite-wide figures live in bench/main.exe)."
     in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc)
   in
@@ -791,6 +819,8 @@ let experiment_cmd =
           Some
             (fun () -> Experiments.ablation_prefetch ~options:(options_of common) ())
       | "sampling" -> Some (fun () -> Experiments.sampling ~options:(options_of common) ())
+      | "samplers" ->
+          Some (fun () -> Experiments.samplers ~options:(options_of common) ())
       | "statcache" -> Some (fun () -> Experiments.statcache ~options:(options_of common) ())
       | "models" -> Some (fun () -> Experiments.models ~options:(options_of common) ())
       | "rate" -> Some (fun () -> Experiments.rate ~options:(options_of common) ())

@@ -1801,3 +1801,110 @@ let vli ?(options = Pipeline.default_options) ?specs () =
         ])
     specs;
   t
+
+(* ------------------------------------------------------------------ *)
+
+let samplers ?(options = Pipeline.default_options) ?specs () =
+  let options = Pipeline.normalize options in
+  let specs = match specs with Some s -> s | None -> Suite.all in
+  let t =
+    Table.create
+      ~title:
+        "Extension: sampler-vs-sampler error/cost (CPI from warm replays, \
+         signed pooled L3 error, budget = simulated instructions incl. \
+         warmup)"
+      [
+        ("Sampler", Table.Left);
+        ("Avg pts", Table.Right);
+        ("Sim Minsns", Table.Right);
+        ("% of whole", Table.Right);
+        ("CPI err", Table.Right);
+        ("L3 err (warm)", Table.Right);
+        ("L3 err (cold)", Table.Right);
+      ]
+  in
+  (* build + log + profile each workload once; every registered sampler
+     then selects over the same slices and replays only its own points,
+     so the comparison isolates the selection methodology *)
+  let profiles =
+    Sp_util.Pool.parallel_map ~jobs:options.Pipeline.jobs
+      (fun spec -> Pipeline.profile_for_sweep ~options spec)
+      (Array.of_list specs)
+  in
+  let wholes =
+    Array.to_list
+      (Array.map (fun p -> p.Pipeline.sweep_whole_stats) profiles)
+  in
+  let whole_insns =
+    Stats.fsum (fun (w : Runstats.run_stats) -> w.Runstats.insns) wholes
+  in
+  List.iter
+    (fun kind ->
+      let runs =
+        Array.map
+          (fun prof ->
+            let sel =
+              Sp_simpoint.Sampler.select
+                ~config:options.Pipeline.simpoint_config kind
+                ~slice_len:options.Pipeline.slice_insns
+                prof.Pipeline.sweep_slices
+            in
+            let pts = sel.Sp_simpoint.Sampler.points in
+            let cold =
+              Runstats.of_points ~label:"cold"
+                (Pipeline.replay_points options prof.Pipeline.sweep_whole pts)
+            in
+            let warm =
+              Runstats.of_points ~label:"warm"
+                (Pipeline.warm_replay_points options
+                   ~warmup_insns:options.Pipeline.warmup_insns
+                   prof.Pipeline.sweep_whole pts)
+            in
+            (prof, pts, cold, warm))
+          profiles
+      in
+      let npts =
+        Stats.mean
+          (Array.map
+             (fun (_, pts, _, _) -> float_of_int (Array.length pts))
+             runs)
+      in
+      let budget =
+        Stats.fsum
+          (fun (_, pts, _, _) ->
+            Array.fold_left
+              (fun acc (p : Sp_simpoint.Simpoints.point) ->
+                acc
+                +. float_of_int (p.length + options.Pipeline.warmup_insns))
+              0.0 pts)
+          (Array.to_list runs)
+      in
+      let cpi_err =
+        Stats.mean
+          (Array.map
+             (fun (prof, _, _, warm) ->
+               Stats.rel_error_pct
+                 ~reference:prof.Pipeline.sweep_whole_stats.Runstats.cpi
+                 warm.Runstats.cpi)
+             runs)
+      in
+      let pooled which =
+        match
+          List.assoc_opt "L3"
+            (pooled_errors wholes (Array.to_list (Array.map which runs)))
+        with
+        | Some e -> Printf.sprintf "%+.1f%%" e
+        | None -> "-"
+      in
+      Table.add_row t
+        [
+          Sp_simpoint.Sampler.name kind;
+          Table.fmt_f ~dec:1 npts;
+          Table.fmt_f ~dec:2 (budget /. 1e6);
+          Table.fmt_pct (budget /. whole_insns *. 100.0);
+          Table.fmt_pct cpi_err;
+          pooled (fun (_, _, _, warm) -> warm);
+          pooled (fun (_, _, cold, _) -> cold);
+        ])
+    Sp_simpoint.Sampler.all_kinds;
+  t

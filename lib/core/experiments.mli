@@ -97,6 +97,17 @@ val sampling :
     representatives, systematic sampling with a uniform design of the
     same budget plus a 95%% confidence interval. *)
 
+val samplers :
+  ?options:Pipeline.options -> ?specs:Sp_workloads.Benchspec.t list -> unit ->
+  Table.t
+(** Sampler-vs-sampler error/cost comparison over the suite (default:
+    all 29 Table II workloads): each registered {!Sp_simpoint.Sampler}
+    methodology selects points over the same profiled slices, its
+    points are replayed cold and warm, and the table reports average
+    point count, simulated-instruction budget (measured regions plus
+    warmup windows), suite-mean warm CPI error and the signed pooled
+    L3 miss-rate error of both replay styles. *)
+
 val smarts :
   ?options:Pipeline.options -> ?specs:Sp_workloads.Benchspec.t list ->
   ?period:int -> unit -> Table.t

@@ -7,6 +7,7 @@ type options = {
   slices_scale : float;
   warmup_insns : int;
   coverage : float;
+  sampler : Sp_simpoint.Sampler.kind;
   simpoint_config : Sp_simpoint.Simpoints.config;
   cache_config : Sp_cache.Config.hierarchy;
   next_line_prefetch : bool;
@@ -32,6 +33,7 @@ let default_options =
        instruction-count scaling, which would warm almost nothing. *)
     warmup_insns = 150_000;
     coverage = 0.9;
+    sampler = Sp_simpoint.Sampler.Simpoint;
     simpoint_config = Sp_simpoint.Simpoints.default_config;
     cache_config = Sp_cache.Config.allcache_sim;
     next_line_prefetch = false;
@@ -68,10 +70,12 @@ let normalize options =
   else options
 
 type selection_summary = {
+  sampler : Sp_simpoint.Sampler.kind;
   chosen_k : int;
   num_slices : int;
   points : Sp_simpoint.Simpoints.point array;
   bic_curve : (int * float) list;
+  diagnostics : (string * float) list;
 }
 
 type stage_timing = { stage : string; seconds : float }
@@ -79,6 +83,7 @@ type stage_timing = { stage : string; seconds : float }
 type run_report = {
   jobs_used : int;
   warmup_insns_used : int;
+  sampler_used : string;
   stages : stage_timing list;
 }
 
@@ -103,6 +108,7 @@ let run_report_to_json (r : run_report) =
     [
       ("jobs", Sp_obs.Json.Num (float_of_int r.jobs_used));
       ("warmup_insns", Sp_obs.Json.Num (float_of_int r.warmup_insns_used));
+      ("sampler", Sp_obs.Json.Str r.sampler_used);
       ( "stages",
         Sp_obs.Json.List
           (List.map
@@ -124,6 +130,19 @@ module M = struct
   let stages_run = Sp_obs.Metrics.counter "pipeline.stages_run"
   let stage_seconds = Sp_obs.Metrics.histogram "pipeline.stage_seconds"
   let warm_points = Sp_obs.Metrics.counter "warm.points"
+  let select_points = Sp_obs.Metrics.counter "select.points"
+
+  (* one stable counter per registered sampler: the CI sampler matrix
+     diffs the select.* lines across job counts *)
+  let sampler_counters =
+    List.map
+      (fun k ->
+        ( k,
+          Sp_obs.Metrics.counter
+            ("select.sampler." ^ Sp_simpoint.Sampler.name k) ))
+      Sp_simpoint.Sampler.all_kinds
+
+  let sampler_runs k = List.assoc k sampler_counters
 end
 
 (* Wrap one pipeline stage: a trace span (when tracing is on), a wall
@@ -541,11 +560,17 @@ let run_benchmark ?(options = default_options) spec =
   let slices = prof.prof_slices in
   progressf options "[%s] %d instructions, %d slices; selecting points...\n"
     bench whole.Logger.total_insns (Array.length slices);
+  (* the select stage is the pluggable sampler tier: every registered
+     methodology consumes the same slices and produces weighted points,
+     so everything below this line is sampler-agnostic *)
   let sel =
     stage ~bench ~timings "select" (fun () ->
-        Sp_simpoint.Simpoints.select ~config:options.simpoint_config
-          ~slice_len:options.slice_insns slices)
+        Sp_simpoint.Sampler.select ~config:options.simpoint_config
+          options.sampler ~slice_len:options.slice_insns slices)
   in
+  Sp_obs.Metrics.incr (M.sampler_runs options.sampler);
+  Sp_obs.Metrics.add M.select_points
+    (Array.length sel.Sp_simpoint.Sampler.points);
   let variance =
     if options.collect_variance then
       stage ~bench ~timings "variance" (fun () ->
@@ -563,17 +588,17 @@ let run_benchmark ?(options = default_options) spec =
     Sp_perf.Native.sample_of_stats ~name:bench prof.prof_core_stats
   in
   progressf options "[%s] %d simulation points; replaying regions...\n" bench
-    (Array.length sel.Sp_simpoint.Simpoints.points);
+    (Array.length sel.Sp_simpoint.Sampler.points);
   (* cold regional replays (Regional / Reduced Regional) *)
   let cold =
     stage ~bench ~timings "cold-replay" (fun () ->
-        replay_points options whole sel.Sp_simpoint.Simpoints.points)
+        replay_points options whole sel.Sp_simpoint.Sampler.points)
   in
   (* warmed regional replays: Section IV-D's mitigation *)
   let warm =
     stage ~bench ~timings "warm-replay" (fun () ->
         warm_replay_points options ~warmup_insns:options.warmup_insns whole
-          sel.Sp_simpoint.Simpoints.points)
+          sel.Sp_simpoint.Sampler.points)
   in
   let wall = Unix.gettimeofday () -. t0 in
   progressf options "[%s] done in %.1fs\n" bench wall;
@@ -584,10 +609,12 @@ let run_benchmark ?(options = default_options) spec =
     whole_insns = whole.Logger.total_insns;
     selection =
       {
-        chosen_k = sel.Sp_simpoint.Simpoints.chosen_k;
-        num_slices = sel.Sp_simpoint.Simpoints.num_slices;
-        points = sel.Sp_simpoint.Simpoints.points;
-        bic_curve = sel.Sp_simpoint.Simpoints.bic_curve;
+        sampler = options.sampler;
+        chosen_k = sel.Sp_simpoint.Sampler.groups;
+        num_slices = Array.length slices;
+        points = sel.Sp_simpoint.Sampler.points;
+        bic_curve = sel.Sp_simpoint.Sampler.bic_curve;
+        diagnostics = sel.Sp_simpoint.Sampler.diagnostics;
       };
     whole = whole_stats;
     whole_core = prof.prof_core_stats;
@@ -600,6 +627,7 @@ let run_benchmark ?(options = default_options) spec =
       {
         jobs_used = options.jobs;
         warmup_insns_used = options.warmup_insns;
+        sampler_used = Sp_simpoint.Sampler.name options.sampler;
         stages = List.rev !timings;
       };
   }

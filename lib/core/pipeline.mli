@@ -16,6 +16,10 @@ type options = {
   slices_scale : float;     (** scales whole-run length; tests use < 1 *)
   warmup_insns : int;       (** warmup window per point (500 paper-M) *)
   coverage : float;         (** percentile for Reduced runs (0.9) *)
+  sampler : Sp_simpoint.Sampler.kind;
+      (** which registered sampling methodology the select stage runs
+          ([Simpoint], the default, or [Systematic] / [Stratified] /
+          [Rss]); everything downstream of select is sampler-agnostic *)
   simpoint_config : Sp_simpoint.Simpoints.config;
   cache_config : Sp_cache.Config.hierarchy;  (** Table I *)
   next_line_prefetch : bool;
@@ -67,10 +71,15 @@ val normalize : options -> options
 (** What simulation-point selection found (the clustering metadata,
     minus the bulky per-slice vectors). *)
 type selection_summary = {
+  sampler : Sp_simpoint.Sampler.kind;  (** methodology that selected *)
   chosen_k : int;
+      (** method-specific group count ({!Sp_simpoint.Sampler.output}
+          [groups]): clusters, samples, strata or rank positions *)
   num_slices : int;
   points : Sp_simpoint.Simpoints.point array;
-  bic_curve : (int * float) list;
+  bic_curve : (int * float) list;  (** non-empty only for [Simpoint] *)
+  diagnostics : (string * float) list;
+      (** the sampler's method-specific diagnostics record *)
 }
 
 type stage_timing = { stage : string; seconds : float }
@@ -83,6 +92,8 @@ type run_report = {
   jobs_used : int;  (** the effective [options.jobs] for this run *)
   warmup_insns_used : int;
       (** the effective [options.warmup_insns] for this run *)
+  sampler_used : string;
+      (** CLI name of the select-stage sampler ({!Sp_simpoint.Sampler.name}) *)
   stages : stage_timing list;
 }
 

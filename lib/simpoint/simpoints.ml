@@ -43,12 +43,13 @@ type t = {
   bic_curve : (int * float) list;
 }
 
+(* Exact integer arithmetic: i * n / cap for i < cap yields cap strictly
+   increasing in-bounds indices whose last pick falls in the final stride
+   [(cap-1) * n / cap, n).  The float-stride form this replaces could
+   round two picks onto the same index and never reached the tail. *)
 let subsample cap points =
   let n = Array.length points in
-  if n <= cap then points
-  else
-    let stride = float_of_int n /. float_of_int cap in
-    Array.init cap (fun i -> points.(int_of_float (float_of_int i *. stride)))
+  if n <= cap then points else Array.init cap (fun i -> points.(i * n / cap))
 
 (* Fit on the (sub)sample, then produce a full-set clustering result. *)
 let cluster config ~k projected sample =
@@ -115,9 +116,14 @@ let build config ~slice_len slices projected result bic_curve =
     bic_curve;
   }
 
-let select_with_k ?(config = default_config) ~slice_len ~k slices =
+let project_or ~config projected slices =
+  match projected with
+  | Some p -> p
+  | None -> Projection.project ~dim:config.proj_dim ~seed:config.seed slices
+
+let select_with_k ?(config = default_config) ?projected ~slice_len ~k slices =
   if Array.length slices = 0 then invalid_arg "Simpoints.select_with_k: no slices";
-  let projected = Projection.project ~dim:config.proj_dim ~seed:config.seed slices in
+  let projected = project_or ~config projected slices in
   let sample = subsample config.sample_cap projected in
   let result = cluster config ~k projected sample in
   let bic = Bic.score result projected in
@@ -125,9 +131,9 @@ let select_with_k ?(config = default_config) ~slice_len ~k slices =
 
 (* SimPoint 3.0's policy: score k=1 and k=maxK, then binary-search the
    smallest k whose BIC reaches threshold of the [low, high] range. *)
-let select ?(config = default_config) ~slice_len slices =
+let select ?(config = default_config) ?projected ~slice_len slices =
   if Array.length slices = 0 then invalid_arg "Simpoints.select: no slices";
-  let projected = Projection.project ~dim:config.proj_dim ~seed:config.seed slices in
+  let projected = project_or ~config projected slices in
   let sample = subsample config.sample_cap projected in
   let max_k = min config.max_k (Array.length slices) in
   let cache = Hashtbl.create 16 in

@@ -39,14 +39,27 @@ type t = {
   bic_curve : (int * float) list; (** (k, BIC) at each evaluated k *)
 }
 
-val select : ?config:config -> slice_len:int -> Sp_pin.Bbv_tool.slice array -> t
+val select : ?config:config -> ?projected:float array array ->
+  slice_len:int -> Sp_pin.Bbv_tool.slice array -> t
 (** Run projection, the BIC-guided search for k, and representative
-    selection.  @raise Invalid_argument if there are no slices. *)
+    selection.  [projected] short-circuits the projection step with a
+    precomputed matrix (it must be the deterministic
+    {!Projection.project} of [slices] under [config]; the {!Sampler}
+    driver uses this to project once and share the matrix across
+    sampler implementations without changing any result).
+    @raise Invalid_argument if there are no slices. *)
 
-val select_with_k : ?config:config -> slice_len:int -> k:int ->
-  Sp_pin.Bbv_tool.slice array -> t
+val select_with_k : ?config:config -> ?projected:float array array ->
+  slice_len:int -> k:int -> Sp_pin.Bbv_tool.slice array -> t
 (** Like {!select} but with a forced cluster count (used by the MaxK
     sensitivity sweep). *)
+
+val subsample : int -> 'a array -> 'a array
+(** [subsample cap xs] is [xs] when it has at most [cap] elements, and
+    otherwise [cap] elements picked by the exact integer stride
+    [i * n / cap] — indices strictly increasing, in bounds, with the
+    last pick falling inside the final stride.  (Used to bound the
+    k-means fitting set; exposed for the property tests.) *)
 
 val reduce : t -> coverage:float -> point array
 (** Highest-weight points whose cumulative weight reaches [coverage]

@@ -3,7 +3,10 @@ type design = { period : int; offset : int }
 let design_for_budget ~num_slices ~budget =
   if budget < 1 || num_slices < 1 then
     invalid_arg "Systematic.design_for_budget";
-  let period = max 1 (num_slices / budget) in
+  (* ceiling division: a floor period of num_slices/budget realises up
+     to budget + period - 1 samples (10 slices at budget 4 gave period 2
+     and 5 samples), overshooting the requested budget *)
+  let period = max 1 ((num_slices + budget - 1) / budget) in
   { period; offset = period / 2 }
 
 let sample_indices d ~num_slices =
@@ -40,4 +43,4 @@ let estimate xs =
 
 let required_samples ~cv ~target_rel_ci =
   if target_rel_ci <= 0.0 then invalid_arg "Systematic.required_samples";
-  int_of_float (Float.ceil ((1.96 *. cv /. target_rel_ci) ** 2.0))
+  max 1 (int_of_float (Float.ceil ((1.96 *. cv /. target_rel_ci) ** 2.0)))

@@ -14,7 +14,9 @@ type design = {
 }
 
 val design_for_budget : num_slices:int -> budget:int -> design
-(** A design measuring ~[budget] slices spread uniformly.
+(** A design measuring at most [budget] slices spread uniformly (the
+    period is the ceiling of [num_slices / budget], so the realised
+    sample count never exceeds the budget).
     @raise Invalid_argument if [budget < 1] or [num_slices < 1]. *)
 
 val sample_indices : design -> num_slices:int -> int array
@@ -30,9 +32,22 @@ type estimate = {
 
 val estimate : float array -> estimate
 (** Sample mean and its confidence interval.
+
+    Approximation note: the interval uses the simple-random-sampling
+    (SRS) variance formula [s^2 / n] even though the sample is
+    systematic (periodic).  When slice behaviour is positively
+    autocorrelated — the common case for phased workloads — a periodic
+    design spreads samples across phases and the SRS formula
+    {e overstates} the variance, so the reported CI is conservative.
+    It is only misleading if the workload is itself periodic at a
+    multiple of the sampling period.  The stratified sampler
+    ({!Sampler.Stratified}) reports a within-stratum variance estimate
+    where strata exist.
     @raise Invalid_argument on an empty sample. *)
 
 val required_samples : cv:float -> target_rel_ci:float -> int
 (** SMARTS' sample-size rule: the number of measurements needed for a
     95%% confidence interval of [target_rel_ci] (e.g. 0.03) given a
-    coefficient of variation [cv] — ceil((1.96 cv / eps)^2). *)
+    coefficient of variation [cv] — ceil((1.96 cv / eps)^2), clamped
+    to at least one sample (a zero [cv] still needs one measurement
+    to observe the mean). *)

@@ -278,6 +278,188 @@ let test_variance_decreases_with_k () =
         (low_k.Variance.avg_variance > high_k.Variance.avg_variance)
   | _ -> Alcotest.fail "expected two sweep points"
 
+(* ------------------------------------------------------------------ *)
+(* Systematic design bugfixes *)
+
+(* regression: floor division overshot the budget (10 slices at budget
+   4 gave period 2 and 5 samples); sweep the whole small design space *)
+let test_design_budget_sweep () =
+  for num_slices = 1 to 40 do
+    for budget = 1 to num_slices do
+      let d = Systematic.design_for_budget ~num_slices ~budget in
+      let n = Array.length (Systematic.sample_indices d ~num_slices) in
+      if n > budget then
+        Alcotest.failf "num_slices=%d budget=%d: %d samples overshoot"
+          num_slices budget n;
+      if n < 1 then
+        Alcotest.failf "num_slices=%d budget=%d: empty design" num_slices
+          budget
+    done
+  done
+
+let test_required_samples_clamp () =
+  Alcotest.(check int)
+    "cv=0 still needs one measurement" 1
+    (Systematic.required_samples ~cv:0.0 ~target_rel_ci:0.03);
+  Alcotest.(check bool)
+    "positive cv needs more" true
+    (Systematic.required_samples ~cv:0.1 ~target_rel_ci:0.03 > 1)
+
+(* subsample indices: strictly increasing, in-bounds, and the final
+   pick lands inside the last stride (the float-stride version could
+   duplicate indices and never reached the tail) *)
+let prop_subsample =
+  QCheck.Test.make ~name:"subsample exact integer stride" ~count:200
+    QCheck.(pair (int_range 1 5000) (int_range 1 400))
+    (fun (n, cap) ->
+      let xs = Array.init n Fun.id in
+      let sub = Simpoints.subsample cap xs in
+      if n <= cap then sub = xs
+      else begin
+        Array.length sub = cap
+        && Array.for_all (fun i -> i >= 0 && i < n) sub
+        && (let increasing = ref true in
+            for i = 1 to cap - 1 do
+              if sub.(i) <= sub.(i - 1) then increasing := false
+            done;
+            !increasing)
+        (* last pick inside the final stride [(cap-1)*n/cap, n) *)
+        && sub.(cap - 1) >= (cap - 1) * n / cap
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Sampler interface: differential suite over all registered kinds *)
+
+let sampler_slices = planted_slices ~phases:4 ~per_phase:50 ~noise:3 ()
+
+let select_with ?budget ?(jobs = 1) ?(seed = Simpoints.default_config.seed)
+    kind =
+  let config = { Simpoints.default_config with jobs; seed } in
+  Sampler.select ~config ?budget kind ~slice_len:100 sampler_slices
+
+let test_sampler_weights_sum () =
+  List.iter
+    (fun kind ->
+      let out = select_with kind in
+      Alcotest.(check (float 1e-6))
+        (Sampler.name kind ^ " weights sum to 1")
+        1.0
+        (Simpoints.total_weight out.Sampler.points))
+    Sampler.all_kinds
+
+let test_sampler_points_valid () =
+  let n = Array.length sampler_slices in
+  List.iter
+    (fun kind ->
+      let out = select_with kind in
+      let seen = Hashtbl.create 64 in
+      Array.iter
+        (fun (p : Simpoints.point) ->
+          if p.slice_index < 0 || p.slice_index >= n then
+            Alcotest.failf "%s: slice index %d out of bounds"
+              (Sampler.name kind) p.slice_index;
+          if Hashtbl.mem seen p.slice_index then
+            Alcotest.failf "%s: duplicate slice %d" (Sampler.name kind)
+              p.slice_index;
+          Hashtbl.add seen p.slice_index ();
+          if p.weight <= 0.0 then
+            Alcotest.failf "%s: non-positive weight" (Sampler.name kind);
+          let s = sampler_slices.(p.slice_index) in
+          if
+            p.start_icount <> s.Sp_pin.Bbv_tool.start_icount
+            || p.length <> s.Sp_pin.Bbv_tool.length
+          then
+            Alcotest.failf "%s: point does not match its slice"
+              (Sampler.name kind))
+        out.Sampler.points)
+    Sampler.all_kinds
+
+let test_sampler_budget_respected () =
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun budget ->
+          let out = select_with ~budget kind in
+          let n = Array.length out.Sampler.points in
+          if n > budget then
+            Alcotest.failf "%s: %d points exceed budget %d"
+              (Sampler.name kind) n budget;
+          if n < 1 then
+            Alcotest.failf "%s: empty selection at budget %d"
+              (Sampler.name kind) budget)
+        [ 1; 4; 7; 35 ])
+    Sampler.all_kinds
+
+let check_same_output kind msg (a : Sampler.output) (b : Sampler.output) =
+  Alcotest.(check bool)
+    (Sampler.name kind ^ ": " ^ msg)
+    true
+    (a.Sampler.points = b.Sampler.points
+    && a.Sampler.groups = b.Sampler.groups
+    && a.Sampler.diagnostics = b.Sampler.diagnostics
+    && a.Sampler.bic_curve = b.Sampler.bic_curve)
+
+let test_sampler_jobs_invariant () =
+  List.iter
+    (fun kind ->
+      check_same_output kind "jobs 1 = jobs 4"
+        (select_with ~jobs:1 kind)
+        (select_with ~jobs:4 kind))
+    Sampler.all_kinds
+
+let test_sampler_deterministic () =
+  List.iter
+    (fun kind ->
+      check_same_output kind "fixed seed reproduces" (select_with kind)
+        (select_with kind))
+    Sampler.all_kinds
+
+(* the refactor's no-regression guarantee: the SimPoint implementation
+   behind the Sampler interface returns exactly what the pre-refactor
+   direct call returns, on a pinned workload *)
+let test_sampler_simpoint_parity () =
+  let direct = Simpoints.select ~slice_len:100 sampler_slices in
+  let out = select_with Sampler.Simpoint in
+  Alcotest.(check bool)
+    "points bit-identical" true
+    (out.Sampler.points = direct.Simpoints.points);
+  Alcotest.(check int)
+    "groups = chosen_k" direct.Simpoints.chosen_k out.Sampler.groups;
+  Alcotest.(check bool)
+    "bic curve identical" true
+    (out.Sampler.bic_curve = direct.Simpoints.bic_curve)
+
+let test_sampler_names () =
+  List.iter
+    (fun kind ->
+      match Sampler.of_name (Sampler.name kind) with
+      | Ok k -> Alcotest.(check bool) "round-trips" true (k = kind)
+      | Error e -> Alcotest.fail e)
+    Sampler.all_kinds;
+  match Sampler.of_name "bogus" with
+  | Ok _ -> Alcotest.fail "bogus name accepted"
+  | Error _ -> ()
+
+(* stratified diagnostics: the pilot stratification should capture most
+   of the auxiliary variance on a cleanly-phased workload *)
+let test_stratified_diagnostics () =
+  let out = select_with Sampler.Stratified in
+  match List.assoc_opt "var_within_frac" out.Sampler.diagnostics with
+  | None -> Alcotest.fail "missing var_within_frac diagnostic"
+  | Some f ->
+      Alcotest.(check bool)
+        (Printf.sprintf "within-stratum fraction %g in [0,1]" f)
+        true
+        (f >= 0.0 && f <= 1.0)
+
+let test_rss_diagnostics () =
+  let out = select_with Sampler.Rss in
+  List.iter
+    (fun key ->
+      if not (List.mem_assoc key out.Sampler.diagnostics) then
+        Alcotest.failf "missing %s diagnostic" key)
+    [ "set_size"; "repeats"; "aux_mean"; "aux_draw_var"; "aux_draw_se" ]
+
 let suite =
   [
     Alcotest.test_case "projection deterministic" `Quick test_projection_deterministic;
@@ -301,4 +483,16 @@ let suite =
     Alcotest.test_case "vli merges stable phases" `Quick test_vli_merges_stable_phases;
     Alcotest.test_case "vli max length" `Quick test_vli_max_len;
     Alcotest.test_case "vli instruction weights" `Quick test_vli_select_weights;
+    Alcotest.test_case "systematic budget sweep" `Quick test_design_budget_sweep;
+    Alcotest.test_case "required samples clamp" `Quick test_required_samples_clamp;
+    QCheck_alcotest.to_alcotest prop_subsample;
+    Alcotest.test_case "sampler weights sum" `Quick test_sampler_weights_sum;
+    Alcotest.test_case "sampler points valid" `Quick test_sampler_points_valid;
+    Alcotest.test_case "sampler budget respected" `Quick test_sampler_budget_respected;
+    Alcotest.test_case "sampler jobs invariant" `Quick test_sampler_jobs_invariant;
+    Alcotest.test_case "sampler deterministic" `Quick test_sampler_deterministic;
+    Alcotest.test_case "sampler simpoint parity" `Quick test_sampler_simpoint_parity;
+    Alcotest.test_case "sampler name round-trip" `Quick test_sampler_names;
+    Alcotest.test_case "stratified diagnostics" `Quick test_stratified_diagnostics;
+    Alcotest.test_case "rss diagnostics" `Quick test_rss_diagnostics;
   ]

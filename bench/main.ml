@@ -62,6 +62,9 @@ let usage () =
     "--gate-all MAXRATIO (implies micro): gate every micro recorded in\n\
     \  BENCH_micro.json at MAXRATIO; explicit --gate flags override the\n\
     \  ratio for the micros they name.\n";
+  Printf.printf
+    "exit codes: 0 ok; 1 bad input (unknown experiment, malformed or\n\
+    \  missing gate/baseline); 2 a gate failed.\n";
   exit 0
 
 (* ------------------------------------------------------------------ *)
@@ -360,7 +363,7 @@ let micro ?(gates = []) ?gate_all () =
                tree and commit the file\n\
                %!"
               ratio json_file;
-            exit 2
+            exit 1
         | Some b ->
             gates
             @ List.filter_map
@@ -370,13 +373,15 @@ let micro ?(gates = []) ?gate_all () =
                 b)
   in
   (* regression gates: each compares this run against the recorded
-     baseline; a missing baseline file or micro is a configuration
-     error and fails with a message naming what to fix, not a raise *)
+     baseline.  Exit codes follow the repo-wide convention: a missing
+     baseline file or micro is bad input (exit 1, with a message naming
+     what to fix); a measurement past its gate is a gate failure
+     (exit 2). *)
   List.iter
     (fun (gname, ratio) ->
       let fail msg =
         Printf.eprintf "[bench] gate %s:%g cannot run: %s\n%!" gname ratio msg;
-        exit 2
+        exit 1
       in
       let b =
         match baseline with
@@ -406,7 +411,7 @@ let micro ?(gates = []) ?gate_all () =
            (%.2fx, allowed %.2fx)\n\
            %!"
           gname cur old (cur /. old) ratio;
-        exit 1
+        exit 2
       end
       else
         Printf.printf "  gate %-21s OK: %.1f ns/run vs recorded %.1f (%.2fx \
@@ -450,7 +455,7 @@ let () =
         let bad () =
           Printf.eprintf "bad --gate %S (want NAME:MAXRATIO, e.g. %s)\n" spec
             "interp-10k-insns:1.5";
-          exit 2
+          exit 1
         in
         match String.index_opt spec ':' with
         | None -> bad ()
@@ -472,7 +477,7 @@ let () =
         | _ ->
             Printf.eprintf "bad --gate-all %S (want MAXRATIO > 0, e.g. 1.5)\n"
               r;
-            exit 2)
+            exit 1)
     | _ :: rest -> gate_all rest
     | [] -> None
   in
@@ -513,7 +518,7 @@ let () =
     (fun w ->
       if not (List.mem w all_experiments) then begin
         Printf.eprintf "unknown experiment %S\n" w;
-        exit 2
+        exit 1
       end)
     wanted;
   let options =

@@ -1,20 +1,34 @@
 (* The specrepro command-line interface.
 
    Subcommands mirror the stages of the paper's methodology:
-     list        the synthetic SPEC CPU2017 suite
-     profile     whole-run profiling of one benchmark
-     simpoints   simulation-point selection (optionally saving pinballs)
-     replay      replay stored pinballs under pintools
-     run         the full pipeline for one benchmark
-     suite       the full pipeline for the whole suite (Table II + headlines)
-     experiment  regenerate one of the paper's tables/figures
-     report      aggregate a --trace-out file into per-stage totals
+     list          the synthetic SPEC CPU2017 suite
+     profile       whole-run profiling of one benchmark
+     simpoints     simulation-point selection (optionally saving pinballs)
+     replay        replay stored pinballs under pintools
+     run           the full pipeline for one benchmark
+     suite         the full pipeline for the whole suite (Table II + headlines)
+     experiment    regenerate one of the paper's tables/figures
+     report        aggregate a --trace-out file into per-stage totals
+     serve         benchmark-as-a-service daemon over a Unix socket
+     submit        send a job to (or query / drain) a running daemon
+     query         inspect the daemon's append-only results store
+     bench-regress gate a stored run against its history (exit 2 on fail)
 
    Pipeline-driving subcommands share one options surface (the [common]
    term group below): --scale, --quiet, --jobs, --sampler,
    --pinball-cache, --profile-cache, --warmup-insns, --slice-insns and
-   --trace-out mean the same thing everywhere they appear.  Reporting
-   subcommands all take --json and emit one schema ("specrepro/v1"). *)
+   --trace-out mean the same thing everywhere they appear.
+
+   Reporting subcommands all take --json and emit one specrepro/v2
+   envelope ({schema, command, options, result} — see Specrepro.Api),
+   the same envelope the serve daemon speaks on the wire.
+
+   Exit codes follow one convention everywhere:
+     0  success
+     1  bad input or a corrupt artifact (unknown benchmark, malformed
+        trace/pinball/store, unreachable daemon, daemon-side errors)
+     2  a quality gate failed (bench-regress past its ratio gate;
+        bench/main.exe --gate / --gate-all) *)
 
 open Cmdliner
 open Specrepro
@@ -212,78 +226,22 @@ let bench_arg =
 
 let json_arg =
   let doc =
-    "Emit machine-readable JSON (schema $(b,specrepro/v1)) on stdout \
-     instead of the text report."
+    "Emit machine-readable JSON on stdout instead of the text report: \
+     one $(b,specrepro/v2) envelope \
+     ({schema, command, options, result}), byte-compatible with the \
+     serve daemon's wire replies."
   in
   Arg.(value & flag & info [ "json" ] ~doc)
-
-let emit_json ~command fields =
-  print_endline
-    (Sp_obs.Json.to_string
-       (Sp_obs.Json.Obj
-          (("schema", Sp_obs.Json.Str "specrepro/v1")
-          :: ("command", Sp_obs.Json.Str command)
-          :: fields)))
 
 let num x = Sp_obs.Json.Num x
 let str s = Sp_obs.Json.Str s
 let numi i = Sp_obs.Json.Num (float_of_int i)
-
-let mix_json (m : Sp_pin.Mix.t) =
-  Sp_obs.Json.Obj
-    [
-      ("no_mem", num m.Sp_pin.Mix.no_mem);
-      ("mem_r", num m.Sp_pin.Mix.mem_r);
-      ("mem_w", num m.Sp_pin.Mix.mem_w);
-      ("mem_rw", num m.Sp_pin.Mix.mem_rw);
-    ]
-
-let run_stats_json (s : Runstats.run_stats) =
-  Sp_obs.Json.Obj
-    [
-      ("label", str s.Runstats.label);
-      ("insns", num s.Runstats.insns);
-      ("mix", mix_json s.Runstats.mix);
-      ("l1i_miss", num s.Runstats.l1i_miss);
-      ("l1d_miss", num s.Runstats.l1d_miss);
-      ("l2_miss", num s.Runstats.l2_miss);
-      ("l3_miss", num s.Runstats.l3_miss);
-      ("cpi", num s.Runstats.cpi);
-    ]
-
-let bench_result_json (r : Pipeline.bench_result) =
-  Sp_obs.Json.Obj
-    [
-      ("benchmark", str r.Pipeline.spec.Sp_workloads.Benchspec.name);
-      ("whole_insns", numi r.Pipeline.whole_insns);
-      ("points", numi (Array.length r.Pipeline.selection.Pipeline.points));
-      ("reduced_points", numi (Pipeline.reduced_count r));
-      ("whole", run_stats_json r.Pipeline.whole);
-      ("regional", run_stats_json (Pipeline.regional r));
-      ("reduced", run_stats_json (Pipeline.reduced r));
-      ("warmup_regional", run_stats_json (Pipeline.warmup_regional r));
-      ("native_cpi", num (Sp_perf.Perf_counters.cpi r.Pipeline.native));
-      ("wall_seconds", num r.Pipeline.wall_seconds);
-      ("report", Pipeline.run_report_to_json r.Pipeline.report);
-    ]
-
-let table_json t =
-  Sp_obs.Json.Obj
-    [
-      ( "title",
-        match Sp_util.Table.title t with
-        | Some s -> str s
-        | None -> Sp_obs.Json.Null );
-      ( "columns",
-        Sp_obs.Json.List (List.map str (Sp_util.Table.headers t)) );
-      ( "rows",
-        Sp_obs.Json.List
-          (List.map
-             (fun row -> Sp_obs.Json.List (List.map str row))
-             (Sp_util.Table.rows t)) );
-    ]
-
-let metrics_json () = Sp_obs.Metrics.to_json (Sp_obs.Metrics.snapshot ())
+let run_stats_json = Api.run_stats_json
+let mix_json = Api.mix_json
+let bench_result_json r = Sp_obs.Json.Obj (Api.bench_result_fields r)
+let table_json = Api.table_json
+let metrics_json = Api.metrics_json
+let emit_json = Api.emit
 
 (* ------------------------------------------------------------------ *)
 (* list *)
@@ -291,9 +249,11 @@ let metrics_json () = Sp_obs.Metrics.to_json (Sp_obs.Metrics.snapshot ())
 let list_cmd =
   let run json =
     if json then
-      emit_json ~command:"list"
-        [
-          ( "benchmarks",
+      emit_json ~command:"list" ~options:Api.no_options
+        ~result:
+          (Sp_obs.Json.Obj
+             [
+               ( "benchmarks",
             Sp_obs.Json.List
               (List.map
                  (fun (s : Sp_workloads.Benchspec.t) ->
@@ -314,9 +274,8 @@ let list_cmd =
                                 str k.Sp_workloads.Kernel.name)
                               s.Sp_workloads.Benchspec.palette) );
                      ])
-                 Sp_workloads.Suite.all);
-          );
-        ]
+                 Sp_workloads.Suite.all) );
+             ])
     else begin
       let t =
         Sp_util.Table.create ~title:"Synthetic SPEC CPU2017 suite"
@@ -366,15 +325,22 @@ let profile_cmd =
         let imix = profile.Pipeline.sweep_imix in
         if json then
           emit_json ~command:"profile"
-            [
-              ("benchmark", str spec.Sp_workloads.Benchspec.name);
-              ("slices", numi (Array.length profile.Pipeline.sweep_slices));
-              ("whole", run_stats_json w);
-              ( "imix",
-                Sp_obs.Json.Obj
-                  (Array.to_list
-                     (Array.map (fun (name, c) -> (name, numi c)) imix)) );
-            ]
+            ~options:
+              (Api.options_json ~benchmark:spec.Sp_workloads.Benchspec.name
+                 options)
+            ~result:
+              (Sp_obs.Json.Obj
+                 [
+                   ("benchmark", str spec.Sp_workloads.Benchspec.name);
+                   ( "slices",
+                     numi (Array.length profile.Pipeline.sweep_slices) );
+                   ("whole", run_stats_json w);
+                   ( "imix",
+                     Sp_obs.Json.Obj
+                       (Array.to_list
+                          (Array.map (fun (name, c) -> (name, numi c)) imix))
+                   );
+                 ])
         else begin
           Printf.printf "%s: %.0f instructions, %d slices\n"
             spec.Sp_workloads.Benchspec.name w.Runstats.insns
@@ -435,31 +401,42 @@ let simpoints_cmd =
         in
         if json then
           emit_json ~command:"simpoints"
-            [
-              ("benchmark", str spec.Sp_workloads.Benchspec.name);
-              ( "sampler",
-                str (Sp_simpoint.Sampler.name options.Pipeline.sampler) );
-              ("chosen_k", numi sel.Sp_simpoint.Sampler.groups);
-              ( "num_slices",
-                numi (Array.length profile.Pipeline.sweep_slices) );
-              ( "diagnostics",
-                Sp_obs.Json.Obj
-                  (List.map
-                     (fun (k, v) -> (k, num v))
-                     sel.Sp_simpoint.Sampler.diagnostics) );
-              ( "points",
-                Sp_obs.Json.List
-                  (Array.to_list sel.Sp_simpoint.Sampler.points
-                  |> List.map (fun (p : Sp_simpoint.Simpoints.point) ->
-                         Sp_obs.Json.Obj
-                           [
-                             ("cluster", numi p.Sp_simpoint.Simpoints.cluster);
-                             ("weight", num p.Sp_simpoint.Simpoints.weight);
-                             ( "start_icount",
-                               numi p.Sp_simpoint.Simpoints.start_icount );
-                             ("length", numi p.Sp_simpoint.Simpoints.length);
-                           ])) );
-            ]
+            ~options:
+              (Api.options_json ~benchmark:spec.Sp_workloads.Benchspec.name
+                 ~extra:[ ("max_k", numi max_k) ]
+                 options)
+            ~result:
+              (Sp_obs.Json.Obj
+                 [
+                   ("benchmark", str spec.Sp_workloads.Benchspec.name);
+                   ( "sampler",
+                     str (Sp_simpoint.Sampler.name options.Pipeline.sampler)
+                   );
+                   ("chosen_k", numi sel.Sp_simpoint.Sampler.groups);
+                   ( "num_slices",
+                     numi (Array.length profile.Pipeline.sweep_slices) );
+                   ( "diagnostics",
+                     Sp_obs.Json.Obj
+                       (List.map
+                          (fun (k, v) -> (k, num v))
+                          sel.Sp_simpoint.Sampler.diagnostics) );
+                   ( "points",
+                     Sp_obs.Json.List
+                       (Array.to_list sel.Sp_simpoint.Sampler.points
+                       |> List.map (fun (p : Sp_simpoint.Simpoints.point) ->
+                              Sp_obs.Json.Obj
+                                [
+                                  ( "cluster",
+                                    numi p.Sp_simpoint.Simpoints.cluster );
+                                  ( "weight",
+                                    num p.Sp_simpoint.Simpoints.weight );
+                                  ( "start_icount",
+                                    numi p.Sp_simpoint.Simpoints.start_icount
+                                  );
+                                  ( "length",
+                                    numi p.Sp_simpoint.Simpoints.length );
+                                ])) );
+                 ])
         else begin
           Printf.printf "%s: %d simulation points over %d slices (%s)\n"
             spec.Sp_workloads.Benchspec.name
@@ -554,8 +531,13 @@ let replay_cmd =
     let results = List.map (replay_one ~json) files in
     let ok = List.for_all Option.is_some results in
     if json then
-      emit_json ~command:"replay"
-        [ ("replays", Sp_obs.Json.List (List.filter_map Fun.id results)) ];
+      emit_json ~command:"replay" ~options:Api.no_options
+        ~result:
+          (Sp_obs.Json.Obj
+             [
+               ( "replays",
+                 Sp_obs.Json.List (List.filter_map Fun.id results) );
+             ]);
     if not ok then exit 1
   in
   Cmd.v
@@ -695,8 +677,10 @@ let run_cmd =
         let options = options_of common in
         let r = Pipeline.run_benchmark ~options spec in
         if json then
-          emit_json ~command:"run"
-            [ ("result", bench_result_json r); ("metrics", metrics_json ()) ]
+          (* the complete envelope comes from Api.run_envelope — the
+             exact code path the serve daemon replies with, so this
+             output is byte-identical to a daemon submit reply *)
+          print_endline (Sp_obs.Json.to_string (Api.run_envelope r))
         else begin
           Printf.printf "%s: %d points (paper %d), %d cover 90%% (paper %d)\n\n"
             spec.Sp_workloads.Benchspec.name
@@ -762,13 +746,15 @@ let suite_cmd =
     let options = options_of common in
     let results = Pipeline.run_suite ~options ~specs () in
     if json then
-      emit_json ~command:"suite"
-        [
-          ( "results",
-            Sp_obs.Json.List (List.map bench_result_json results) );
-          ("table2", table_json (Experiments.table2 results));
-          ("metrics", metrics_json ());
-        ]
+      emit_json ~command:"suite" ~options:(Api.options_json options)
+        ~result:
+          (Sp_obs.Json.Obj
+             [
+               ( "results",
+                 Sp_obs.Json.List (List.map bench_result_json results) );
+               ("table2", table_json (Experiments.table2 results));
+               ("metrics", metrics_json ());
+             ])
     else begin
       Sp_util.Table.print (Experiments.table2 results);
       let t =
@@ -831,14 +817,27 @@ let experiment_cmd =
         with_trace common @@ fun () ->
         if json then
           emit_json ~command:"experiment"
-            [ ("name", str name); ("text", str (Experiments.table3 ())) ]
+            ~options:
+              (Api.options_json ~extra:[ ("name", str name) ]
+                 (options_of common))
+            ~result:
+              (Sp_obs.Json.Obj
+                 [
+                   ("name", str name);
+                   ("text", str (Experiments.table3 ()));
+                 ])
         else print_endline (Experiments.table3 ())
     | _, Some f ->
         with_trace common @@ fun () ->
         let t = f () in
         if json then
           emit_json ~command:"experiment"
-            [ ("name", str name); ("table", table_json t) ]
+            ~options:
+              (Api.options_json ~extra:[ ("name", str name) ]
+                 (options_of common))
+            ~result:
+              (Sp_obs.Json.Obj
+                 [ ("name", str name); ("table", table_json t) ])
         else Sp_util.Table.print t
     | other, None ->
         Printf.eprintf
@@ -865,8 +864,13 @@ let report_cmd =
         exit 1
     | Ok r ->
         if json then
-          emit_json ~command:"report"
-            [ ("trace", str trace); ("report", Sp_obs.Trace_report.to_json r) ]
+          emit_json ~command:"report" ~options:Api.no_options
+            ~result:
+              (Sp_obs.Json.Obj
+                 [
+                   ("trace", str trace);
+                   ("report", Sp_obs.Trace_report.to_json r);
+                 ])
         else print_string (Sp_obs.Trace_report.render r)
   in
   Cmd.v
@@ -905,10 +909,12 @@ let pinballs_cmd =
       let files = Sp_pinball.Store.list_dir ~dir in
       let manifest = Sp_pinball.Artifact_cache.read_manifest ~dir in
       if json then
-        emit_json ~command:"pinballs-list"
-          [
-            ("dir", str dir);
-            ( "pinballs",
+        emit_json ~command:"pinballs-list" ~options:Api.no_options
+          ~result:
+            (Sp_obs.Json.Obj
+               [
+                 ("dir", str dir);
+                 ( "pinballs",
               Sp_obs.Json.List
                 (List.map
                    (fun path ->
@@ -944,7 +950,7 @@ let pinballs_cmd =
                          ("file", str e.file);
                        ])
                    manifest) );
-          ]
+               ])
       else begin
         let t =
           Sp_util.Table.create ~title:(Printf.sprintf "Pinballs under %s" dir)
@@ -1051,13 +1057,441 @@ let pinballs_cmd =
     [ list_cmd; verify_cmd; gc_cmd ]
 
 (* ------------------------------------------------------------------ *)
+(* serve: the benchmark-as-a-service daemon *)
+
+let socket_arg =
+  let doc = "Unix-domain socket path the daemon listens on." in
+  let env = Cmd.Env.info "SPECREPRO_SOCKET" ~doc:"Default for $(b,--socket)." in
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc ~env)
+
+let results_opt_arg =
+  let doc =
+    "Append-only results store file: every completed job's report, \
+     fidelity metrics and sampler diagnostics are appended as a \
+     checksummed record (inspect with $(b,specrepro query), gate with \
+     $(b,specrepro bench-regress))."
+  in
+  Arg.(value & opt (some string) None & info [ "results" ] ~docv:"FILE" ~doc)
+
+let results_req_arg =
+  let doc = "Results store file written by $(b,specrepro serve --results)." in
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "results" ] ~docv:"FILE" ~doc)
+
+let serve_cmd =
+  let queue_cap_arg =
+    let doc =
+      "Bound on queued (not yet running) jobs; a submit past the bound is \
+       refused immediately with a $(b,backpressure) error instead of \
+       buffering without limit."
+    in
+    Arg.(value & opt int 64 & info [ "queue-cap" ] ~docv:"N" ~doc)
+  in
+  let timeout_arg =
+    let doc =
+      "Per-job timeout in seconds, measured from submission; an expired \
+       job is answered with a $(b,timeout) error.  0 disables the limit."
+    in
+    Arg.(value & opt float 0.0 & info [ "job-timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let run common socket results queue_cap job_timeout =
+    if queue_cap < 1 then begin
+      prerr_endline "specrepro serve: --queue-cap must be at least 1";
+      exit 1
+    end;
+    with_trace common @@ fun () ->
+    let base = options_of common in
+    Sp_serve.Server.run
+      {
+        Sp_serve.Server.socket_path = socket;
+        results_path = results;
+        queue_capacity = queue_cap;
+        parallel = base.Pipeline.jobs;
+        job_timeout;
+        base_options = base;
+        quiet = common.quiet;
+      }
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the benchmark-as-a-service daemon: accept jobs over a \
+          Unix-domain socket, schedule them across the domain pool with \
+          fair per-client queueing, and append every result to the \
+          results store.  SIGTERM drains gracefully: in-flight and queued \
+          jobs finish and are answered, new submissions are refused.  \
+          The shared options below become the defaults a request's \
+          options object starts from; --jobs is the daemon's parallelism.")
+    Term.(
+      const run $ common_term $ socket_arg $ results_opt_arg $ queue_cap_arg
+      $ timeout_arg)
+
+(* ------------------------------------------------------------------ *)
+(* submit: client for a running daemon *)
+
+let submit_cmd =
+  let bench_opt_arg =
+    let doc = "Benchmark to submit (omit with --status or --shutdown)." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"BENCHMARK" ~doc)
+  in
+  let status_flag =
+    let doc = "Ask the daemon for its status instead of submitting a job." in
+    Arg.(value & flag & info [ "status" ] ~doc)
+  in
+  let shutdown_flag =
+    let doc = "Ask the daemon to drain and exit instead of submitting." in
+    Arg.(value & flag & info [ "shutdown" ] ~doc)
+  in
+  let render_human reply =
+    let member name json =
+      Option.bind (Sp_obs.Json.member name json) Sp_obs.Json.to_str
+    in
+    let result =
+      Option.value
+        (Sp_obs.Json.member "result" reply)
+        ~default:(Sp_obs.Json.Obj [])
+    in
+    match member "command" reply with
+    | Some "error" ->
+        let get name =
+          Option.value (Option.bind (Sp_obs.Json.member name result)
+             Sp_obs.Json.to_str) ~default:"?"
+        in
+        Printf.eprintf "specrepro submit: daemon error [%s]: %s\n"
+          (get "code") (get "message");
+        true
+    | Some "run" ->
+        let fget obj name =
+          Option.bind (Sp_obs.Json.member name obj) Sp_obs.Json.to_float
+        in
+        let bench =
+          Option.value
+            (Option.bind (Sp_obs.Json.member "benchmark" result)
+               Sp_obs.Json.to_str)
+            ~default:"?"
+        in
+        let cpi label =
+          match
+            Option.bind (Sp_obs.Json.member label result) (fun s ->
+                fget s "cpi")
+          with
+          | Some v -> Printf.sprintf "%.3f" v
+          | None -> "?"
+        in
+        Printf.printf
+          "%s: whole CPI %s, warm-regional CPI %s (%d points, %.2fs)\n"
+          bench (cpi "whole") (cpi "warmup_regional")
+          (int_of_float (Option.value (fget result "points") ~default:0.0))
+          (Option.value (fget result "wall_seconds") ~default:0.0);
+        false
+    | Some cmd ->
+        Printf.printf "%s: %s\n" cmd (Sp_obs.Json.to_string result);
+        false
+    | None ->
+        Printf.eprintf "specrepro submit: unrecognised reply\n";
+        true
+  in
+  let run bench common socket json status shutdown =
+    let request =
+      if status then Ok Sp_serve.Client.status
+      else if shutdown then Ok Sp_serve.Client.shutdown
+      else
+        match bench with
+        | None ->
+            Error
+              "specrepro submit: name a BENCHMARK (or pass --status / \
+               --shutdown)"
+        | Some b -> (
+            match find_bench b with
+            | Error e -> Error e
+            | Ok spec ->
+                Ok
+                  (Sp_serve.Client.submit
+                     ~benchmark:spec.Sp_workloads.Benchspec.name
+                     (options_of common)))
+    in
+    match request with
+    | Error e ->
+        prerr_endline e;
+        exit 1
+    | Ok request -> (
+        match Sp_serve.Client.connect socket with
+        | Error e ->
+            Printf.eprintf "specrepro submit: %s\n" e;
+            exit 1
+        | Ok client ->
+            Fun.protect
+              ~finally:(fun () -> Sp_serve.Client.close client)
+              (fun () ->
+                match Sp_serve.Client.request client request with
+                | Error e ->
+                    Printf.eprintf "specrepro submit: %s\n" e;
+                    exit 1
+                | Ok (raw, reply) ->
+                    let is_error =
+                      Option.bind (Sp_obs.Json.member "command" reply)
+                        Sp_obs.Json.to_str
+                      = Some "error"
+                    in
+                    if json then
+                      (* the daemon's reply bytes, verbatim — printing
+                         the raw payload (not a re-rendering) is what
+                         makes this byte-identical to `run --json` *)
+                      print_endline raw
+                    else ignore (render_human reply);
+                    if is_error then exit 1))
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Submit one benchmark job to a running $(b,specrepro serve) \
+          daemon and wait for the reply, which with $(b,--json) is \
+          printed byte-for-byte as received (identical to what \
+          $(b,specrepro run --json) prints for the same options).  \
+          Daemon-side errors (bad request, backpressure, timeout, \
+          draining) exit 1.")
+    Term.(
+      const run $ bench_opt_arg $ common_term $ socket_arg $ json_arg
+      $ status_flag $ shutdown_flag)
+
+(* ------------------------------------------------------------------ *)
+(* query: inspect the results store *)
+
+let query_cmd =
+  let bench_opt_arg =
+    let doc = "Restrict to one benchmark's history." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"BENCHMARK" ~doc)
+  in
+  let run bench results json =
+    match Sp_serve.Results_store.read_file results with
+    | Error msg ->
+        Printf.eprintf "specrepro query: %s: %s\n" results msg;
+        exit 1
+    | Ok (all_records, tail) ->
+        (match Sp_serve.Results_store.tail_message tail with
+        | Some m -> Printf.eprintf "specrepro query: warning: %s: %s\n" results m
+        | None -> ());
+        let bench_name =
+          match bench with
+          | None -> None
+          | Some b -> (
+              match find_bench b with
+              | Error e ->
+                  prerr_endline e;
+                  exit 1
+              | Ok spec -> Some spec.Sp_workloads.Benchspec.name)
+        in
+        let records =
+          match bench_name with
+          | None -> all_records
+          | Some b -> Sp_serve.Results_store.history all_records ~benchmark:b
+        in
+        if records = [] then begin
+          Printf.eprintf "specrepro query: no stored runs%s in %s\n"
+            (match bench_name with
+            | Some b -> " for " ^ b
+            | None -> "")
+            results;
+          exit 1
+        end;
+        if json then
+          emit_json ~command:"query"
+            ~options:
+              (match bench_name with
+              | Some b -> Sp_obs.Json.Obj [ ("benchmark", str b) ]
+              | None -> Api.no_options)
+            ~result:
+              (Sp_obs.Json.Obj
+                 [
+                   ("store", str results);
+                   ("runs", numi (List.length records));
+                   ( "tail",
+                     match Sp_serve.Results_store.tail_message tail with
+                     | None -> str "clean"
+                     | Some m -> str m );
+                   ("records", Sp_obs.Json.List records);
+                 ])
+        else begin
+          let t =
+            Sp_util.Table.create
+              ~title:(Printf.sprintf "Stored runs in %s" results)
+              [
+                ("Benchmark", Sp_util.Table.Left);
+                ("Client", Sp_util.Table.Left);
+                ("Points", Sp_util.Table.Right);
+                ("CPI err%", Sp_util.Table.Right);
+                ("L3 err%", Sp_util.Table.Right);
+                ("Wall s", Sp_util.Table.Right);
+              ]
+          in
+          let fmt record name =
+            match Sp_serve.Results_store.metric record name with
+            | Some v -> Printf.sprintf "%.3f" v
+            | None -> "-"
+          in
+          List.iter
+            (fun record ->
+              let field name =
+                Option.value
+                  (Option.bind (Sp_obs.Json.member name record)
+                     Sp_obs.Json.to_str)
+                  ~default:"-"
+              in
+              let points =
+                match
+                  Option.bind (Sp_obs.Json.member "points" record)
+                    Sp_obs.Json.to_float
+                with
+                | Some v -> Printf.sprintf "%.0f" v
+                | None -> "-"
+              in
+              Sp_util.Table.add_row t
+                [
+                  field "benchmark";
+                  field "client";
+                  points;
+                  fmt record "cpi_err_pct";
+                  fmt record "l3_err_pct";
+                  fmt record "wall_seconds";
+                ])
+            records;
+          Sp_util.Table.print t
+        end
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:
+         "List the runs recorded in a daemon results store (optionally one \
+          benchmark's history).  Warns about a torn or corrupt store tail; \
+          exits 1 when the store is unreadable or has no matching runs.")
+    Term.(const run $ bench_opt_arg $ results_req_arg $ json_arg)
+
+(* ------------------------------------------------------------------ *)
+(* bench-regress: gate the latest stored run against its history *)
+
+let bench_regress_cmd =
+  let metric_arg =
+    let doc =
+      "Metric to gate, by its name in the stored record's metrics object \
+       (e.g. cpi_err_pct, l3_err_pct, warm_cpi, wall_seconds)."
+    in
+    Arg.(
+      value & opt string "cpi_err_pct" & info [ "metric" ] ~docv:"NAME" ~doc)
+  in
+  let gate_arg =
+    let doc =
+      "Fail (exit 2) when latest/baseline exceeds this ratio, where the \
+       baseline is the mean of all prior stored runs."
+    in
+    Arg.(value & opt float 1.25 & info [ "gate" ] ~docv:"RATIO" ~doc)
+  in
+  let run bench results metric gate json =
+    match find_bench bench with
+    | Error e ->
+        prerr_endline e;
+        exit 1
+    | Ok spec -> (
+        let benchmark = spec.Sp_workloads.Benchspec.name in
+        match Sp_serve.Results_store.read_file results with
+        | Error msg ->
+            Printf.eprintf "specrepro bench-regress: %s: %s\n" results msg;
+            exit 1
+        | Ok (records, tail) -> (
+            (match Sp_serve.Results_store.tail_message tail with
+            | Some m ->
+                Printf.eprintf "specrepro bench-regress: warning: %s: %s\n"
+                  results m
+            | None -> ());
+            let options_json =
+              Sp_obs.Json.Obj
+                [
+                  ("benchmark", str benchmark);
+                  ("metric", str metric);
+                  ("gate", num gate);
+                ]
+            in
+            match
+              Sp_serve.Regress.evaluate ~records ~benchmark ~metric ~gate
+            with
+            | Error msg ->
+                Printf.eprintf "specrepro bench-regress: %s: %s\n" results
+                  msg;
+                exit 1
+            | Ok None ->
+                if json then
+                  emit_json ~command:"bench-regress" ~options:options_json
+                    ~result:
+                      (Sp_obs.Json.Obj
+                         [
+                           ("runs", numi 1);
+                           ("regressed", Sp_obs.Json.Bool false);
+                           ("baseline", Sp_obs.Json.Null);
+                         ])
+                else
+                  Printf.printf
+                    "%s %s: first stored run — no baseline to regress \
+                     against yet\n"
+                    benchmark metric
+            | Ok (Some v) ->
+                if json then
+                  emit_json ~command:"bench-regress" ~options:options_json
+                    ~result:
+                      (Sp_obs.Json.Obj
+                         [
+                           ("runs", numi v.Sp_serve.Regress.runs);
+                           ("latest", num v.Sp_serve.Regress.latest);
+                           ("baseline", num v.Sp_serve.Regress.baseline);
+                           ("ratio", num v.Sp_serve.Regress.ratio);
+                           ( "regressed",
+                             Sp_obs.Json.Bool v.Sp_serve.Regress.regressed );
+                         ])
+                else
+                  Printf.printf
+                    "%s %s: latest %.4f vs baseline %.4f over %d runs \
+                     (ratio %.3f, gate %.3f) — %s\n"
+                    benchmark metric v.Sp_serve.Regress.latest
+                    v.Sp_serve.Regress.baseline v.Sp_serve.Regress.runs
+                    v.Sp_serve.Regress.ratio gate
+                    (if v.Sp_serve.Regress.regressed then "REGRESSED"
+                     else "ok");
+                if v.Sp_serve.Regress.regressed then exit 2))
+  in
+  Cmd.v
+    (Cmd.info "bench-regress"
+       ~doc:
+         "Compare a benchmark's latest stored run against the mean of its \
+          history in the results store.  Exits 0 when within the gate (or \
+          when only one run is stored), 1 on bad input or a corrupt \
+          store, 2 when the metric regressed past the gate — wire it \
+          into CI after a daemon soak.")
+    Term.(
+      const run $ bench_arg $ results_req_arg $ metric_arg $ gate_arg
+      $ json_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc =
     "reproduction of 'Efficacy of Statistical Sampling on Contemporary \
      Workloads: The Case of SPEC CPU2017' (IISWC 2019)"
   in
-  let info = Cmd.info "specrepro" ~version:"1.0.0" ~doc in
+  let man =
+    [
+      `S Manpage.s_exit_status;
+      `P
+        "All subcommands follow one convention: $(b,0) success; $(b,1) \
+         bad input or a corrupt artifact (unknown benchmark, malformed \
+         trace, pinball or results store, unreachable daemon, \
+         daemon-side request errors); $(b,2) a quality gate failed \
+         ($(b,bench-regress) past its ratio gate).";
+    ]
+  in
+  let info = Cmd.info "specrepro" ~version:"2.0.0" ~doc ~man in
   exit
     (Cmd.eval
        (Cmd.group info
@@ -1074,4 +1508,8 @@ let () =
             suite_cmd;
             experiment_cmd;
             report_cmd;
+            serve_cmd;
+            submit_cmd;
+            query_cmd;
+            bench_regress_cmd;
           ]))

@@ -1,0 +1,180 @@
+(* The specrepro/v2 JSON surface: one envelope builder and one set of
+   payload renderers shared by the CLI's --json path and the serve
+   daemon's wire replies, so the two can never drift byte-wise. *)
+
+let schema = "specrepro/v2"
+let schema_v1 = "specrepro/v1"
+
+let envelope ~command ~options ~result =
+  Sp_obs.Json.Obj
+    [
+      ("schema", Sp_obs.Json.Str schema);
+      ("command", Sp_obs.Json.Str command);
+      ("options", options);
+      ("result", result);
+    ]
+
+let no_options = Sp_obs.Json.Obj []
+
+let num x = Sp_obs.Json.Num x
+let str s = Sp_obs.Json.Str s
+let numi i = Sp_obs.Json.Num (float_of_int i)
+
+let options_json ?benchmark ?(extra = []) (o : Pipeline.options) =
+  let bench =
+    match benchmark with
+    | Some b -> [ ("benchmark", str b) ]
+    | None -> []
+  in
+  Sp_obs.Json.Obj
+    (bench
+    @ [
+        ("scale", num o.Pipeline.slices_scale);
+        ("jobs", numi o.Pipeline.jobs);
+        ("sampler", str (Sp_simpoint.Sampler.name o.Pipeline.sampler));
+        ("slice_insns", numi o.Pipeline.slice_insns);
+        ("warmup_insns", numi o.Pipeline.warmup_insns);
+      ]
+    @ extra)
+
+let options_of_json ?(base = Pipeline.default_options) json =
+  let ( let* ) = Result.bind in
+  let int_field name v k =
+    match v with
+    | Sp_obs.Json.Num f
+      when Float.is_integer f && Float.abs f <= 1e15 ->
+        Ok (k (int_of_float f))
+    | _ -> Error (Printf.sprintf "options.%s: expected an integer" name)
+  in
+  match json with
+  | Sp_obs.Json.Obj fields ->
+      let rec fold acc bench = function
+        | [] -> Ok (bench, acc)
+        | (name, v) :: rest -> (
+            match name with
+            | "benchmark" -> (
+                match v with
+                | Sp_obs.Json.Str b -> fold acc (Some b) rest
+                | _ -> Error "options.benchmark: expected a string")
+            | "scale" -> (
+                match v with
+                | Sp_obs.Json.Num f when Float.is_finite f && f > 0.0 ->
+                    fold { acc with Pipeline.slices_scale = f } bench rest
+                | _ -> Error "options.scale: expected a positive number")
+            | "jobs" ->
+                let* acc =
+                  int_field "jobs" v (fun j ->
+                      { acc with Pipeline.jobs = max 1 j })
+                in
+                fold acc bench rest
+            | "sampler" -> (
+                match v with
+                | Sp_obs.Json.Str s -> (
+                    match Sp_simpoint.Sampler.of_name s with
+                    | Ok kind -> fold { acc with Pipeline.sampler = kind } bench rest
+                    | Error e -> Error (Printf.sprintf "options.sampler: %s" e))
+                | _ -> Error "options.sampler: expected a string")
+            | "slice_insns" ->
+                let* acc =
+                  int_field "slice_insns" v (fun n ->
+                      if n <= 0 then acc
+                      else { acc with Pipeline.slice_insns = n })
+                in
+                fold acc bench rest
+            | "warmup_insns" ->
+                let* acc =
+                  int_field "warmup_insns" v (fun n ->
+                      { acc with Pipeline.warmup_insns = max 0 n })
+                in
+                fold acc bench rest
+            | other ->
+                Error
+                  (Printf.sprintf
+                     "options.%s: unknown field (the v2 options object \
+                      carries only benchmark, scale, jobs, sampler, \
+                      slice_insns, warmup_insns)"
+                     other))
+      in
+      let* bench, o = fold base None fields in
+      Ok (bench, Pipeline.normalize o)
+  | Sp_obs.Json.Null -> Ok (None, Pipeline.normalize base)
+  | _ -> Error "options: expected an object"
+
+(* ------------------------------------------------------------------ *)
+(* payload renderers (moved verbatim from the CLI so the daemon shares
+   them) *)
+
+let mix_json (m : Sp_pin.Mix.t) =
+  Sp_obs.Json.Obj
+    [
+      ("no_mem", num m.Sp_pin.Mix.no_mem);
+      ("mem_r", num m.Sp_pin.Mix.mem_r);
+      ("mem_w", num m.Sp_pin.Mix.mem_w);
+      ("mem_rw", num m.Sp_pin.Mix.mem_rw);
+    ]
+
+let run_stats_json (s : Runstats.run_stats) =
+  Sp_obs.Json.Obj
+    [
+      ("label", str s.Runstats.label);
+      ("insns", num s.Runstats.insns);
+      ("mix", mix_json s.Runstats.mix);
+      ("l1i_miss", num s.Runstats.l1i_miss);
+      ("l1d_miss", num s.Runstats.l1d_miss);
+      ("l2_miss", num s.Runstats.l2_miss);
+      ("l3_miss", num s.Runstats.l3_miss);
+      ("cpi", num s.Runstats.cpi);
+    ]
+
+let bench_result_fields (r : Pipeline.bench_result) =
+  [
+    ("benchmark", str r.Pipeline.spec.Sp_workloads.Benchspec.name);
+    ("whole_insns", numi r.Pipeline.whole_insns);
+    ("points", numi (Array.length r.Pipeline.selection.Pipeline.points));
+    ("reduced_points", numi (Pipeline.reduced_count r));
+    ("whole", run_stats_json r.Pipeline.whole);
+    ("regional", run_stats_json (Pipeline.regional r));
+    ("reduced", run_stats_json (Pipeline.reduced r));
+    ("warmup_regional", run_stats_json (Pipeline.warmup_regional r));
+    ("native_cpi", num (Sp_perf.Perf_counters.cpi r.Pipeline.native));
+    ("wall_seconds", num r.Pipeline.wall_seconds);
+    ("report", Pipeline.run_report_to_json r.Pipeline.report);
+  ]
+
+let table_json t =
+  Sp_obs.Json.Obj
+    [
+      ( "title",
+        match Sp_util.Table.title t with
+        | Some s -> str s
+        | None -> Sp_obs.Json.Null );
+      ("columns", Sp_obs.Json.List (List.map str (Sp_util.Table.headers t)));
+      ( "rows",
+        Sp_obs.Json.List
+          (List.map
+             (fun row -> Sp_obs.Json.List (List.map str row))
+             (Sp_util.Table.rows t)) );
+    ]
+
+let metrics_json () = Sp_obs.Metrics.to_json (Sp_obs.Metrics.snapshot ())
+
+let run_result r =
+  Sp_obs.Json.Obj (bench_result_fields r @ [ ("metrics", metrics_json ()) ])
+
+let run_envelope (r : Pipeline.bench_result) =
+  envelope ~command:"run"
+    ~options:
+      (options_json
+         ~benchmark:r.Pipeline.spec.Sp_workloads.Benchspec.name
+         r.Pipeline.options)
+    ~result:(run_result r)
+
+let error_result ~code ~message =
+  Sp_obs.Json.Obj [ ("code", str code); ("message", str message) ]
+
+let error_envelope ~code ~message =
+  envelope ~command:"error" ~options:no_options
+    ~result:(error_result ~code ~message)
+
+let emit ~command ~options ~result =
+  print_endline (Sp_obs.Json.to_string (envelope ~command ~options ~result))

@@ -636,13 +636,7 @@ let run_benchmark ?(options = default_options) spec =
    out across the pool.  Each worker's nested parallelism (replays,
    k-means) degrades to sequential automatically, so [jobs] is the
    total domain budget, not a multiplier. *)
-let run_suite ?jobs ?(options = default_options) ?(specs = Suite.all) () =
-  (* [?jobs] is a deprecated alias for [options.jobs] (see the .mli);
-     when given it overwrites the options field, so there is exactly
-     one source of truth from here on *)
-  let options =
-    match jobs with Some j -> { options with jobs = j } | None -> options
-  in
+let run_suite ?(options = default_options) ?(specs = Suite.all) () =
   let options = normalize options in
   Sp_obs.Tracer.with_span ~cat:"pipeline" "suite" (fun () ->
       Sp_util.Pool.parallel_map ~jobs:options.jobs

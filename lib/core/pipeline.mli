@@ -120,17 +120,16 @@ val run_benchmark :
   ?options:options -> Sp_workloads.Benchspec.t -> bench_result
 
 val run_suite :
-  ?jobs:int -> ?options:options -> ?specs:Sp_workloads.Benchspec.t list ->
+  ?options:options -> ?specs:Sp_workloads.Benchspec.t list ->
   unit -> bench_result list
 (** Defaults to the full 29-benchmark suite.  Benchmarks fan out across
     the {!Sp_util.Pool} domain pool ([options.jobs] wide); results come
     back in [specs] order and are identical to a sequential run.
 
-    [jobs] is a {b deprecated alias} for [options.jobs], kept for
-    source compatibility: when given it overwrites the options field
-    before anything runs, so [options.jobs] remains the single source
-    of truth downstream.  New code should set [options.jobs] and omit
-    [?jobs]. *)
+    [options] is the single configuration entry point ({!normalize} is
+    its sole derivation point — the [?jobs] alias that once shadowed
+    [options.jobs] was removed in the v2 API redesign; set
+    [options.jobs] instead). *)
 
 (** {1 Aggregations over a result} *)
 

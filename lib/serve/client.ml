@@ -1,0 +1,41 @@
+module Json = Sp_obs.Json
+
+type t = { fd : Unix.file_descr }
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () -> Ok { fd }
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error
+        (Printf.sprintf "cannot connect to %s: %s" path (Unix.error_message e))
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let request t json =
+  match Protocol.write t.fd json with
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "send failed: %s" (Unix.error_message e))
+  | () -> (
+      match Protocol.read t.fd with
+      | Ok (raw, reply) -> Ok (raw, reply)
+      | Error err -> Error (Protocol.error_message err))
+
+let plain command =
+  Json.Obj
+    [
+      ("schema", Json.Str Specrepro.Api.schema);
+      ("command", Json.Str command);
+    ]
+
+let submit ~benchmark options =
+  Json.Obj
+    [
+      ("schema", Json.Str Specrepro.Api.schema);
+      ("command", Json.Str "submit");
+      ("options", Specrepro.Api.options_json ~benchmark options);
+    ]
+
+let status = plain "status"
+let shutdown = plain "shutdown"

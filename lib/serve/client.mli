@@ -1,0 +1,28 @@
+(** Client side of the daemon protocol: connect to the Unix socket,
+    send one {!Protocol} frame per request, read one frame per reply.
+
+    Replies are returned both parsed and as the raw payload bytes —
+    [specrepro submit --json] prints the raw bytes verbatim, which is
+    how the CLI guarantees its daemon output is byte-identical to
+    what the server sent (and hence to [specrepro run --json]). *)
+
+type t
+
+val connect : string -> (t, string) result
+(** Connect to the daemon's socket path. *)
+
+val close : t -> unit
+
+val request : t -> Sp_obs.Json.t -> (string * Sp_obs.Json.t, string) result
+(** Send one request, block for one reply; [(raw_payload, parsed)].
+    Errors cover connect-level failures and malformed reply frames
+    ({!Protocol.error_message}). *)
+
+(** {1 Request builders} — the v2 wire vocabulary. *)
+
+val submit : benchmark:string -> Specrepro.Pipeline.options -> Sp_obs.Json.t
+(** [{schema; command = "submit"; options}] with the options rendered
+    canonically by {!Specrepro.Api.options_json}. *)
+
+val status : Sp_obs.Json.t
+val shutdown : Sp_obs.Json.t

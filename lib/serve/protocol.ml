@@ -1,0 +1,152 @@
+(* Length-framed, CRC-checksummed JSON frames (see the .mli for the
+   layout).  The reader mirrors the pinball store's defensive
+   discipline: every length is bounds-checked before allocation, every
+   payload is checksummed before parsing, and every failure is a typed
+   [error] — arbitrary bytes can never raise. *)
+
+let magic = "SPRF"
+let version = 1
+let header_bytes = 4 + 1 + 4 + 4 (* magic, version, len, crc *)
+let max_payload = 16 * 1024 * 1024
+
+type error =
+  | Closed
+  | Truncated of string
+  | Bad_magic of string
+  | Bad_version of int
+  | Oversized of int
+  | Bad_crc of { expected : int; found : int }
+  | Bad_json of string
+  | Transport of string
+
+let error_message = function
+  | Closed -> "connection closed"
+  | Truncated what -> Printf.sprintf "truncated frame (%s)" what
+  | Bad_magic got ->
+      Printf.sprintf "bad frame magic %S (want %S)" got magic
+  | Bad_version v ->
+      Printf.sprintf "unsupported protocol version %d (want %d)" v version
+  | Oversized n ->
+      Printf.sprintf "oversized frame: %d bytes declared (max %d)" n
+        max_payload
+  | Bad_crc { expected; found } ->
+      Printf.sprintf "frame checksum mismatch: stored %08x, computed %08x"
+        expected found
+  | Bad_json msg -> Printf.sprintf "frame payload is not valid JSON: %s" msg
+  | Transport msg -> Printf.sprintf "transport error: %s" msg
+
+let recoverable = function
+  | Bad_crc _ | Bad_json _ -> true
+  | Closed | Truncated _ | Bad_magic _ | Bad_version _ | Oversized _
+  | Transport _ ->
+      false
+
+(* ------------------------------------------------------------------ *)
+(* pure codec *)
+
+let encode json =
+  let payload = Sp_obs.Json.to_string json in
+  let b = Buffer.create (header_bytes + String.length payload) in
+  Buffer.add_string b magic;
+  Sp_util.Binio.w_u8 b version;
+  Sp_util.Binio.w_u32 b (String.length payload);
+  Sp_util.Binio.w_u32 b (Sp_util.Crc32.string payload);
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+(* Validate a complete header; [payload] fetches [len] bytes (from a
+   string or a socket) or reports what ran short. *)
+let decode_header header =
+  let got_magic = String.sub header 0 4 in
+  if got_magic <> magic then Error (Bad_magic got_magic)
+  else
+    let r = Sp_util.Binio.reader ~pos:4 header in
+    let v = Sp_util.Binio.r_u8 r in
+    if v <> version then Error (Bad_version v)
+    else
+      let len = Sp_util.Binio.r_u32 r in
+      let crc = Sp_util.Binio.r_u32 r in
+      if len > max_payload then Error (Oversized len) else Ok (len, crc)
+
+let decode_payload ~crc payload =
+  let found = Sp_util.Crc32.string payload in
+  if found <> crc then Error (Bad_crc { expected = crc; found })
+  else
+    match Sp_obs.Json.parse payload with
+    | Ok json -> Ok json
+    | Error msg -> Error (Bad_json msg)
+
+let decode_stream s ~pos =
+  let remaining = String.length s - pos in
+  if remaining = 0 then Error Closed
+  else if remaining < header_bytes then Error (Truncated "header")
+  else
+    match decode_header (String.sub s pos header_bytes) with
+    | Error e -> Error e
+    | Ok (len, crc) ->
+        if remaining - header_bytes < len then Error (Truncated "payload")
+        else
+          let payload = String.sub s (pos + header_bytes) len in
+          Result.map
+            (fun json -> (json, pos + header_bytes + len))
+            (decode_payload ~crc payload)
+
+let decode s =
+  match decode_stream s ~pos:0 with
+  | Error e -> Error e
+  | Ok (json, next) ->
+      if next <> String.length s then
+        Error (Truncated "trailing bytes after frame")
+      else Ok json
+
+(* ------------------------------------------------------------------ *)
+(* socket I/O *)
+
+let rec write_all fd s pos len =
+  if len > 0 then begin
+    let n =
+      try Unix.write_substring fd s pos len
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    write_all fd s (pos + n) (len - n)
+  end
+
+let write fd json =
+  let frame = encode json in
+  write_all fd frame 0 (String.length frame)
+
+(* Read exactly [n] bytes; [`Eof got] reports a short read.  Connection
+   resets are surfaced as EOF so a vanished peer degrades to
+   [Closed]/[Truncated] like a polite one. *)
+let read_exact fd n =
+  let buf = Bytes.create n in
+  let rec go off =
+    if off = n then `Ok (Bytes.unsafe_to_string buf)
+    else
+      match Unix.read fd buf off (n - off) with
+      | 0 -> `Eof off
+      | got -> go (off + got)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+          `Eof off
+  in
+  go 0
+
+let read fd =
+  match read_exact fd header_bytes with
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (Transport (Unix.error_message e))
+  | `Eof 0 -> Error Closed
+  | `Eof _ -> Error (Truncated "header")
+  | `Ok header -> (
+      match decode_header header with
+      | Error e -> Error e
+      | Ok (len, crc) -> (
+          match read_exact fd len with
+          | exception Unix.Unix_error (e, _, _) ->
+              Error (Transport (Unix.error_message e))
+          | `Eof _ -> Error (Truncated "payload")
+          | `Ok payload ->
+              Result.map
+                (fun json -> (payload, json))
+                (decode_payload ~crc payload)))

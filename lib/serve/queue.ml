@@ -1,0 +1,77 @@
+(* Per-client FIFOs plus a rotation of clients that currently have
+   pending jobs: push appends to the client's FIFO (entering the
+   rotation if it was empty), pop serves the rotation's front client
+   one job and moves it to the back.  Strict FIFO per client, one job
+   per client per turn across clients. *)
+
+type 'a t = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  capacity : int;
+  per_client : (string, 'a Stdlib.Queue.t) Hashtbl.t;
+  rotation : string Stdlib.Queue.t;
+  mutable size : int;
+  mutable closed : bool;
+}
+
+type push_result = Pushed | Full | Closed_
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Queue.create: capacity must be >= 1";
+  {
+    mutex = Mutex.create ();
+    nonempty = Condition.create ();
+    capacity;
+    per_client = Hashtbl.create 16;
+    rotation = Stdlib.Queue.create ();
+    size = 0;
+    closed = false;
+  }
+
+let push t ~client x =
+  Mutex.protect t.mutex (fun () ->
+      if t.closed then Closed_
+      else if t.size >= t.capacity then Full
+      else begin
+        let q =
+          match Hashtbl.find_opt t.per_client client with
+          | Some q -> q
+          | None ->
+              let q = Stdlib.Queue.create () in
+              Hashtbl.replace t.per_client client q;
+              q
+        in
+        if Stdlib.Queue.is_empty q then Stdlib.Queue.add client t.rotation;
+        Stdlib.Queue.add x q;
+        t.size <- t.size + 1;
+        Condition.signal t.nonempty;
+        Pushed
+      end)
+
+(* caller holds the mutex and has checked [size > 0] *)
+let take_locked t =
+  let client = Stdlib.Queue.pop t.rotation in
+  let q = Hashtbl.find t.per_client client in
+  let x = Stdlib.Queue.pop q in
+  if Stdlib.Queue.is_empty q then Hashtbl.remove t.per_client client
+  else Stdlib.Queue.add client t.rotation;
+  t.size <- t.size - 1;
+  x
+
+let pop t =
+  Mutex.protect t.mutex (fun () ->
+      while t.size = 0 && not t.closed do
+        Condition.wait t.nonempty t.mutex
+      done;
+      if t.size = 0 then None else Some (take_locked t))
+
+let try_pop t =
+  Mutex.protect t.mutex (fun () ->
+      if t.size = 0 then None else Some (take_locked t))
+
+let close t =
+  Mutex.protect t.mutex (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.nonempty)
+
+let length t = Mutex.protect t.mutex (fun () -> t.size)

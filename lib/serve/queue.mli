@@ -1,0 +1,33 @@
+(** Bounded, fair job queue for the serve daemon.
+
+    Jobs are keyed by client; the consumer side drains them
+    round-robin across clients (one job per client per turn), so a
+    client that floods the queue cannot starve the others — with
+    clients A and B each holding pending jobs, pops alternate A, B,
+    A, B regardless of arrival order.  Capacity bounds the {e total}
+    queued jobs; a full queue refuses the push so the caller can send
+    an explicit backpressure reply instead of buffering unboundedly.
+
+    Thread-safe (mutex + condition).  {!close} starts the drain:
+    pushes are refused, queued jobs keep coming out of {!pop}, and
+    once the queue is empty {!pop} returns [None] forever (blocked
+    poppers are woken). *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+type push_result = Pushed | Full | Closed_
+
+val push : 'a t -> client:string -> 'a -> push_result
+
+val pop : 'a t -> 'a option
+(** Next job, fair across clients; blocks while the queue is empty and
+    open.  [None] once closed and drained. *)
+
+val try_pop : 'a t -> 'a option
+(** {!pop} without blocking: [None] when nothing is queued right now. *)
+
+val close : 'a t -> unit
+val length : 'a t -> int

@@ -1,0 +1,56 @@
+type verdict = {
+  benchmark : string;
+  metric : string;
+  runs : int;
+  latest : float;
+  baseline : float;
+  ratio : float;
+  regressed : bool;
+}
+
+let evaluate ~records ~benchmark ~metric ~gate =
+  match Results_store.history records ~benchmark with
+  | [] -> Error (Printf.sprintf "no stored runs for %s" benchmark)
+  | [ _ ] -> Ok None
+  | history -> (
+      let values =
+        List.map
+          (fun r ->
+            match Results_store.metric r metric with
+            | Some v -> Ok v
+            | None ->
+                Error
+                  (Printf.sprintf "a stored %s run lacks metric %S" benchmark
+                     metric))
+          history
+      in
+      match
+        List.fold_right
+          (fun v acc ->
+            Result.bind acc (fun vs -> Result.map (fun v -> v :: vs) v))
+          values (Ok [])
+      with
+      | Error _ as e -> e
+      | Ok values ->
+          let n = List.length values in
+          let latest = List.nth values (n - 1) in
+          let priors = List.filteri (fun i _ -> i < n - 1) values in
+          let baseline =
+            List.fold_left ( +. ) 0.0 priors /. float_of_int (n - 1)
+          in
+          let ratio =
+            if Float.abs baseline > 0.0 then latest /. baseline
+            else if Float.abs latest > 0.0 then infinity
+            else 1.0
+          in
+          Ok
+            (Some
+               {
+                 benchmark;
+                 metric;
+                 runs = n;
+                 latest;
+                 baseline;
+                 ratio;
+                 regressed = ratio > gate;
+               }))

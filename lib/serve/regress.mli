@@ -1,0 +1,32 @@
+(** Regression gating over the results store: diff a benchmark's
+    latest stored run against its history.
+
+    The baseline is the mean of the metric over every stored run
+    {e before} the latest; the verdict compares
+    [latest / baseline] against a ratio gate.  Used by
+    [specrepro bench-regress] (exit 2 on any regression — the
+    gate-failure exit code), so CI can run the tiny suite through the
+    daemon, let the store accumulate history, and fail the build when
+    a metric drifts past the gate. *)
+
+type verdict = {
+  benchmark : string;
+  metric : string;
+  runs : int;  (** stored runs for this benchmark, including latest *)
+  latest : float;
+  baseline : float;  (** mean over the [runs - 1] prior runs *)
+  ratio : float;
+      (** [latest /. baseline]; 1.0 when both are zero, [infinity]
+          when only the baseline is *)
+  regressed : bool;  (** [ratio > gate] *)
+}
+
+val evaluate :
+  records:Sp_obs.Json.t list ->
+  benchmark:string ->
+  metric:string ->
+  gate:float ->
+  (verdict option, string) result
+(** [Ok None] when the benchmark has exactly one stored run (nothing
+    to diff against — a first run can never regress); [Error] when the
+    store has no runs for the benchmark or a run lacks the metric. *)

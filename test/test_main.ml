@@ -23,4 +23,5 @@ let () =
       ("parallel", Test_parallel.suite);
       ("warmreplay", Test_warmreplay.suite);
       ("obs", Test_obs.suite);
+      ("serve", Test_serve.suite);
     ]

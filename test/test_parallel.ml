@@ -175,7 +175,7 @@ let test_run_suite_jobs_equivalence () =
   in
   let options = parallel_test_options 1 in
   let seq = Pipeline.run_suite ~options ~specs () in
-  let par = Pipeline.run_suite ~jobs:4 ~options ~specs () in
+  let par = Pipeline.run_suite ~options:{ options with Pipeline.jobs = 4 } ~specs () in
   Alcotest.(check int) "same count" (List.length seq) (List.length par);
   List.iter2
     (fun (a : Pipeline.bench_result) (b : Pipeline.bench_result) ->

@@ -121,6 +121,14 @@ let micro ?(gates = []) ?gate_all () =
   let warm_whole, warm_points =
     let a = Sp_vm.Asm.create ~name:"warm-replay-4pt" () in
     Sp_vm.Asm.li a 1 0;
+    (* init phase: touch one word in each of 32 pages (a 1 MiB image),
+       so the regional snapshots the warm stage captures and restores
+       carry a realistically sized memory image rather than the single
+       page the main loop's working set fits in *)
+    Sp_vm.Asm.li a 6 0;
+    Sp_vm.Asm.loop_down a ~counter:7 ~from:256 (fun () ->
+        Sp_vm.Asm.store a 7 6 0;
+        Sp_vm.Asm.alui a Sp_isa.Isa.Add 6 6 4_096);
     Sp_vm.Asm.loop_down a ~counter:5 ~from:4_000 (fun () ->
         Sp_vm.Asm.store a 2 1 0;
         Sp_vm.Asm.load a 3 1 64;
@@ -140,12 +148,42 @@ let micro ?(gates = []) ?gate_all () =
           {
             Sp_simpoint.Simpoints.cluster = i;
             slice_index = i;
-            start_icount = 8_000 * (i + 1);
+            (* past the init phase, inside the main loop *)
+            start_icount = (8_000 * (i + 1)) + 2_000;
             length = 2_000;
             weight = 0.25;
           })
     in
     (whole, points)
+  in
+  (* a 64-page (2 MiB image) whole pinball over the ldst kernel: the
+     artifact-I/O and snapshot micros below share it.  Page contents are
+     pseudo-random so the CRC and the encoder see realistic entropy. *)
+  let pb64, snap64, encoded64 =
+    let m = Sp_vm.Interp.create ~entry:ldst_kernel.Sp_vm.Program.entry () in
+    let r = Sp_util.Rng.create 42 in
+    for p = 0 to 63 do
+      for w = 0 to 4095 do
+        Sp_vm.Memory.store m.Sp_vm.Interp.mem (((p * 4096) + w) * 8)
+          (Sp_util.Rng.bits30 r)
+      done
+    done;
+    let snap = Sp_vm.Snapshot.capture m in
+    let pb =
+      {
+        Sp_pinball.Pinball.benchmark = "micro-64p";
+        kind = Sp_pinball.Pinball.Whole;
+        program = ldst_kernel;
+        snapshot = snap;
+        length = Some 0;
+        syscalls = [||];
+      }
+    in
+    (pb, snap, Sp_pinball.Store.encode pb)
+  in
+  let mb_string =
+    let r = Sp_util.Rng.create 43 in
+    String.init (1 lsl 20) (fun _ -> Char.chr (Sp_util.Rng.int r 256))
   in
   let tests =
     [
@@ -273,6 +311,31 @@ let micro ?(gates = []) ?gate_all () =
              ignore
                (Pipeline.warm_replay_points Pipeline.default_options
                   ~warmup_insns:1_500 warm_whole warm_points)));
+      (* full pinball encode of the 64-page image: what one artifact
+         save pays before the bytes hit the filesystem *)
+      Test.make ~name:"pinball-save-64p"
+        (Staged.stage (fun () -> ignore (Sp_pinball.Store.encode pb64)));
+      (* full validated decode (framing + CRC + every field) of the same
+         bytes: what one cold artifact-cache hit pays *)
+      Test.make ~name:"pinball-load-64p"
+        (Staged.stage (fun () ->
+             match Sp_pinball.Store.of_bytes encoded64 with
+             | Ok _ -> ()
+             | Error _ -> assert false));
+      (* restore the 64-page snapshot and dirty every 10th page (the
+         typical warm-replay write footprint): with copy-on-write
+         snapshots the restore costs O(pages written), not O(image) *)
+      Test.make ~name:"snapshot-restore-touch10"
+        (Staged.stage (fun () ->
+             let m = Sp_vm.Snapshot.restore snap64 in
+             let p = ref 0 in
+             while !p < 64 do
+               Sp_vm.Memory.store m.Sp_vm.Interp.mem (!p * 4096 * 8) !p;
+               p := !p + 10
+             done));
+      Test.make ~name:"crc32-1mb"
+        (Staged.stage (fun () ->
+             ignore (Sp_util.Crc32.string mb_string)));
       Test.make ~name:"projection-2000-slices"
         (Staged.stage
            (let slices =

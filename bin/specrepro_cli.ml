@@ -43,6 +43,7 @@ type common = {
   sampler : Sp_simpoint.Sampler.kind;
   pinball_cache : string option;
   profile_cache : string option;
+  mem_cache_mb : int option;
   warmup_insns : int option;
   slice_insns : int option;
   trace_out : string option;
@@ -121,6 +122,22 @@ let profile_cache_arg =
     & opt (some string) None
     & info [ "profile-cache" ] ~docv:"DIR" ~doc ~env)
 
+let mem_cache_mb_arg =
+  let doc =
+    "Budget (MiB) of the in-memory decoded-artifact cache fronting the \
+     pinball and profile caches: a hit skips the disk read, checksum sweep \
+     and decode.  Strictly a performance knob — results are bit-identical \
+     regardless.  0 disables; default 64."
+  in
+  let env =
+    Cmd.Env.info "SPECREPRO_MEM_CACHE_MB"
+      ~doc:"Default for $(b,--mem-cache-mb)."
+  in
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "mem-cache-mb" ] ~docv:"MB" ~doc ~env)
+
 let warmup_insns_arg =
   let doc =
     "Warmup window per simulation point, in simulated instructions: each \
@@ -156,8 +173,8 @@ let trace_out_arg =
     value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
 
 let common_term =
-  let make scale quiet jobs sampler pinball_cache profile_cache warmup_insns
-      slice_insns trace_out =
+  let make scale quiet jobs sampler pinball_cache profile_cache mem_cache_mb
+      warmup_insns slice_insns trace_out =
     {
       scale;
       quiet;
@@ -165,6 +182,7 @@ let common_term =
       sampler;
       pinball_cache;
       profile_cache;
+      mem_cache_mb;
       warmup_insns;
       slice_insns;
       trace_out;
@@ -172,7 +190,8 @@ let common_term =
   in
   Term.(
     const make $ scale_arg $ quiet_arg $ jobs_arg $ sampler_arg $ cache_arg
-    $ profile_cache_arg $ warmup_insns_arg $ slice_insns_arg $ trace_out_arg)
+    $ profile_cache_arg $ mem_cache_mb_arg $ warmup_insns_arg
+    $ slice_insns_arg $ trace_out_arg)
 
 let resolve_jobs jobs = if jobs <= 0 then Sp_util.Pool.default_jobs () else jobs
 
@@ -191,6 +210,8 @@ let options_of c =
       jobs = resolve_jobs c.jobs;
       pinball_cache = c.pinball_cache;
       profile_cache = c.profile_cache;
+      mem_cache_mb =
+        Option.value ~default:base.Pipeline.mem_cache_mb c.mem_cache_mb;
     }
 
 (* Run [f] with span tracing enabled when --trace-out was given; the

@@ -18,6 +18,10 @@ type options = {
   jobs : int;
   pinball_cache : string option;
   profile_cache : string option;
+  (* shared budget of the in-memory decoded-artifact cache, in MiB
+     (0 disables); result-neutral, so excluded from the API v2 options
+     envelope like the cache directories *)
+  mem_cache_mb : int;
 }
 
 let default_options =
@@ -46,6 +50,9 @@ let default_options =
     jobs = 1;
     pinball_cache = None;
     profile_cache = None;
+    (* a few dozen decoded artifacts at tiny-suite sizes; enough for a
+       daemon to keep its working set without surprising anyone's RSS *)
+    mem_cache_mb = 64;
   }
 
 (* Resolve every derived knob up front, producing the single [options]
@@ -61,6 +68,11 @@ let normalize options =
     | Some dir, None -> { options with pinball_cache = Some dir }
     | _ -> options
   in
+  let options = { options with mem_cache_mb = max 0 options.mem_cache_mb } in
+  (* publish the budget to the process-wide pool here, since every
+     entry point normalizes first; repeat calls with the same value are
+     no-ops in effect *)
+  Mem_cache.set_budget_mb Mem_cache.global options.mem_cache_mb;
   if options.jobs > 1 then
     {
       options with

@@ -56,6 +56,14 @@ type options = {
           performs no whole-program execution at all.  Same robustness
           contract as the pinball cache.  [None] (the default)
           disables it. *)
+  mem_cache_mb : int;
+      (** shared budget (MiB) of the in-memory decoded-artifact LRU
+          ({!Sp_pinball.Mem_cache}) fronting both disk caches: a hit
+          skips the disk read, checksum sweep and decode.  Strictly a
+          performance knob — results are bit-identical with it on, off
+          or thrashing — so it is excluded from the API v2 options
+          envelope, like the cache directories.  0 disables; the
+          default is a small sane cap (64). *)
 }
 
 val default_options : options

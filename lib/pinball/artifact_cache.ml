@@ -126,33 +126,52 @@ let quarantine path =
   (try Sys.rename path q with Sys_error _ -> ());
   q
 
+(* Decoded whole pinballs, keyed by their on-disk path (which embeds
+   the content key): a mem hit skips the read + CRC + decode.  Entries
+   are charged their serialised size; the snapshot inside a decoded
+   pinball is frozen, so handing the same value to concurrent
+   restorers is safe. *)
+let mem : Logger.whole Mem_cache.t = Mem_cache.create Mem_cache.global
+let clear_mem () = Mem_cache.clear mem
+
+let file_bytes path =
+  match (Unix.stat path).Unix.st_size with
+  | n -> n
+  | exception Unix.Unix_error _ -> 0
+
 let find_whole ~dir ~key =
   let path = whole_path ~dir key in
-  if not (Sys.file_exists path) then begin
-    Sp_obs.Metrics.incr M.misses;
-    Miss
-  end
-  else
-    match Store.load path with
-    | Error e ->
-        ignore (quarantine path);
-        Sp_obs.Metrics.incr M.quarantined;
-        Quarantined { path; reason = Store.error_message e }
-    | Ok pb -> (
-        match (pb.Pinball.kind, pb.Pinball.length) with
-        | Pinball.Whole, Some total_insns ->
-            Sp_obs.Metrics.incr M.hits;
-            Hit { Logger.pinball = pb; total_insns }
-        | _ ->
-            (* decodes fine but is not a whole pinball: a stale or
-               hand-edited entry, equally untrustworthy *)
+  match Mem_cache.find mem path with
+  | Some whole -> Hit whole
+  | None ->
+      if not (Sys.file_exists path) then begin
+        Sp_obs.Metrics.incr M.misses;
+        Miss
+      end
+      else (
+        match Store.load path with
+        | Error e ->
             ignore (quarantine path);
             Sp_obs.Metrics.incr M.quarantined;
-            Quarantined { path; reason = "not a whole pinball" })
+            Quarantined { path; reason = Store.error_message e }
+        | Ok pb -> (
+            match (pb.Pinball.kind, pb.Pinball.length) with
+            | Pinball.Whole, Some total_insns ->
+                Sp_obs.Metrics.incr M.hits;
+                let whole = { Logger.pinball = pb; total_insns } in
+                Mem_cache.add mem path ~bytes:(file_bytes path) whole;
+                Hit whole
+            | _ ->
+                (* decodes fine but is not a whole pinball: a stale or
+                   hand-edited entry, equally untrustworthy *)
+                ignore (quarantine path);
+                Sp_obs.Metrics.incr M.quarantined;
+                Quarantined { path; reason = "not a whole pinball" }))
 
 let store_whole ~dir ~key ~slice_insns ~slices_scale (w : Logger.whole) =
   let path = Store.save_path ~path:(whole_path ~dir key) w.Logger.pinball in
   Sp_obs.Metrics.incr M.stored;
+  Mem_cache.add mem path ~bytes:(file_bytes path) w;
   append_manifest ~dir
     {
       key;

@@ -27,8 +27,15 @@ type lookup =
           to [path ^ ".quarantined"] and must be recomputed *)
 
 val find_whole : dir:string -> key:string -> lookup
-(** Look up and fully validate (checksums included) a cached whole
-    pinball.  Never raises. *)
+(** Look up a cached whole pinball.  Consults the in-memory
+    decoded-artifact cache ({!Mem_cache}) first — a mem hit skips the
+    disk read, checksum sweep and decode entirely (and so cannot
+    observe later on-disk corruption); a disk hit is fully validated
+    (checksums included) and promoted into memory.  Never raises. *)
+
+val clear_mem : unit -> unit
+(** Drop every in-memory decoded whole pinball (the disk cache is
+    untouched) — simulates a fresh process in tests. *)
 
 val store_whole :
   dir:string -> key:string -> slice_insns:int -> slices_scale:float ->

@@ -229,20 +229,36 @@ let quarantine path =
   Sp_obs.Metrics.incr M.quarantines;
   q
 
+(* Decoded profile entries share the artifact mem-cache pool (and its
+   [--mem-cache-mb] budget); keyed by on-disk path, charged their
+   serialised size.  The decoded value is treated as immutable by every
+   consumer. *)
+let mem : data Mem_cache.t = Mem_cache.create Mem_cache.global
+let clear_mem () = Mem_cache.clear mem
+
+let file_bytes path =
+  match (Unix.stat path).Unix.st_size with
+  | n -> n
+  | exception Unix.Unix_error _ -> 0
+
 let find ~dir ~key =
   let path = path ~dir ~key in
-  if not (Sys.file_exists path) then begin
-    Sp_obs.Metrics.incr M.misses;
-    Miss
-  end
-  else
-    match load path with
-    | Ok d ->
-        Sp_obs.Metrics.incr M.hits;
-        Hit d
-    | Error reason ->
-        ignore (quarantine path);
-        Quarantined { path; reason }
+  match Mem_cache.find mem path with
+  | Some d -> Hit d
+  | None ->
+      if not (Sys.file_exists path) then begin
+        Sp_obs.Metrics.incr M.misses;
+        Miss
+      end
+      else (
+        match load path with
+        | Ok d ->
+            Sp_obs.Metrics.incr M.hits;
+            Mem_cache.add mem path ~bytes:(file_bytes path) d;
+            Hit d
+        | Error reason ->
+            ignore (quarantine path);
+            Quarantined { path; reason })
 
 let store ~dir ~key d =
   let path = path ~dir ~key in
@@ -262,4 +278,5 @@ let store ~dir ~key d =
      raise e);
   Sys.rename tmp path;
   Sp_obs.Metrics.incr M.stores;
+  Mem_cache.add mem path ~bytes:(String.length data) d;
   path

@@ -45,7 +45,13 @@ type lookup =
 val find : dir:string -> key:string -> lookup
 (** Look up an entry; corrupt entries are renamed aside
     ([.quarantined]) and reported, so the caller recomputes.
-    Maintains the [profcache.{hits,misses,quarantines}] metrics. *)
+    Maintains the [profcache.{hits,misses,quarantines}] metrics.
+    Consults the in-memory decoded-artifact cache ({!Mem_cache})
+    first; a disk hit is promoted into memory. *)
+
+val clear_mem : unit -> unit
+(** Drop every in-memory decoded profile entry (the disk store is
+    untouched) — simulates a fresh process in tests. *)
 
 val store : dir:string -> key:string -> data -> string
 (** Atomically write an entry (per-process/domain temp file + rename),

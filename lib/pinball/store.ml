@@ -68,23 +68,47 @@ let encode_syscalls buf (pb : Pinball.t) =
     pb.syscalls
 
 let encode (pb : Pinball.t) =
-  let buf = Buffer.create 4096 in
+  (* size hints: SNAP dominates (the memory image), PROG is roughly
+     proportional to the instruction count.  Pre-sizing the payload and
+     output buffers skips the doubling-growth copies, which for a
+     multi-MiB image cost as much as an extra full encode pass. *)
+  let snap_hint = Snapshot.mem_bytes pb.Pinball.snapshot + 4096 in
+  let prog_hint =
+    (Array.length pb.Pinball.program.Program.instrs * 16) + 4096
+  in
+  let buf = Buffer.create (snap_hint + prog_hint + 4096) in
   Buffer.add_string buf magic;
   Buffer.add_int32_be buf (Int32.of_int version);
+  (* Sections are written straight into [buf] — no per-section staging
+     buffer, so the multi-MiB SNAP payload is copied exactly once, by
+     the final [Buffer.to_bytes].  The length and CRC fields are
+     emitted as placeholders and patched into the final bytes, where
+     the payload is readable; the resulting layout and values are
+     byte-identical to staging each payload separately. *)
+  let patches = ref [] in
   let section tag write_payload =
-    let pbuf = Buffer.create 1024 in
-    write_payload pbuf;
-    let payload = Buffer.contents pbuf in
     Buffer.add_string buf tag;
-    Binio.w_u32 buf (String.length payload);
-    Buffer.add_string buf payload;
-    Binio.w_u32 buf (Crc32.string payload)
+    let len_pos = Buffer.length buf in
+    Binio.w_u32 buf 0 (* length, patched below *);
+    let payload_pos = Buffer.length buf in
+    write_payload buf;
+    let len = Buffer.length buf - payload_pos in
+    Binio.w_u32 buf 0 (* CRC, patched below *);
+    patches := (len_pos, payload_pos, len) :: !patches
   in
   section "META" (fun b -> encode_meta b pb);
   section "PROG" (fun b -> Program.write b pb.Pinball.program);
   section "SNAP" (fun b -> Snapshot.write b pb.Pinball.snapshot);
   section "SYSC" (fun b -> encode_syscalls b pb);
-  Buffer.contents buf
+  let out = Buffer.to_bytes buf in
+  let view = Bytes.unsafe_to_string out in
+  List.iter
+    (fun (len_pos, payload_pos, len) ->
+      Bytes.set_int32_le out len_pos (Int32.of_int len);
+      Bytes.set_int32_le out (payload_pos + len)
+        (Int32.of_int (Crc32.sub view ~pos:payload_pos ~len)))
+    !patches;
+  view
 
 (* ------------------------------------------------------------------ *)
 (* decoding *)

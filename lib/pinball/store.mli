@@ -47,6 +47,13 @@ val load_exn : string -> Pinball.t
 (** {!load}, raising [Failure (error_message e)] on error — for
     callers that have already validated the file. *)
 
+val encode : Pinball.t -> string
+(** The exact bytes {!save} writes.  The encoding is deterministic and
+    byte-stable across releases for a given pinball (pages sorted by
+    index, fixed little-endian codecs), so stored artifacts, caches and
+    golden tests all stay valid; any incompatible change bumps the
+    format version instead. *)
+
 val of_bytes : ?path:string -> string -> (Pinball.t, error) result
 (** Decode from bytes already in memory ([path] only labels errors);
     {!load} is [of_bytes] over the file's contents.  Exposed so tests

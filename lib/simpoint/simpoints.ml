@@ -141,7 +141,14 @@ let select ?(config = default_config) ?projected ~slice_len slices =
     let result = cluster config ~k projected sample in
     (result, Bic.score result projected)
   in
+  (* [demanded] records the ks the sequential search logic actually
+     asked for, as opposed to ks whose fits were merely precomputed
+     speculatively.  The published BIC curve is built from the demanded
+     set only, so selection output is bit-identical at every job
+     count. *)
+  let demanded = Hashtbl.create 16 in
   let eval k =
+    Hashtbl.replace demanded k ();
     match Hashtbl.find_opt cache k with
     | Some v -> v
     | None ->
@@ -149,31 +156,50 @@ let select ?(config = default_config) ?projected ~slice_len slices =
         Hashtbl.add cache k v;
         v
   in
-  (* The binary search below is inherently sequential (each probe
-     depends on the previous BIC), but its two anchors k=1 and k=max_k
-     are independent: dispatch them through the pool.  Each [compute]
-     is deterministic in k alone, so warming the cache in parallel
-     changes nothing downstream. *)
-  if config.jobs > 1 && max_k > 1 then
-    Sp_util.Pool.parallel_map ~jobs:config.jobs
-      (fun k -> (k, compute k))
-      [| 1; max_k |]
-    |> Array.iter (fun (k, v) -> Hashtbl.replace cache k v);
+  (* Warm the cache for [ks] through the pool.  Each [compute] is
+     deterministic in k alone, so precomputing a fit (whether it ends
+     up demanded or not) changes nothing downstream. *)
+  let warm ks =
+    match
+      List.sort_uniq compare
+        (List.filter (fun k -> not (Hashtbl.mem cache k)) ks)
+    with
+    | [] -> ()
+    | ks ->
+        Sp_util.Pool.parallel_map ~jobs:config.jobs
+          (fun k -> (k, compute k))
+          (Array.of_list ks)
+        |> Array.iter (fun (k, v) -> Hashtbl.replace cache k v)
+  in
+  (* The binary search's probes are data-dependent (each depends on the
+     previous BIC), but its two anchors k=1 and k=max_k are
+     independent: dispatch them through the pool. *)
+  if config.jobs > 1 && max_k > 1 then warm [ 1; max_k ];
   let _, bic_lo = eval 1 in
   let _, bic_hi = eval max_k in
   let target = bic_lo +. (config.bic_threshold *. (bic_hi -. bic_lo)) in
   let rec search lo hi =
     (* invariant: bic(hi) >= target, lo < hi means candidates remain *)
     if lo >= hi then hi
-    else
+    else begin
       let mid = (lo + hi) / 2 in
+      (* Speculative probes: this round needs bic(mid), and the next
+         round needs one of the two possible midpoints of the halved
+         interval.  Fitting all three concurrently hides the next
+         round's fit behind this one; the probe that goes unused only
+         warmed the cache. *)
+      if config.jobs > 1 then
+        warm [ mid; (lo + mid) / 2; (mid + 1 + hi) / 2 ];
       let _, bic = eval mid in
       if bic >= target then search lo mid else search (mid + 1) hi
+    end
   in
   let chosen = if bic_hi <= bic_lo then 1 else search 1 max_k in
   let result, _ = eval chosen in
   let curve =
-    Hashtbl.fold (fun k (_, bic) acc -> (k, bic) :: acc) cache []
+    Hashtbl.fold
+      (fun k () acc -> (k, snd (Hashtbl.find cache k)) :: acc)
+      demanded []
     |> List.sort compare
   in
   build config ~slice_len slices projected result curve

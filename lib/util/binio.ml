@@ -10,6 +10,18 @@ exception Corrupt of string
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
 
+(* Native-endian unchecked 64-bit accessors for the bulk codecs.  Every
+   use below sits behind an explicit bounds check on the whole block, so
+   the per-element check the safe variants repeat is pure overhead.
+   They are native-endian: little-endian hosts use them directly, and
+   the (rare) big-endian host falls back to the safe LE accessors. *)
+external unsafe_set_64_ne : Bytes.t -> int -> int64 -> unit
+  = "%caml_bytes_set64u"
+
+external unsafe_get_64_ne : string -> int -> int64 = "%caml_string_get64u"
+
+let le_host = not Sys.big_endian
+
 (* ------------------------------------------------------------------ *)
 (* writers *)
 
@@ -22,13 +34,63 @@ let w_string b s =
   w_u32 b (String.length s);
   Buffer.add_string b s
 
+(* Bulk writers stage up to [scratch_words] values in a scratch [Bytes]
+   and append it with a single [Buffer.add_subbytes] per chunk, instead
+   of boxing one [Int64] per element through [Buffer.add_int64_le].
+   The bytes produced are identical to an element-by-element loop. *)
+let scratch_words = 4096
+
+let w_i64s b a =
+  let n = Array.length a in
+  if n > 0 then begin
+    let scratch = Bytes.create (8 * min n scratch_words) in
+    let i = ref 0 in
+    while !i < n do
+      let chunk = min scratch_words (n - !i) in
+      if le_host then
+        for j = 0 to chunk - 1 do
+          unsafe_set_64_ne scratch (j * 8)
+            (Int64.of_int (Array.unsafe_get a (!i + j)))
+        done
+      else
+        for j = 0 to chunk - 1 do
+          Bytes.set_int64_le scratch (j * 8)
+            (Int64.of_int (Array.unsafe_get a (!i + j)))
+        done;
+      Buffer.add_subbytes b scratch 0 (chunk * 8);
+      i := !i + chunk
+    done
+  end
+
+let w_f64s b a =
+  let n = Array.length a in
+  if n > 0 then begin
+    let scratch = Bytes.create (8 * min n scratch_words) in
+    let i = ref 0 in
+    while !i < n do
+      let chunk = min scratch_words (n - !i) in
+      if le_host then
+        for j = 0 to chunk - 1 do
+          unsafe_set_64_ne scratch (j * 8)
+            (Int64.bits_of_float (Array.unsafe_get a (!i + j)))
+        done
+      else
+        for j = 0 to chunk - 1 do
+          Bytes.set_int64_le scratch (j * 8)
+            (Int64.bits_of_float (Array.unsafe_get a (!i + j)))
+        done;
+      Buffer.add_subbytes b scratch 0 (chunk * 8);
+      i := !i + chunk
+    done
+  end
+
 let w_int_array b a =
   w_u32 b (Array.length a);
-  Array.iter (w_i64 b) a
+  w_i64s b a
 
 let w_float_array b a =
   w_u32 b (Array.length a);
-  Array.iter (w_f64 b) a
+  w_f64s b a
 
 (* ------------------------------------------------------------------ *)
 (* reader *)
@@ -99,13 +161,50 @@ let r_count r ~elem_bytes what =
       (remaining r);
   n
 
+(* Bulk readers: one bounds check up front, then direct unaligned
+   64-bit loads from the backing string — no per-element [need] or
+   position update. *)
+let r_i64s r n =
+  need r (n * 8) "i64 block";
+  let data = r.data and base = r.pos in
+  let a = Array.make n 0 in
+  if le_host then
+    for j = 0 to n - 1 do
+      Array.unsafe_set a j
+        (Int64.to_int (unsafe_get_64_ne data (base + (j * 8))))
+    done
+  else
+    for j = 0 to n - 1 do
+      Array.unsafe_set a j
+        (Int64.to_int (String.get_int64_le data (base + (j * 8))))
+    done;
+  r.pos <- base + (n * 8);
+  a
+
+let r_f64s r n =
+  need r (n * 8) "f64 block";
+  let data = r.data and base = r.pos in
+  let a = Array.make n 0.0 in
+  if le_host then
+    for j = 0 to n - 1 do
+      Array.unsafe_set a j
+        (Int64.float_of_bits (unsafe_get_64_ne data (base + (j * 8))))
+    done
+  else
+    for j = 0 to n - 1 do
+      Array.unsafe_set a j
+        (Int64.float_of_bits (String.get_int64_le data (base + (j * 8))))
+    done;
+  r.pos <- base + (n * 8);
+  a
+
 let r_int_array r =
   let n = r_count r ~elem_bytes:8 "int array" in
-  Array.init n (fun _ -> r_i64 r)
+  r_i64s r n
 
 let r_float_array r =
   let n = r_count r ~elem_bytes:8 "float array" in
-  Array.init n (fun _ -> r_f64 r)
+  r_f64s r n
 
 let expect_end r what =
   if remaining r <> 0 then fail "%s: %d trailing bytes" what (remaining r)

@@ -26,6 +26,14 @@ val w_string : Buffer.t -> string -> unit
 val w_int_array : Buffer.t -> int array -> unit
 val w_float_array : Buffer.t -> float array -> unit
 
+val w_i64s : Buffer.t -> int array -> unit
+(** Raw bulk write of every element as an [i64] — no length prefix.
+    Byte-identical to [Array.iter (w_i64 b)] but blits whole chunks
+    through a scratch buffer; for fixed-size blocks (memory pages). *)
+
+val w_f64s : Buffer.t -> float array -> unit
+(** Raw bulk write of every element as an [f64] — no length prefix. *)
+
 (** {1 Reader} *)
 
 type reader
@@ -46,6 +54,13 @@ val r_bytes : reader -> int -> string
 val r_string : reader -> string
 val r_int_array : reader -> int array
 val r_float_array : reader -> float array
+
+val r_i64s : reader -> int -> int array
+(** Bulk read of exactly [n] [i64] values (no length prefix): one
+    bounds check, then direct loads.  Inverse of {!w_i64s}. *)
+
+val r_f64s : reader -> int -> float array
+(** Bulk read of exactly [n] [f64] values.  Inverse of {!w_f64s}. *)
 
 val r_count : reader -> elem_bytes:int -> string -> int
 (** Read a u32 element count and reject it unless at least

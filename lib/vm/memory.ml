@@ -9,12 +9,23 @@ let addr_mask = (1 lsl 38) - 1
 
 (* Direct-mapped software TLB: a small page-pointer cache in front of
    the page hashtables, so hot loads and stores resolve their page with
-   one tag compare instead of a [Hashtbl.find_opt].  Tags hold the page
-   index (-1 = empty); a hit reads the page pointer straight out of the
-   slot array.  Entries are only ever installed for pages that exist in
-   the backing hashtable, and pages are never replaced there (only added
-   by [store], or dropped wholesale by [clear], which resets the TLB),
-   so a matching tag can never be stale. *)
+   one tag compare instead of a hashtable lookup.
+
+   Copy-on-write sharing adds a second tag array per view.  A page may
+   be *frozen* — its array shared with one or more snapshots — in which
+   case this memory must never write through it.  Loads check [tags]
+   (a frozen page is fine to read); stores check [wtags], which only
+   ever holds the index of a *private* page, so the store fast path
+   stays a single compare and can never write through a shared array.
+   Both tag arrays index the same [tlb] page-pointer slots; the
+   invariant is: [wtags.(s) = i] implies [tags.(s) = i] and [tlb.(s)]
+   is the private page array for index [i].  Freezing clears [wtags];
+   privatising a page copies its array, replaces it in the hashtable
+   and reinstalls the slot with both tags set.  Tags hold the page
+   index (-1 = empty); pages are never replaced in the hashtable except
+   by privatisation (which reinstalls the TLB slot) or dropped
+   wholesale by [clear] (which resets the TLB), so a matching tag can
+   never be stale. *)
 let tlb_slots_log2 = 6
 let tlb_slots = 1 lsl tlb_slots_log2
 let tlb_mask = tlb_slots - 1
@@ -25,9 +36,15 @@ let no_float_page : float array = [||]
 type t = {
   int_pages : (int, int array) Hashtbl.t;
   float_pages : (int, float array) Hashtbl.t;
+  (* indices of pages whose arrays are shared copy-on-write with a
+     snapshot (always a subset of the corresponding page table) *)
+  int_frozen : (int, unit) Hashtbl.t;
+  float_frozen : (int, unit) Hashtbl.t;
   int_tags : int array;
+  int_wtags : int array;
   int_tlb : int array array;
   float_tags : int array;
+  float_wtags : int array;
   float_tlb : float array array;
   (* cumulative TLB refills (fast-path misses that installed an entry);
      off the fast path, read by the interpreter's metrics flush *)
@@ -38,28 +55,16 @@ let create () =
   {
     int_pages = Hashtbl.create 64;
     float_pages = Hashtbl.create 16;
+    int_frozen = Hashtbl.create 16;
+    float_frozen = Hashtbl.create 16;
     int_tags = Array.make tlb_slots (-1);
+    int_wtags = Array.make tlb_slots (-1);
     int_tlb = Array.make tlb_slots no_int_page;
     float_tags = Array.make tlb_slots (-1);
+    float_wtags = Array.make tlb_slots (-1);
     float_tlb = Array.make tlb_slots no_float_page;
     tlb_refills = 0;
   }
-
-let int_page t idx =
-  match Hashtbl.find_opt t.int_pages idx with
-  | Some p -> p
-  | None ->
-      let p = Array.make page_words 0 in
-      Hashtbl.add t.int_pages idx p;
-      p
-
-let float_page t idx =
-  match Hashtbl.find_opt t.float_pages idx with
-  | Some p -> p
-  | None ->
-      let p = Array.make page_words 0.0 in
-      Hashtbl.add t.float_pages idx p;
-      p
 
 let load t addr =
   let w = (addr land addr_mask) lsr 3 in
@@ -70,30 +75,51 @@ let load t addr =
       (Array.unsafe_get t.int_tlb slot)
       (w land offset_mask)
   else
-    match Hashtbl.find_opt t.int_pages idx with
-    | Some p ->
+    match Hashtbl.find t.int_pages idx with
+    | p ->
         t.tlb_refills <- t.tlb_refills + 1;
         Array.unsafe_set t.int_tags slot idx;
+        Array.unsafe_set t.int_wtags slot
+          (if Hashtbl.mem t.int_frozen idx then -1 else idx);
         Array.unsafe_set t.int_tlb slot p;
         Array.unsafe_get p (w land offset_mask)
-    | None -> 0
+    | exception Not_found -> 0
+
+(* Store slow path: missing page (allocate), frozen page (privatise:
+   copy the array, replace it in the table, unfreeze) or plain TLB
+   miss.  In every case the slot ends up holding a private page, so
+   [wtags] may be installed. *)
+let store_slow t idx slot off v =
+  let p =
+    match Hashtbl.find t.int_pages idx with
+    | p ->
+        if Hashtbl.mem t.int_frozen idx then begin
+          let q = Array.copy p in
+          Hashtbl.replace t.int_pages idx q;
+          Hashtbl.remove t.int_frozen idx;
+          q
+        end
+        else p
+    | exception Not_found ->
+        let p = Array.make page_words 0 in
+        Hashtbl.add t.int_pages idx p;
+        p
+  in
+  t.tlb_refills <- t.tlb_refills + 1;
+  Array.unsafe_set t.int_tags slot idx;
+  Array.unsafe_set t.int_wtags slot idx;
+  Array.unsafe_set t.int_tlb slot p;
+  Array.unsafe_set p off v
 
 let store t addr v =
   let w = (addr land addr_mask) lsr 3 in
   let idx = w lsr page_words_log2 in
   let slot = idx land tlb_mask in
-  let p =
-    if Array.unsafe_get t.int_tags slot = idx then
-      Array.unsafe_get t.int_tlb slot
-    else begin
-      let p = int_page t idx in
-      t.tlb_refills <- t.tlb_refills + 1;
-      Array.unsafe_set t.int_tags slot idx;
-      Array.unsafe_set t.int_tlb slot p;
-      p
-    end
-  in
-  Array.unsafe_set p (w land offset_mask) v
+  if Array.unsafe_get t.int_wtags slot = idx then
+    Array.unsafe_set
+      (Array.unsafe_get t.int_tlb slot)
+      (w land offset_mask) v
+  else store_slow t idx slot (w land offset_mask) v
 
 let loadf t addr =
   let w = (addr land addr_mask) lsr 3 in
@@ -104,35 +130,91 @@ let loadf t addr =
       (Array.unsafe_get t.float_tlb slot)
       (w land offset_mask)
   else
-    match Hashtbl.find_opt t.float_pages idx with
-    | Some p ->
+    match Hashtbl.find t.float_pages idx with
+    | p ->
         t.tlb_refills <- t.tlb_refills + 1;
         Array.unsafe_set t.float_tags slot idx;
+        Array.unsafe_set t.float_wtags slot
+          (if Hashtbl.mem t.float_frozen idx then -1 else idx);
         Array.unsafe_set t.float_tlb slot p;
         Array.unsafe_get p (w land offset_mask)
-    | None -> 0.0
+    | exception Not_found -> 0.0
+
+let storef_slow t idx slot off v =
+  let p =
+    match Hashtbl.find t.float_pages idx with
+    | p ->
+        if Hashtbl.mem t.float_frozen idx then begin
+          let q = Array.copy p in
+          Hashtbl.replace t.float_pages idx q;
+          Hashtbl.remove t.float_frozen idx;
+          q
+        end
+        else p
+    | exception Not_found ->
+        let p = Array.make page_words 0.0 in
+        Hashtbl.add t.float_pages idx p;
+        p
+  in
+  t.tlb_refills <- t.tlb_refills + 1;
+  Array.unsafe_set t.float_tags slot idx;
+  Array.unsafe_set t.float_wtags slot idx;
+  Array.unsafe_set t.float_tlb slot p;
+  Array.unsafe_set p off v
 
 let storef t addr v =
   let w = (addr land addr_mask) lsr 3 in
   let idx = w lsr page_words_log2 in
   let slot = idx land tlb_mask in
-  let p =
-    if Array.unsafe_get t.float_tags slot = idx then
-      Array.unsafe_get t.float_tlb slot
-    else begin
-      let p = float_page t idx in
-      t.tlb_refills <- t.tlb_refills + 1;
-      Array.unsafe_set t.float_tags slot idx;
-      Array.unsafe_set t.float_tlb slot p;
-      p
-    end
-  in
-  Array.unsafe_set p (w land offset_mask) v
+  if Array.unsafe_get t.float_wtags slot = idx then
+    Array.unsafe_set
+      (Array.unsafe_get t.float_tlb slot)
+      (w land offset_mask) v
+  else storef_slow t idx slot (w land offset_mask) v
 
 let tlb_refills t = t.tlb_refills
 
 let footprint_bytes t =
   (Hashtbl.length t.int_pages + Hashtbl.length t.float_pages) * page_bytes
+
+(* ------------------------------------------------------------------ *)
+(* Copy-on-write sharing *)
+
+let fully_frozen t =
+  Hashtbl.length t.int_frozen = Hashtbl.length t.int_pages
+  && Hashtbl.length t.float_frozen = Hashtbl.length t.float_pages
+
+let freeze t =
+  if not (fully_frozen t) then begin
+    Hashtbl.iter (fun idx _ -> Hashtbl.replace t.int_frozen idx ()) t.int_pages;
+    Hashtbl.iter
+      (fun idx _ -> Hashtbl.replace t.float_frozen idx ())
+      t.float_pages;
+    (* no slot may claim write permission on a now-shared page *)
+    Array.fill t.int_wtags 0 tlb_slots (-1);
+    Array.fill t.float_wtags 0 tlb_slots (-1)
+  end
+
+let cow_clone t =
+  freeze t;
+  (* [t] is now fully frozen, so the clone shares every page array;
+     either side privatises on its first write to a page.  When [t] was
+     already fully frozen (a snapshot image) [freeze] mutated nothing,
+     making concurrent clones of one snapshot safe: this is pure
+     reading. *)
+  {
+    int_pages = Hashtbl.copy t.int_pages;
+    float_pages = Hashtbl.copy t.float_pages;
+    int_frozen = Hashtbl.copy t.int_frozen;
+    float_frozen = Hashtbl.copy t.float_frozen;
+    int_tags = Array.make tlb_slots (-1);
+    int_wtags = Array.make tlb_slots (-1);
+    int_tlb = Array.make tlb_slots no_int_page;
+    float_tags = Array.make tlb_slots (-1);
+    float_wtags = Array.make tlb_slots (-1);
+    float_tlb = Array.make tlb_slots no_float_page;
+    tlb_refills = 0;
+  }
 
 let copy t =
   let dup tbl = Hashtbl.fold (fun k v acc -> (k, Array.copy v) :: acc) tbl [] in
@@ -141,8 +223,7 @@ let copy t =
     List.iter (fun (k, v) -> Hashtbl.add tbl k v) pairs;
     tbl
   in
-  (* the copy starts with a cold TLB: its slots may only ever point at
-     the copy's own page arrays *)
+  (* the copy starts with a cold TLB and owns every page privately *)
   {
     (create ()) with
     int_pages = restore (dup t.int_pages);
@@ -166,13 +247,13 @@ let write buf t =
   List.iter
     (fun (idx, page) ->
       Binio.w_i64 buf idx;
-      Array.iter (Binio.w_i64 buf) page)
+      Binio.w_i64s buf page)
     (sorted_pages t.int_pages);
   Binio.w_u32 buf (Hashtbl.length t.float_pages);
   List.iter
     (fun (idx, page) ->
       Binio.w_i64 buf idx;
-      Array.iter (Binio.w_f64 buf) page)
+      Binio.w_f64s buf page)
     (sorted_pages t.float_pages)
 
 let read r =
@@ -181,7 +262,7 @@ let read r =
   if pw <> page_words then
     Binio.fail "Memory: page size %d, expected %d" pw page_words;
   let t = create () in
-  let read_pages tbl read_word =
+  let read_pages tbl read_block =
     let n = Binio.r_u32 r in
     for _ = 1 to n do
       let idx = Binio.r_i64 r in
@@ -189,21 +270,25 @@ let read r =
         Binio.fail "Memory: page index %d out of range" idx;
       if Hashtbl.mem tbl idx then
         Binio.fail "Memory: duplicate page index %d" idx;
-      (* each word read is bounds-checked, so a corrupt page count fails
-         at the first missing byte instead of over-allocating *)
-      Hashtbl.add tbl idx (Array.init page_words (fun _ -> read_word r))
+      (* the block read is bounds-checked up front, so a corrupt page
+         count fails before any allocation *)
+      Hashtbl.add tbl idx (read_block r page_words)
     done
   in
-  read_pages t.int_pages Binio.r_i64;
-  read_pages t.float_pages Binio.r_f64;
+  read_pages t.int_pages Binio.r_i64s;
+  read_pages t.float_pages Binio.r_f64s;
   t
 
 let clear t =
   Hashtbl.reset t.int_pages;
   Hashtbl.reset t.float_pages;
+  Hashtbl.reset t.int_frozen;
+  Hashtbl.reset t.float_frozen;
   (* every cached page pointer is now dangling: empty the TLB and drop
      the page arrays so they can be collected *)
   Array.fill t.int_tags 0 tlb_slots (-1);
+  Array.fill t.int_wtags 0 tlb_slots (-1);
   Array.fill t.float_tags 0 tlb_slots (-1);
+  Array.fill t.float_wtags 0 tlb_slots (-1);
   Array.fill t.int_tlb 0 tlb_slots no_int_page;
   Array.fill t.float_tlb 0 tlb_slots no_float_page

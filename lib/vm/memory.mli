@@ -41,6 +41,20 @@ val tlb_refills : t -> int
 val copy : t -> t
 (** Deep copy; the result shares nothing with the source. *)
 
+val freeze : t -> unit
+(** Mark every current page as shared (copy-on-write): subsequent
+    stores privatise a page on first write instead of mutating the
+    shared array.  Idempotent, and a no-op (with no mutation at all)
+    when the memory is already fully frozen. *)
+
+val cow_clone : t -> t
+(** A logically independent copy that shares every page array with [t]
+    copy-on-write: O(pages) bookkeeping instead of O(image) copying,
+    and either side privatises a page the first time it writes to it.
+    Freezes [t] as a side effect.  When [t] is already fully frozen (a
+    snapshot image) the call mutates nothing, so concurrent clones of
+    one frozen memory from multiple domains are safe. *)
+
 val clear : t -> unit
 
 (** {1 Serialisation (pinball format v2)} *)

@@ -8,6 +8,12 @@ type t = {
   icount : int;
 }
 
+(* The snapshot's memory shares the machine's page arrays copy-on-write
+   and is fully frozen from construction on: [capture] freezes the
+   source machine (its later stores privatise pages), and the snapshot
+   itself is never written.  [restore] therefore only reads the
+   snapshot, which makes restoring one snapshot from many domains at
+   once safe — each restored machine gets its own COW view. *)
 let capture (m : Interp.machine) =
   {
     regs = Array.copy m.regs;
@@ -15,7 +21,7 @@ let capture (m : Interp.machine) =
     pc = m.pc;
     callstack = Array.copy m.callstack;
     sp = m.sp;
-    mem = Memory.copy m.mem;
+    mem = Memory.cow_clone m.mem;
     icount = m.icount;
   }
 
@@ -26,7 +32,7 @@ let restore t : Interp.machine =
     pc = t.pc;
     callstack = Array.copy t.callstack;
     sp = t.sp;
-    mem = Memory.copy t.mem;
+    mem = Memory.cow_clone t.mem;
     icount = t.icount;
   }
 
@@ -67,4 +73,8 @@ let read r =
   let icount = Binio.r_i64 r in
   if icount < 0 then Binio.fail "Snapshot: negative icount %d" icount;
   let mem = Memory.read r in
+  (* freeze eagerly so the first [restore] never mutates the snapshot:
+     a decoded pinball may be cached and restored from several domains
+     at once *)
+  Memory.freeze mem;
   { regs; fregs; pc; callstack; sp; mem; icount }

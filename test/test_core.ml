@@ -222,7 +222,14 @@ let test_pinball_cache_reuse () =
   Sys.remove dir;
   let spec = Sp_workloads.Suite.find "648.exchange2_s" in
   let options =
-    { tiny_options with collect_variance = false; pinball_cache = Some dir }
+    (* mem_cache_mb = 0: this test exercises the on-disk layer
+       (quarantine, re-store), which the in-memory cache would mask *)
+    {
+      tiny_options with
+      collect_variance = false;
+      pinball_cache = Some dir;
+      mem_cache_mb = 0;
+    }
   in
   let fingerprint r =
     ( r.Pipeline.whole_insns,
@@ -272,7 +279,14 @@ let test_profile_cache_reuse () =
   Sys.remove dir;
   let spec = Sp_workloads.Suite.find "648.exchange2_s" in
   let options =
-    { tiny_options with collect_variance = false; profile_cache = Some dir }
+    (* mem_cache_mb = 0: the disk-layer hit/miss/quarantine counters
+       below assume every lookup reaches the files *)
+    {
+      tiny_options with
+      collect_variance = false;
+      profile_cache = Some dir;
+      mem_cache_mb = 0;
+    }
   in
   (* everything the cached entry feeds: whole-run stats, the CPI-stack
      core stats, selection and both replay flavours *)

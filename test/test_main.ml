@@ -24,4 +24,5 @@ let () =
       ("warmreplay", Test_warmreplay.suite);
       ("obs", Test_obs.suite);
       ("serve", Test_serve.suite);
+      ("cowmem", Test_cowmem.suite);
     ]

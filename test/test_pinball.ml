@@ -439,6 +439,45 @@ let test_artifact_cache () =
   | _ -> Alcotest.fail "expected Hit after gc");
   rm_rf dir
 
+(* Golden-bytes pin for the v2 encoder.  The encoding of a fixed
+   pinball — int and float pages, recorded inputs, a region variant —
+   is part of the compatibility contract: stored artifacts, both
+   content-addressed caches and the fuzz corpus all assume the encoder
+   never changes under a given format version.  Any legitimate format
+   change must bump [Store.version] and re-pin these digests. *)
+let golden_program =
+  let a = Asm.create ~name:"golden" () in
+  Asm.li a 1 0x2000;
+  Asm.li a 2 30;
+  Asm.fmovi a 1 1.5;
+  let top = Asm.here a in
+  Asm.sys a 0 3;
+  Asm.alu a Add 4 4 3;
+  Asm.store a 4 1 0;
+  Asm.falu a Fadd 2 2 1;
+  Asm.fstore a 2 1 512;
+  Asm.alui a Add 1 1 8;
+  Asm.alui a Sub 2 2 1;
+  Asm.branch a Gt 2 15 top;
+  Asm.halt a;
+  Asm.assemble a
+
+let test_golden_bytes () =
+  let whole =
+    Logger.log_whole ~syscall:(noisy_syscall 5) ~benchmark:"golden"
+      golden_program
+  in
+  let digest pb = Digest.to_hex (Digest.string (Store.encode pb)) in
+  Alcotest.(check string) "whole pinball bytes"
+    "20ad27af6e5f01e188e3619bbbd2cc54"
+    (digest whole.Logger.pinball);
+  let regions =
+    Logger.capture_regions whole [| mk_point 2 0 60 90 0.25 |]
+  in
+  Alcotest.(check string) "region pinball bytes"
+    "900addee133ddfaf35f15181667099de"
+    (digest regions.(0))
+
 let test_describe () =
   let prog = sys_program ~iters:5 in
   let whole = Logger.log_whole ~benchmark:"b" prog in
@@ -463,5 +502,6 @@ let suite =
     Alcotest.test_case "store fuzz region (boundaries)" `Quick test_store_fuzz_region;
     Alcotest.test_case "store concurrent save" `Quick test_store_concurrent_save;
     Alcotest.test_case "artifact cache" `Quick test_artifact_cache;
+    Alcotest.test_case "golden encoder bytes" `Quick test_golden_bytes;
     Alcotest.test_case "describe" `Quick test_describe;
   ]

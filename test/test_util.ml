@@ -235,6 +235,78 @@ let test_binio_roundtrip () =
   Binio.expect_end r "test";
   Alcotest.(check int) "nothing left" 0 (Binio.remaining r)
 
+(* The production [Crc32.update] is slicing-by-8; this is the classic
+   one-table byte-at-a-time reference it must agree with everywhere —
+   arbitrary strings, arbitrary split points, arbitrary chaining. *)
+let crc_reference_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc_reference_update crc s pos len =
+  let t = Lazy.force crc_reference_table in
+  let c = ref (crc lxor 0xFFFF_FFFF) in
+  for i = pos to pos + len - 1 do
+    c := t.((!c lxor Char.code s.[i]) land 0xFF) lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFF_FFFF
+
+let prop_crc32_matches_reference =
+  QCheck.Test.make ~name:"crc32 slicing-by-8 = one-table reference" ~count:300
+    QCheck.(
+      pair (string_gen_of_size Gen.(0 -- 200) Gen.char) (pair small_nat small_nat))
+    (fun (s, (a, b)) ->
+      let n = String.length s in
+      (* two arbitrary split points: one-shot, sub-ranges and chained
+         updates must all agree with the reference *)
+      let i = if n = 0 then 0 else a mod (n + 1) in
+      let j = if n = 0 then 0 else i + (b mod (n - i + 1)) in
+      Crc32.string s = crc_reference_update 0 s 0 n
+      && Crc32.sub s ~pos:i ~len:(j - i) = crc_reference_update 0 s i (j - i)
+      && Crc32.update
+           (Crc32.update (Crc32.update 0 s 0 i) s i (j - i))
+           s j (n - j)
+         = crc_reference_update 0 s 0 n)
+
+let prop_binio_bulk_bytes_identical =
+  QCheck.Test.make
+    ~name:"binio bulk writers byte-identical to per-element" ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(0 -- 100) int)
+        (list_of_size Gen.(0 -- 100) float))
+    (fun (is, fs) ->
+      let ia = Array.of_list is and fa = Array.of_list fs in
+      let bulk = Buffer.create 64 and each = Buffer.create 64 in
+      Binio.w_i64s bulk ia;
+      Binio.w_f64s bulk fa;
+      Array.iter (Binio.w_i64 each) ia;
+      Array.iter (Binio.w_f64 each) fa;
+      Buffer.contents bulk = Buffer.contents each)
+
+let test_binio_bulk_roundtrip () =
+  let ia = [| min_int; -1; 0; 1; max_int; 0x0123_4567_89AB_CDEF |] in
+  let fa = [| 0.0; -0.0; 1.5; infinity; neg_infinity; nan; 1e-300 |] in
+  let b = Buffer.create 128 in
+  Binio.w_i64s b ia;
+  Binio.w_f64s b fa;
+  let r = Binio.reader (Buffer.contents b) in
+  Alcotest.(check (array int)) "i64 block" ia
+    (Binio.r_i64s r (Array.length ia));
+  (* structural compare: NaN- and signed-zero-exact *)
+  Alcotest.(check bool) "f64 block bit-exact" true
+    (Stdlib.compare fa (Binio.r_f64s r (Array.length fa)) = 0);
+  Binio.expect_end r "bulk";
+  (* a truncated block fails up front with the one typed error *)
+  let r = Binio.reader (String.sub (Buffer.contents b) 0 17) in
+  match Binio.r_i64s r 3 with
+  | _ -> Alcotest.fail "truncated block: expected Corrupt"
+  | exception Binio.Corrupt _ -> ()
+
 let test_binio_bounds () =
   let expect_corrupt what f =
     match f () with
@@ -281,6 +353,9 @@ let suite =
     Alcotest.test_case "table arity" `Quick test_table_wrong_arity;
     Alcotest.test_case "formatting" `Quick test_fmt;
     Alcotest.test_case "crc32" `Quick test_crc32;
+    QCheck_alcotest.to_alcotest prop_crc32_matches_reference;
     Alcotest.test_case "binio roundtrip" `Quick test_binio_roundtrip;
+    QCheck_alcotest.to_alcotest prop_binio_bulk_bytes_identical;
+    Alcotest.test_case "binio bulk roundtrip" `Quick test_binio_bulk_roundtrip;
     Alcotest.test_case "binio bounds" `Quick test_binio_bounds;
   ]
